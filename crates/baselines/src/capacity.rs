@@ -1,0 +1,182 @@
+//! Kesselheim's centralized capacity algorithm (\[14\], SODA 2011).
+//!
+//! The constant-factor algorithm for *capacity with power control*:
+//! process links in ascending length order; admit `ℓ` into the selected
+//! set `L` when
+//!
+//! ```text
+//! a^L_L(ℓ) + a^U_ℓ(L) ≤ τ          (Eqn 3 of the connectivity paper)
+//! ```
+//!
+//! i.e. the linear-power affectance of the shorter selected links on
+//! `ℓ` plus the uniform-power affectance of `ℓ` on them stays under a
+//! constant. The admitted set provably admits a feasible power
+//! assignment; we compute one with Foschini–Miljanic. `Distr-Cap`
+//! (§8.2) is the distributed implementation of exactly this rule, so
+//! this module doubles as its reference oracle in tests and
+//! experiments.
+
+use std::collections::HashMap;
+
+use sinr_connectivity::power_control::{make_feasible, PowerControlConfig};
+use sinr_geom::Instance;
+use sinr_links::{Link, LinkSet};
+use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::{SinrParams};
+
+/// Result of the centralized capacity selection.
+#[derive(Clone, Debug)]
+pub struct CapacityOutcome {
+    /// The admitted links (a constant-factor approximation of the
+    /// maximum feasible subset).
+    pub selected: LinkSet,
+    /// Feasible per-link powers for the admitted set.
+    pub powers: HashMap<Link, f64>,
+    /// Links the power-control fallback had to drop (empty for sane τ).
+    pub dropped: Vec<Link>,
+}
+
+/// Runs the ascending-length admission rule with threshold `tau`, then
+/// computes powers.
+///
+/// Uses noiseless affectance (the distance-based form of \[14\]); the
+/// final power assignment accounts for noise.
+///
+/// # Panics
+///
+/// Panics if `tau` is not positive and finite.
+pub fn greedy_capacity(
+    params: &SinrParams,
+    instance: &Instance,
+    candidates: &LinkSet,
+    tau: f64,
+    pc: &PowerControlConfig,
+) -> CapacityOutcome {
+    assert!(tau > 0.0 && tau.is_finite(), "tau must be positive, got {tau}");
+    let calc = AffectanceCalc::new(params, instance);
+    let alpha = params.alpha();
+
+    let mut selected = LinkSet::new();
+    for ell in candidates.sorted_by_length(instance) {
+        // Structural conflicts can never be fixed by power control.
+        let conflict = selected.iter().any(|m| ell.shares_node(m));
+        if conflict {
+            continue;
+        }
+        let len_ell = ell.length(instance);
+        let mut burden = 0.0;
+        for m in selected.iter() {
+            let len_m = m.length(instance);
+            // a^L_L(ℓ): linear-power affectance of m on ℓ.
+            burden += calc.of_sender_noiseless(
+                m.sender,
+                len_m.powf(alpha),
+                ell,
+                len_ell.powf(alpha),
+            );
+            // a^U_ℓ(L): uniform-power affectance of ℓ on m.
+            burden += calc.of_sender_noiseless(ell.sender, 1.0, m, 1.0);
+            if burden > tau {
+                break;
+            }
+        }
+        if burden <= tau {
+            selected.insert(ell);
+        }
+    }
+
+    let fm = make_feasible(params, instance, &selected, pc);
+    CapacityOutcome { selected: fm.links, powers: fm.powers, dropped: fm.dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::gen;
+    use sinr_phy::{feasibility, PowerAssignment};
+
+    fn params() -> SinrParams {
+        SinrParams::default()
+    }
+
+    fn all_nearest_links(inst: &Instance) -> LinkSet {
+        let grid = sinr_geom::GridIndex::build(inst, 2.0);
+        (0..inst.len())
+            .filter_map(|u| grid.nearest_neighbor(u).map(|(v, _)| Link::new(u, v)))
+            .collect()
+    }
+
+    #[test]
+    fn selected_set_is_feasible() {
+        let p = params();
+        let inst = gen::uniform_square(60, 2.0, 4).unwrap();
+        let candidates = all_nearest_links(&inst);
+        let out =
+            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        assert!(!out.selected.is_empty());
+        assert!(out.dropped.is_empty(), "τ = 0.5 should never need drops");
+        let pa = PowerAssignment::explicit(out.powers).unwrap();
+        assert!(feasibility::is_feasible(&p, &inst, &out.selected, &pa));
+    }
+
+    #[test]
+    fn selection_is_constant_fraction_on_spread_links() {
+        // Widely separated links: everything should be admitted.
+        let p = params();
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(sinr_geom::Point::new(100.0 * i as f64, 0.0));
+            pts.push(sinr_geom::Point::new(100.0 * i as f64 + 1.0, 0.0));
+        }
+        let inst = sinr_geom::Instance::new(pts).unwrap();
+        let candidates: LinkSet = (0..10).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
+        let out =
+            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        assert_eq!(out.selected.len(), 10);
+    }
+
+    #[test]
+    fn crowded_links_are_thinned() {
+        let p = params();
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(sinr_geom::Point::new(1.5 * i as f64, 0.0));
+            pts.push(sinr_geom::Point::new(1.5 * i as f64, 1.0));
+        }
+        let inst = sinr_geom::Instance::new(pts).unwrap();
+        let candidates: LinkSet = (0..8).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
+        let out =
+            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        assert!(out.selected.len() < 8, "crowded instance must be thinned");
+        assert!(!out.selected.is_empty());
+    }
+
+    #[test]
+    fn shared_node_links_never_coselected() {
+        let p = params();
+        let inst = gen::line(3).unwrap();
+        let candidates = LinkSet::from_links(vec![
+            Link::new(0, 1),
+            Link::new(2, 1),
+            Link::new(1, 2),
+        ])
+        .unwrap();
+        let out =
+            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        assert_eq!(out.selected.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn rejects_bad_tau() {
+        let p = params();
+        let inst = gen::line(2).unwrap();
+        let _ = greedy_capacity(
+            &p,
+            &inst,
+            &LinkSet::new(),
+            0.0,
+            &PowerControlConfig::default(),
+        );
+    }
+}

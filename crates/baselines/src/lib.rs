@@ -1,0 +1,29 @@
+//! Centralized baselines for SINR connectivity.
+//!
+//! The paper's distributed results are benchmarked against the
+//! centralized state of the art it cites:
+//!
+//! - [`first_fit`] — greedy first-fit scheduling of a link set under a
+//!   fixed power assignment (the workhorse behind the `O(ψ·log n)`
+//!   schedules of Theorem 9), with optional precedence constraints;
+//! - [`mst`] — the MST-based centralized connectivity of Halldórsson &
+//!   Mitra, SODA 2012 \[11\]: Euclidean MST, oriented to a centroid
+//!   root, scheduled first-fit in leaf-to-root order so the result is a
+//!   valid bi-tree;
+//! - [`capacity`] — Kesselheim's SODA 2011 \[14\] constant-factor
+//!   capacity algorithm (the ascending-length admission rule of Eqn 3)
+//!   with Foschini–Miljanic powers;
+//! - [`length_class`] — Moscibroda–Wattenhofer-style \[21\] scheduling:
+//!   uniform power within each length class, classes serialized.
+//!
+//! Experiment E7 tabulates all of these against the distributed
+//! pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod capacity;
+pub mod first_fit;
+pub mod length_class;
+pub mod mst;

@@ -1,0 +1,182 @@
+//! Centralized MST-based connectivity (the \[11\] baseline).
+//!
+//! Halldórsson & Mitra (SODA 2012) showed the Euclidean MST is
+//! `O(1)`-sparse and scheduled it in `O(log n)` slots (arbitrary power)
+//! or `O(Υ·log n)` (oblivious power). This baseline builds the MST
+//! centrally, orients it toward a centroid root and packs the links
+//! first-fit in leaf-to-root order, producing a genuine [`BiTree`] to
+//! compare against the paper's distributed constructions.
+
+use sinr_geom::{Instance, NodeId};
+use sinr_links::{BiTree, InTree, Link, LinkSet, Schedule};
+use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+
+/// A centrally computed MST bi-tree with its schedule and power.
+#[derive(Clone, Debug)]
+pub struct MstBaseline {
+    /// The converge-cast tree (MST oriented to the root).
+    pub tree: InTree,
+    /// The ordered, feasible bi-tree.
+    pub bitree: BiTree,
+    /// The aggregation schedule.
+    pub schedule: Schedule,
+    /// The power assignment used.
+    pub power: PowerAssignment,
+    /// Links that could not be scheduled even alone (always empty for
+    /// the margin power constructors; reported for custom powers).
+    pub unschedulable: Vec<Link>,
+}
+
+/// Picks the node closest to the bounding-box center — a cheap
+/// centroid that keeps tree depth `O(diameter)`.
+pub fn centroid_root(instance: &Instance) -> NodeId {
+    let c = instance.bounding_box().center();
+    (0..instance.len())
+        .min_by(|&a, &b| {
+            instance
+                .position(a)
+                .distance_sq(c)
+                .partial_cmp(&instance.position(b).distance_sq(c))
+                .expect("finite coordinates")
+        })
+        .expect("instances are non-empty")
+}
+
+/// Builds the MST bi-tree under `power`, packing aggregation links
+/// greedily in leaf-to-root order with a per-node slot floor, so each
+/// link lands strictly after every link of its sender's subtree — the
+/// bi-tree ordering holds by construction and every slot is feasible.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use sinr_baselines::mst::{centroid_root, mst_bitree};
+/// use sinr_geom::gen;
+/// use sinr_phy::{PowerAssignment, SinrParams};
+///
+/// let params = SinrParams::default();
+/// let inst = gen::uniform_square(24, 1.5, 1)?;
+/// let power = PowerAssignment::mean_with_margin(&params, inst.delta());
+/// let base = mst_bitree(&params, &inst, centroid_root(&inst), &power);
+/// assert!(base.unschedulable.is_empty());
+/// assert_eq!(base.schedule.links().len(), inst.len() - 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mst_bitree(
+    params: &SinrParams,
+    instance: &Instance,
+    root: NodeId,
+    power: &PowerAssignment,
+) -> MstBaseline {
+    let parents = sinr_geom::mst::mst_parent_array(instance, root);
+    let tree = InTree::from_parents(parents).expect("MST orientation is a valid in-tree");
+
+    let mut slots: Vec<LinkSet> = Vec::new();
+    let mut schedule = Schedule::new();
+    let mut unschedulable = Vec::new();
+    // floor[v] = earliest slot at which v's own uplink may fire: one
+    // past the latest slot of any link already received by v.
+    let mut floor = vec![0usize; instance.len()];
+
+    'links: for u in tree.leaf_to_root_order() {
+        let Some(p) = tree.parent(u) else { continue };
+        let link = Link::new(u, p);
+        let alone: LinkSet = std::iter::once(link).collect();
+        if !feasibility::is_feasible(params, instance, &alone, power) {
+            unschedulable.push(link);
+            continue;
+        }
+        let mut s = floor[u];
+        loop {
+            while slots.len() <= s {
+                slots.push(LinkSet::new());
+            }
+            let mut candidate = slots[s].clone();
+            candidate.insert(link);
+            if feasibility::is_feasible(params, instance, &candidate, power) {
+                slots[s] = candidate;
+                schedule.assign(link, s);
+                floor[p] = floor[p].max(s + 1);
+                continue 'links;
+            }
+            s += 1;
+        }
+    }
+    schedule.compact();
+
+    let bitree = BiTree::new(tree.clone(), schedule.clone())
+        .expect("leaf-to-root packing with floors yields a valid aggregation order");
+    MstBaseline { tree, bitree, schedule, power: power.clone(), unschedulable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::gen;
+
+    fn params() -> SinrParams {
+        SinrParams::default()
+    }
+
+    #[test]
+    fn centroid_is_central() {
+        let inst = gen::line(9).unwrap();
+        assert_eq!(centroid_root(&inst), 4);
+    }
+
+    #[test]
+    fn mst_bitree_is_valid_under_each_power() {
+        let p = params();
+        let inst = gen::uniform_square(36, 1.5, 14).unwrap();
+        let root = centroid_root(&inst);
+        for power in [
+            PowerAssignment::uniform_with_margin(&p, inst.delta()),
+            PowerAssignment::mean_with_margin(&p, inst.delta()),
+            PowerAssignment::linear_with_margin(&p),
+        ] {
+            let base = mst_bitree(&p, &inst, root, &power);
+            assert!(base.unschedulable.is_empty());
+            assert_eq!(base.schedule.links().len(), inst.len() - 1);
+            feasibility::validate_schedule(&p, &inst, &base.schedule, &power).unwrap();
+            assert_eq!(base.bitree.num_slots(), base.schedule.num_slots());
+        }
+    }
+
+    #[test]
+    fn single_node_mst() {
+        let p = params();
+        let inst = gen::line(1).unwrap();
+        let power = PowerAssignment::uniform(1.0);
+        let base = mst_bitree(&p, &inst, 0, &power);
+        assert_eq!(base.schedule.num_slots(), 0);
+        assert_eq!(base.tree.root(), 0);
+    }
+
+    #[test]
+    fn schedule_at_least_tree_height() {
+        // Ordering forces one slot per level along the deepest path.
+        let p = params();
+        let inst = gen::line(8).unwrap();
+        let base = mst_bitree(
+            &p,
+            &inst,
+            0,
+            &PowerAssignment::mean_with_margin(&p, inst.delta()),
+        );
+        assert!(base.schedule.num_slots() >= base.tree.height());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = params();
+        let inst = gen::uniform_square(30, 1.5, 9).unwrap();
+        let power = PowerAssignment::mean_with_margin(&p, inst.delta());
+        let a = mst_bitree(&p, &inst, centroid_root(&inst), &power);
+        let b = mst_bitree(&p, &inst, centroid_root(&inst), &power);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

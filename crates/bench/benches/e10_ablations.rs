@@ -1,0 +1,49 @@
+//! E10 bench — ablation kernels: `Init` across broadcast probabilities
+//! and `Distr-Cap` across probe-repetition budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::Family;
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::selector::{DistrCapConfig, DistrCapSelector};
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::SinrParams;
+
+fn bench_ablations(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let inst = Family::UniformSquare.instance(64, 61);
+
+    let mut group = c.benchmark_group("e10_init_p");
+    group.sample_size(10);
+    for p in [0.05f64, 0.1, 0.3] {
+        let cfg = InitConfig { p, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(p), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_init(&params, &inst, cfg, seed).expect("init converges")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e10_distrcap_repeats");
+    group.sample_size(10);
+    for reps in [1u32, 4, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(reps), &reps, |b, &reps| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sel = DistrCapSelector::new(DistrCapConfig {
+                    class_repeats: reps,
+                    ..Default::default()
+                });
+                tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed)
+                    .expect("tvc converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E1 bench — Theorem 2 kernel: one full `Init` run (tree construction
+//! through the simulated SINR channel), swept over `n` and over `Δ`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::{delta_sweep, Family};
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_phy::SinrParams;
+
+fn bench_init(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let cfg = InitConfig::default();
+
+    let mut group = c.benchmark_group("e1_init_vs_n");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let inst = Family::UniformSquare.instance(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_init(&params, inst, &cfg, seed).expect("init converges")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1_init_vs_delta");
+    group.sample_size(10);
+    for (growth, inst) in delta_sweep(16, 7) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("growth_{growth}")),
+            &inst,
+            |b, inst| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_init(&params, inst, &cfg, seed).expect("init converges")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 bench — Theorem 7 kernel: degree statistics of `Init` trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::Family;
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_links::degree::DegreeStats;
+use sinr_phy::SinrParams;
+
+fn bench_degree(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("e2_degree_stats");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let inst = Family::UniformSquare.instance(n, 11);
+        let out = run_init(&params, &inst, &InitConfig::default(), 3).expect("init");
+        let links = out.tree.aggregation_links();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &links, |b, links| {
+            b.iter(|| {
+                let stats = DegreeStats::of(links);
+                (stats.max, stats.tail(4))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree);
+criterion_main!(benches);

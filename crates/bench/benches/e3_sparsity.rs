@@ -1,0 +1,29 @@
+//! E3 bench — Theorem 11/13 kernel: ψ-sparsity measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::Family;
+use sinr_links::{sparsity, Link, LinkSet};
+
+fn bench_sparsity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_sparsity_lower_bound");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let inst = Family::UniformSquare.instance(n, 5);
+        let links: LinkSet = sinr_geom::mst::mst_parent_array(&inst, 0)
+            .iter()
+            .enumerate()
+            .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links),
+            |b, (inst, links)| {
+                b.iter(|| sparsity::sparsity_lower_bound(inst, links));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsity);
+criterion_main!(benches);

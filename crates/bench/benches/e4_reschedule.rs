@@ -1,0 +1,77 @@
+//! E4 bench — Theorem 3 kernel: distributed contention-resolution
+//! rescheduling of a tree under mean power, vs centralized first-fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_baselines::first_fit::{first_fit_schedule, FirstFitOrder};
+use sinr_bench::workloads::Family;
+use sinr_connectivity::contention::{schedule_distributed, ContentionConfig};
+use sinr_links::{Link, LinkSet};
+use sinr_phy::{PowerAssignment, SinrParams};
+
+fn tree_links(n: usize, seed: u64) -> (sinr_geom::Instance, LinkSet) {
+    let inst = Family::UniformSquare.instance(n, seed);
+    let links: LinkSet = sinr_geom::mst::mst_parent_array(&inst, 0)
+        .iter()
+        .enumerate()
+        .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
+        .collect();
+    (inst, links)
+}
+
+fn bench_reschedule(c: &mut Criterion) {
+    let params = SinrParams::default();
+
+    let mut group = c.benchmark_group("e4_distributed_contention");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let (inst, links) = tree_links(n, 3);
+        let power = PowerAssignment::mean_with_margin(&params, inst.delta());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links, power),
+            |b, (inst, links, power)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    schedule_distributed(
+                        &params,
+                        inst,
+                        links,
+                        power,
+                        &ContentionConfig::default(),
+                        seed,
+                    )
+                    .expect("contention converges")
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e4_centralized_first_fit");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let (inst, links) = tree_links(n, 3);
+        let power = PowerAssignment::mean_with_margin(&params, inst.delta());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links, power),
+            |b, (inst, links, power)| {
+                b.iter(|| {
+                    first_fit_schedule(
+                        &params,
+                        inst,
+                        links,
+                        power,
+                        FirstFitOrder::AscendingLength,
+                        |_| 0,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reschedule);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 bench — Theorem 21 kernel: `TreeViaCapacity` with `Distr-Cap`
+//! and Foschini–Miljanic power control, end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::Family;
+use sinr_connectivity::selector::DistrCapSelector;
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::SinrParams;
+
+fn bench_tvc_arbitrary(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("e6_tvc_arbitrary");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let inst = Family::UniformSquare.instance(n, 22);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sel = DistrCapSelector::default();
+                tree_via_capacity(&params, inst, &TvcConfig::default(), &mut sel, seed)
+                    .expect("tvc converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tvc_arbitrary);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E7 bench — §4 kernel: the centralized comparators (MST bi-tree
+//! first-fit packing, length-class scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_baselines::length_class::length_class_schedule;
+use sinr_baselines::mst::{centroid_root, mst_bitree};
+use sinr_bench::workloads::Family;
+use sinr_links::{Link, LinkSet};
+use sinr_phy::{PowerAssignment, SinrParams};
+
+fn bench_baselines(c: &mut Criterion) {
+    let params = SinrParams::default();
+
+    let mut group = c.benchmark_group("e7_mst_bitree");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let inst = Family::UniformSquare.instance(n, 31);
+        let power = PowerAssignment::mean_with_margin(&params, inst.delta());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, power),
+            |b, (inst, power)| {
+                b.iter(|| mst_bitree(&params, inst, centroid_root(inst), power));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e7_length_class");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let inst = Family::ExponentialChain.instance(n, 31);
+        let links: LinkSet = sinr_geom::mst::mst_parent_array(&inst, 0)
+            .iter()
+            .enumerate()
+            .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links),
+            |b, (inst, links)| {
+                b.iter(|| length_class_schedule(&params, inst, links));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E8 bench — Definition 1 kernel: replaying bi-tree schedules against
+//! the SINR channel (converge-cast + broadcast audit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workloads::Family;
+use sinr_connectivity::latency::audit_bitree;
+use sinr_connectivity::selector::MeanSamplingSelector;
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::SinrParams;
+
+fn bench_latency(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("e8_bitree_audit");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let inst = Family::UniformSquare.instance(n, 41);
+        let mut sel = MeanSamplingSelector::default();
+        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 5)
+            .expect("tvc converges");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, out),
+            |b, (inst, out)| {
+                b.iter(|| audit_bitree(&params, inst, &out.bitree, &out.power).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

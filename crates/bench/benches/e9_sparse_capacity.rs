@@ -1,0 +1,56 @@
+//! E9 bench — Theorem 9 kernel: Kesselheim greedy capacity with power
+//! completion, and q-independence partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_baselines::capacity::greedy_capacity;
+use sinr_bench::workloads::Family;
+use sinr_connectivity::power_control::PowerControlConfig;
+use sinr_links::{independence, Link, LinkSet};
+use sinr_phy::SinrParams;
+
+fn mst_links(inst: &sinr_geom::Instance) -> LinkSet {
+    sinr_geom::mst::mst_parent_array(inst, 0)
+        .iter()
+        .enumerate()
+        .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
+        .collect()
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let params = SinrParams::default();
+
+    let mut group = c.benchmark_group("e9_greedy_capacity");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let inst = Family::UniformSquare.instance(n, 51);
+        let links = mst_links(&inst);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links),
+            |b, (inst, links)| {
+                b.iter(|| {
+                    greedy_capacity(&params, inst, links, 0.5, &PowerControlConfig::default())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e9_q_independence_partition");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let inst = Family::UniformSquare.instance(n, 51);
+        let links = mst_links(&inst);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(inst, links),
+            |b, (inst, links)| {
+                b.iter(|| independence::partition_q_independent(inst, links, 1.0));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity);
+criterion_main!(benches);

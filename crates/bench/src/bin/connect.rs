@@ -1,0 +1,179 @@
+//! `connect` — a small CLI around the library: generate an instance,
+//! run a strategy, print the structure, optionally export link/schedule
+//! CSVs.
+//!
+//! ```text
+//! cargo run --release -p sinr-bench --bin connect -- \
+//!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
+//!     [--export target/connect]
+//! ```
+
+use std::path::PathBuf;
+
+use sinr_bench::workloads::Family;
+use sinr_connectivity::{connect, Strategy};
+use sinr_phy::{feasibility, SinrParams};
+
+struct Args {
+    family: Family,
+    n: usize,
+    strategy: Strategy,
+    seed: u64,
+    export: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut family = Family::UniformSquare;
+    let mut n = 64usize;
+    let mut strategy = Strategy::TvcArbitrary;
+    let mut seed = 0u64;
+    let mut export = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--family" => {
+                family = match val(i)?.as_str() {
+                    "uniform" => Family::UniformSquare,
+                    "clustered" => Family::Clustered,
+                    "lattice" => Family::Lattice,
+                    "exp-chain" => Family::ExponentialChain,
+                    other => return Err(format!("unknown family `{other}`")),
+                };
+                i += 2;
+            }
+            "--n" => {
+                n = val(i)?.parse().map_err(|e| format!("--n: {e}"))?;
+                i += 2;
+            }
+            "--strategy" => {
+                strategy = match val(i)?.as_str() {
+                    "init-only" => Strategy::InitOnly,
+                    "mean-reschedule" => Strategy::MeanReschedule,
+                    "tvc-mean" => Strategy::TvcMean,
+                    "tvc-arbitrary" => Strategy::TvcArbitrary,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = val(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--export" => {
+                export = Some(PathBuf::from(val(i)?));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err("usage: connect --family uniform|clustered|lattice|exp-chain \
+                            --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
+                            tvc-arbitrary --seed <u64> [--export <dir>]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(Args { family, n, strategy, seed, export })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let params = SinrParams::default();
+    let instance = args.family.instance(args.n, args.seed);
+    println!(
+        "instance: family={} n={} Δ={:.2} classes={}",
+        args.family.label(),
+        instance.len(),
+        instance.delta(),
+        instance.num_length_classes()
+    );
+
+    let result = match connect(&params, &instance, args.strategy, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("connectivity failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("strategy: {}", result.strategy);
+    println!("links:    {}", result.tree_links.len());
+    println!("schedule: {} slots", result.schedule_len);
+    println!("runtime:  {} slots", result.runtime_slots);
+
+    match feasibility::validate_schedule(
+        &params,
+        &instance,
+        &result.aggregation_schedule,
+        &result.power,
+    ) {
+        Ok(()) => println!("validated: every slot SINR-feasible"),
+        Err(e) => {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(dir) = args.export {
+        if let Err(e) = export_csvs(&dir, &instance, &result) {
+            eprintln!("export failed: {e}");
+            std::process::exit(1);
+        }
+        let svg = sinr_links::svg::render(
+            &instance,
+            Some(&result.tree_links),
+            Some(&result.aggregation_schedule),
+            &sinr_links::svg::SvgOptions::default(),
+        );
+        if let Err(e) = std::fs::write(dir.join("network.svg"), svg) {
+            eprintln!("svg export failed: {e}");
+            std::process::exit(1);
+        }
+        println!("exported: {}/{{nodes,links}}.csv + network.svg", dir.display());
+    }
+}
+
+fn export_csvs(
+    dir: &std::path::Path,
+    instance: &sinr_geom::Instance,
+    result: &sinr_connectivity::ConnectivityResult,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(dir)?;
+
+    let mut nodes = String::from("node,x,y\n");
+    for (id, p) in instance.iter() {
+        let _ = writeln!(nodes, "{id},{},{}", p.x, p.y);
+    }
+    std::fs::write(dir.join("nodes.csv"), nodes)?;
+
+    let mut links = String::from("sender,receiver,length,slot\n");
+    for l in result.tree_links.iter() {
+        let _ = writeln!(
+            links,
+            "{},{},{},{}",
+            l.sender,
+            l.receiver,
+            l.length(instance),
+            result
+                .aggregation_schedule
+                .slot_of(l)
+                .map(|s| s.to_string())
+                .unwrap_or_default()
+        );
+    }
+    std::fs::write(dir.join("links.csv"), links)?;
+    Ok(())
+}

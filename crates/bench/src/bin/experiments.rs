@@ -1,0 +1,56 @@
+//! Experiment runner: regenerates every quantitative claim of the
+//! paper as a set of tables, and writes CSVs next to the text output.
+//!
+//! ```text
+//! cargo run --release -p sinr-bench --bin experiments            # all
+//! cargo run --release -p sinr-bench --bin experiments -- e1 e5   # subset
+//! cargo run --release -p sinr-bench --bin experiments -- --quick # CI-sized
+//! ```
+
+use std::path::PathBuf;
+
+use sinr_bench::experiments::ALL;
+use sinr_bench::ExpOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let wanted: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && !a.parse::<u64>().is_ok()).collect();
+
+    let opts = ExpOptions { quick, seed };
+    let out_dir = PathBuf::from("target/experiments");
+
+    let mut ran = 0;
+    for exp in ALL {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == exp.id) {
+            continue;
+        }
+        ran += 1;
+        println!("\n######## {} — {} ########", exp.id.to_uppercase(), exp.what);
+        let start = std::time::Instant::now();
+        let tables = (exp.run)(&opts);
+        for table in &tables {
+            print!("\n{}", table.render());
+            match table.save_csv(&out_dir) {
+                Ok(path) => println!("  [csv] {}", path.display()),
+                Err(e) => eprintln!("  [csv] write failed: {e}"),
+            }
+        }
+        println!("  [time] {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    if ran == 0 {
+        eprintln!("no experiment matched; known ids:");
+        for exp in ALL {
+            eprintln!("  {} — {}", exp.id, exp.what);
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,164 @@
+//! E10 — ablations of the design choices documented in DESIGN.md §5:
+//!
+//! - `p` (broadcast probability): the protocol's contention/progress
+//!   trade-off — too low wastes slots idle, too high wastes them
+//!   colliding;
+//! - `accept_shorter`: the widened round window that keeps practical
+//!   runs connectable (the paper's strict window relies on w.h.p.
+//!   invariants that fail at practical constants);
+//! - `class_repeats` (Distr-Cap): per-class probe repetitions that
+//!   realize the paper's constant-fraction selection with practical
+//!   sampling probabilities;
+//! - `degree_cap` ρ: Theorem 13's trade-off between the capped
+//!   subtree's sparsity and the fraction of links kept.
+
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::selector::{DistrCapConfig, DistrCapSelector};
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::SinrParams;
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E10 and returns one table per ablated knob.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+    let n = if opts.quick { 64 } else { 128 };
+
+    // ---- E10a: broadcast probability p -----------------------------
+    let mut t1 = Table::new(
+        "E10a: Init broadcast probability p",
+        "slots fall steeply from p = 0.02 and plateau by p ≈ 0.2; the validated \
+         domain caps p at 0.5 (broadcaster/listener split), before collisions bite",
+        &["p", "init slots", "failures"],
+    );
+    for p in [0.02, 0.05, 0.1, 0.2, 0.35, 0.5] {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
+            let cfg = InitConfig { p, ..Default::default() };
+            match run_init(&params, &inst, &cfg, opts.seed.wrapping_add(1000 + t)) {
+                Ok(out) => (out.run.slots_used as f64, 0.0),
+                Err(_) => (f64::NAN, 1.0),
+            }
+        });
+        let ok: Vec<f64> = rows.iter().map(|r| r.0).filter(|x| x.is_finite()).collect();
+        t1.push_row(vec![
+            f2(p),
+            f2(mean(&ok)),
+            f2(rows.iter().map(|r| r.1).sum::<f64>()),
+        ]);
+    }
+
+    // ---- E10b: the widened acceptance window ------------------------
+    let mut t2 = Table::new(
+        "E10b: accept_shorter window (DESIGN.md substitution 2)",
+        "strict paper window at practical constants risks non-convergence; widened never fails",
+        &["accept_shorter", "converged", "failed", "mean slots (converged)"],
+    );
+    for accept in [true, false] {
+        let jobs: Vec<u64> = (0..opts.trials() * 2).collect();
+        let rows = parallel_map(jobs, |t| {
+            let inst = Family::ExponentialChain.instance(24, opts.seed.wrapping_add(t));
+            let cfg = InitConfig {
+                accept_shorter: accept,
+                // Keep the budget modest so failures surface rather than
+                // being papered over by extra rounds.
+                extra_rounds_cap: 8,
+                ..Default::default()
+            };
+            match run_init(&params, &inst, &cfg, opts.seed.wrapping_add(2000 + t)) {
+                Ok(out) => (1.0, out.run.slots_used as f64),
+                Err(_) => (0.0, f64::NAN),
+            }
+        });
+        let converged = rows.iter().map(|r| r.0).sum::<f64>();
+        let ok: Vec<f64> = rows.iter().map(|r| r.1).filter(|x| x.is_finite()).collect();
+        t2.push_row(vec![
+            accept.to_string(),
+            f2(converged),
+            f2(rows.len() as f64 - converged),
+            f2(mean(&ok)),
+        ]);
+    }
+
+    // ---- E10c: Distr-Cap class_repeats ------------------------------
+    let mut t3 = Table::new(
+        "E10c: Distr-Cap probe repetitions per length class",
+        "more repetitions → fewer TVC iterations and shorter schedules, at more protocol slots",
+        &["class_repeats", "schedule slots", "iterations", "selection slots"],
+    );
+    for reps in [1u32, 2, 4, 10] {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
+            let mut sel = DistrCapSelector::new(DistrCapConfig {
+                class_repeats: reps,
+                ..Default::default()
+            });
+            let out = tree_via_capacity(
+                &params,
+                &inst,
+                &TvcConfig::default(),
+                &mut sel,
+                opts.seed.wrapping_add(3000 + t),
+            )
+            .expect("tvc converges");
+            let selection: u64 = out.trace.iter().map(|i| i.selection_slots).sum();
+            (out.schedule_len() as f64, out.iterations as f64, selection as f64)
+        });
+        t3.push_row(vec![
+            reps.to_string(),
+            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+        ]);
+    }
+
+    // ---- E10d: degree cap ρ -----------------------------------------
+    let mut t4 = Table::new(
+        "E10d: degree cap rho (Theorem 13 trade-off)",
+        "small ρ prunes more links (slower TVC) without helping the already-low sparsity",
+        &["rho", "schedule slots", "iterations"],
+    );
+    for rho in [2usize, 4, 8, 64] {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
+            let mut sel = DistrCapSelector::default();
+            let cfg = TvcConfig { degree_cap: rho, ..Default::default() };
+            let out = tree_via_capacity(
+                &params,
+                &inst,
+                &cfg,
+                &mut sel,
+                opts.seed.wrapping_add(4000 + t),
+            )
+            .expect("tvc converges");
+            (out.schedule_len() as f64, out.iterations as f64)
+        });
+        t4.push_row(vec![
+            rho.to_string(),
+            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+        ]);
+    }
+
+    vec![t1, t2, t3, t4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_four_tables() {
+        let opts = ExpOptions { quick: true, seed: 10 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert!(!t.rows.is_empty());
+        }
+    }
+}

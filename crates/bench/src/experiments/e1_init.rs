@@ -1,0 +1,95 @@
+//! E1 — Theorem 2: `Init` builds a bi-tree in `O(log Δ · log n)` slots.
+//!
+//! Table E1a sweeps `n` on uniform and clustered deployments; the
+//! normalized column `slots / (log Δ · log n)` should stay roughly flat
+//! if the bound's shape holds. Table E1b fixes `n` and sweeps `Δ`
+//! through exponential chains; slots should grow linearly in `log Δ`.
+
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_phy::SinrParams;
+
+use crate::table::{f2, Table};
+use crate::workloads::{delta_sweep, Family};
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E1 and returns tables E1a and E1b.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+    let cfg = InitConfig::default();
+
+    // ---- E1a: slots vs n ------------------------------------------
+    let mut t1 = Table::new(
+        "E1a: Init slots vs n",
+        "slots = O(log Δ · log n): the normalized column stays ~flat",
+        &["family", "n", "logΔ", "slots", "rounds", "slots/(logΔ·log n)"],
+    );
+    for family in [Family::UniformSquare, Family::Clustered] {
+        for &n in opts.sizes() {
+            let jobs: Vec<u64> = (0..opts.trials()).collect();
+            let results = parallel_map(jobs, |t| {
+                let inst = family.instance(n, opts.seed.wrapping_add(t));
+                let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(100 + t))
+                    .expect("init converges");
+                let log_delta = inst.delta().log2().max(1.0);
+                let log_n = (inst.len() as f64).log2();
+                (
+                    out.run.slots_used as f64,
+                    out.run.rounds_used as f64,
+                    out.run.slots_used as f64 / (log_delta * log_n),
+                    log_delta,
+                )
+            });
+            let slots: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let rounds: Vec<f64> = results.iter().map(|r| r.1).collect();
+            let norm: Vec<f64> = results.iter().map(|r| r.2).collect();
+            let logd: Vec<f64> = results.iter().map(|r| r.3).collect();
+            t1.push_row(vec![
+                family.label().into(),
+                n.to_string(),
+                f2(mean(&logd)),
+                f2(mean(&slots)),
+                f2(mean(&rounds)),
+                f2(mean(&norm)),
+            ]);
+        }
+    }
+
+    // ---- E1b: slots vs Δ at fixed n --------------------------------
+    let n = if opts.quick { 16 } else { 24 };
+    let mut t2 = Table::new(
+        "E1b: Init slots vs Delta (exponential chains, fixed n)",
+        "slots grow ~linearly in log Δ at fixed n",
+        &["growth", "logΔ", "slots", "slots/logΔ"],
+    );
+    for (growth, inst) in delta_sweep(n, opts.seed) {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let results = parallel_map(jobs, |t| {
+            let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(t))
+                .expect("init converges");
+            out.run.slots_used as f64
+        });
+        let log_delta = inst.delta().log2().max(1.0);
+        t2.push_row(vec![
+            f2(growth),
+            f2(log_delta),
+            f2(mean(&results)),
+            f2(mean(&results) / log_delta),
+        ]);
+    }
+
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables() {
+        let opts = ExpOptions { quick: true, seed: 1 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].rows.is_empty());
+        assert!(!tables[1].rows.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! E2 — Theorem 7: the `Init` tree's degree tail is exponential,
+//! `P(deg ≥ d) ≤ e^{−p²d/8}`, so the maximum degree is `O(log n)`.
+//!
+//! Table E2a reports max/mean degree vs `n` (max should grow at most
+//! logarithmically); E2b compares the measured tail against the
+//! theorem's bound at the configured `p` (the bound is loose — the
+//! shape to check is *exponential decay*).
+
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_links::degree::DegreeStats;
+use sinr_phy::SinrParams;
+
+use crate::table::{f2, f3, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E2 and returns tables E2a and E2b.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+    let cfg = InitConfig::default();
+
+    let mut t1 = Table::new(
+        "E2a: Init tree degrees vs n",
+        "max degree = O(log n); mean degree < 2 + o(1) on trees",
+        &["n", "log n", "max deg (mean over seeds)", "max deg (worst)", "mean deg"],
+    );
+    let mut tails: Vec<DegreeStats> = Vec::new();
+    for &n in opts.sizes() {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let stats = parallel_map(jobs, |t| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
+            let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(31 + t))
+                .expect("init converges");
+            DegreeStats::of(&out.tree.aggregation_links())
+        });
+        let maxes: Vec<f64> = stats.iter().map(|s| s.max as f64).collect();
+        let means: Vec<f64> = stats.iter().map(|s| s.mean).collect();
+        t1.push_row(vec![
+            n.to_string(),
+            f2((n as f64).log2()),
+            f2(mean(&maxes)),
+            f2(crate::max(&maxes)),
+            f2(mean(&means)),
+        ]);
+        tails.extend(stats);
+    }
+
+    // E2b: pooled tail over the largest size's runs.
+    let p = cfg.p;
+    let mut t2 = Table::new(
+        "E2b: degree tail P(deg >= d), pooled over all runs",
+        "exponential decay; Thm 7 bound e^{-p^2 d/8} is a (loose) ceiling",
+        &["d", "measured P(deg>=d)", "Thm 7 bound"],
+    );
+    let pooled_nodes: usize = tails.iter().map(|s| s.nodes).sum();
+    let max_d = tails.iter().map(|s| s.max).max().unwrap_or(0);
+    for d in 1..=max_d {
+        let at_least: f64 = tails
+            .iter()
+            .map(|s| s.tail(d) * s.nodes as f64)
+            .sum::<f64>()
+            / pooled_nodes.max(1) as f64;
+        t2.push_row(vec![
+            d.to_string(),
+            f3(at_least),
+            f3(DegreeStats::theorem7_bound(p, d)),
+        ]);
+    }
+
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables() {
+        let opts = ExpOptions { quick: true, seed: 2 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].rows.is_empty());
+        // Tail at d=1 is 1.0 (every incident node has degree ≥ 1).
+        assert_eq!(tables[1].rows[0][1], "1.000");
+    }
+}

@@ -1,0 +1,91 @@
+//! E3 — Theorems 11 & 13: the `Init` tree is `O(log n)`-sparse and its
+//! degree-capped subtree `T(M)` is `O(1)`-sparse while keeping a
+//! constant fraction of the links.
+
+use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_links::{sparsity, LinkSet};
+use sinr_phy::SinrParams;
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E3, reporting the degree-capped subtree at two caps (the TVC
+/// default ρ = 8 and an aggressive ρ = 4 that actually prunes).
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+    let cfg = InitConfig::default();
+
+    let mut t = Table::new(
+        "E3: sparsity of the Init tree and its degree-capped subtree",
+        "ψ(T) = O(log n) (Thm 11); ψ(T(M)) = O(1) and |T(M)|/|T| = Ω(1) (Thm 13)",
+        &[
+            "n",
+            "log n",
+            "ψ(T) lower",
+            "ψ(T) upper",
+            "ψ(T(M,8))",
+            "|T(M,8)|/|T|",
+            "ψ(T(M,4))",
+            "|T(M,4)|/|T|",
+        ],
+    );
+
+    for &n in opts.sizes() {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |seed_off| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(seed_off));
+            let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(7 + seed_off))
+                .expect("init converges");
+            let links = out.tree.aggregation_links();
+            let lo = sparsity::sparsity_lower_bound(&inst, &links) as f64;
+            let hi = sparsity::sparsity_upper_bound(&inst, &links) as f64;
+
+            let degrees = links.degrees();
+            let capped = |cap: usize| -> (f64, f64) {
+                let sub: LinkSet = links
+                    .iter()
+                    .filter(|l| {
+                        degrees.get(&l.sender).copied().unwrap_or(0) <= cap
+                            && degrees.get(&l.receiver).copied().unwrap_or(0) <= cap
+                    })
+                    .collect();
+                (
+                    sparsity::sparsity_lower_bound(&inst, &sub) as f64,
+                    sub.len() as f64 / links.len().max(1) as f64,
+                )
+            };
+            let (psi8, frac8) = capped(8);
+            let (psi4, frac4) = capped(4);
+            (lo, hi, psi8, frac8, psi4, frac4)
+        });
+        t.push_row(vec![
+            n.to_string(),
+            f2((n as f64).log2()),
+            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.5).collect::<Vec<_>>())),
+        ]);
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let opts = ExpOptions { quick: true, seed: 3 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), opts.sizes().len());
+        // The capped fraction should be substantial (> 0.5 in practice).
+        let frac: f64 = tables[0].rows[0][5].parse().unwrap();
+        assert!(frac > 0.3, "degree cap removed too much: {frac}");
+    }
+}

@@ -1,0 +1,81 @@
+//! E5 — Theorem 16: `TreeViaCapacity` with the mean-power sampling
+//! selector schedules a bi-tree in `O(Υ·log n)` slots, converging in
+//! `O(Υ·log Δ·log² n)` distributed time.
+
+use sinr_connectivity::selector::MeanSamplingSelector;
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::{upsilon, SinrParams};
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E5.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+
+    let mut t = Table::new(
+        "E5: TreeViaCapacity with mean power (Thm 16)",
+        "schedule = O(Υ·log n) slots: normalized column ~flat; runtime = O(Υ·logΔ·log² n)",
+        &[
+            "family",
+            "n",
+            "Υ",
+            "schedule slots",
+            "slots/(Υ·log n)",
+            "iterations",
+            "runtime slots",
+        ],
+    );
+
+    for family in [Family::UniformSquare, Family::Clustered] {
+        for &n in opts.sizes() {
+            let jobs: Vec<u64> = (0..opts.trials()).collect();
+            let rows = parallel_map(jobs, |t_off| {
+                let inst = family.instance(n, opts.seed.wrapping_add(t_off));
+                let mut sel = MeanSamplingSelector::default();
+                let out = tree_via_capacity(
+                    &params,
+                    &inst,
+                    &TvcConfig::default(),
+                    &mut sel,
+                    opts.seed.wrapping_add(500 + t_off),
+                )
+                .expect("tvc converges");
+                let ups = upsilon(inst.len(), inst.delta());
+                let log_n = (inst.len() as f64).log2();
+                (
+                    ups,
+                    out.schedule_len() as f64,
+                    out.schedule_len() as f64 / (ups * log_n),
+                    out.iterations as f64,
+                    out.runtime_slots as f64,
+                )
+            });
+            t.push_row(vec![
+                family.label().into(),
+                n.to_string(),
+                f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+                f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+                f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+                f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
+                f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
+            ]);
+        }
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let opts = ExpOptions { quick: true, seed: 5 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2 * opts.sizes().len());
+    }
+}

@@ -1,0 +1,110 @@
+//! E7 — §4 synthesis: the distributed pipelines match the shape of the
+//! centralized state of the art. One table, head to head:
+//!
+//! - the four distributed strategies of the paper;
+//! - the centralized MST bi-tree under uniform / mean / linear power;
+//! - the length-class (uniform-power, \[21\]-style) baseline.
+
+use sinr_baselines::length_class::length_class_schedule;
+use sinr_baselines::mst::{centroid_root, mst_bitree};
+use sinr_connectivity::{connect, Strategy};
+use sinr_phy::{PowerAssignment, SinrParams};
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E7.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+    let n = if opts.quick { 64 } else { 192 };
+
+    let mut t = Table::new(
+        "E7: schedule length, distributed vs centralized",
+        "within distributed: tvc-arbitrary < tvc-mean < reschedule < init-only; \
+         centralized packings lower-bound their distributed counterparts",
+        &["method", "kind", "power", "schedule slots", "runtime slots"],
+    );
+
+    // Distributed strategies.
+    for strategy in Strategy::ALL {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t_off| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
+            let r = connect(&params, &inst, strategy, opts.seed.wrapping_add(700 + t_off))
+                .expect("strategy converges");
+            (r.schedule_len as f64, r.runtime_slots as f64)
+        });
+        let power_name = match strategy {
+            Strategy::InitOnly => "uniform/round",
+            Strategy::MeanReschedule | Strategy::TvcMean => "mean",
+            Strategy::TvcArbitrary => "arbitrary",
+        };
+        t.push_row(vec![
+            strategy.label().into(),
+            "distributed".into(),
+            power_name.into(),
+            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+        ]);
+    }
+
+    // Centralized MST baselines.
+    let powers: [(&str, fn(&SinrParams, f64) -> PowerAssignment); 3] = [
+        ("uniform", |p, d| PowerAssignment::uniform_with_margin(p, d)),
+        ("mean", |p, d| PowerAssignment::mean_with_margin(p, d)),
+        ("linear", |p, _| PowerAssignment::linear_with_margin(p)),
+    ];
+    for (name, make_power) in powers {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t_off| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
+            let power = make_power(&params, inst.delta());
+            let base = mst_bitree(&params, &inst, centroid_root(&inst), &power);
+            base.schedule.num_slots() as f64
+        });
+        t.push_row(vec![
+            "mst-first-fit".into(),
+            "centralized".into(),
+            name.into(),
+            f2(mean(&rows)),
+            "-".into(),
+        ]);
+    }
+
+    // Length-class (uniform power, serialized classes).
+    let jobs: Vec<u64> = (0..opts.trials()).collect();
+    let rows = parallel_map(jobs, |t_off| {
+        let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
+        let links: sinr_links::LinkSet = sinr_geom::mst::mst_parent_array(&inst, 0)
+            .iter()
+            .enumerate()
+            .filter_map(|(u, p)| p.map(|v| sinr_links::Link::new(u, v)))
+            .collect();
+        let out = length_class_schedule(&params, &inst, &links);
+        out.schedule.num_slots() as f64
+    });
+    t.push_row(vec![
+        "length-class".into(),
+        "centralized".into(),
+        "uniform/class".into(),
+        f2(mean(&rows)),
+        "-".into(),
+    ]);
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_full_table() {
+        let opts = ExpOptions { quick: true, seed: 7 };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 1);
+        // 4 distributed + 3 MST + 1 length-class rows.
+        assert_eq!(tables[0].rows.len(), 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! E8 — Definition 1 / §4: a bi-tree completes a converge-cast and a
+//! broadcast in one schedule pass each, and any pairwise message within
+//! two passes — all `O(log n)` slots for the Theorem-21 trees. The
+//! passes are *replayed against the SINR channel* with the actual
+//! powers, not just read off the data structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinr_connectivity::latency::audit_bitree;
+use sinr_connectivity::selector::DistrCapSelector;
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_phy::SinrParams;
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::{mean, parallel_map, ExpOptions};
+
+/// Runs E8.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+
+    let mut t = Table::new(
+        "E8: bi-tree latency (replayed against the SINR channel)",
+        "convergecast = broadcast = schedule length; pairwise ≤ 2× schedule; all O(log n)",
+        &[
+            "n",
+            "log n",
+            "schedule slots",
+            "convergecast ok",
+            "broadcast ok",
+            "max pairwise (sampled)",
+            "2×schedule bound",
+        ],
+    );
+
+    for &n in opts.sizes() {
+        let jobs: Vec<u64> = (0..opts.trials()).collect();
+        let rows = parallel_map(jobs, |t_off| {
+            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
+            let mut sel = DistrCapSelector::default();
+            let out = tree_via_capacity(
+                &params,
+                &inst,
+                &TvcConfig::default(),
+                &mut sel,
+                opts.seed.wrapping_add(800 + t_off),
+            )
+            .expect("tvc converges");
+            let (up, down) =
+                audit_bitree(&params, &inst, &out.bitree, &out.power).expect("audit passes");
+
+            // Sample random pairs for the pairwise bound.
+            let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(900 + t_off));
+            let mut worst = 0usize;
+            for _ in 0..32 {
+                let u = rng.gen_range(0..inst.len());
+                let v = rng.gen_range(0..inst.len());
+                worst = worst.max(out.bitree.pairwise_latency(u, v));
+            }
+            (
+                out.schedule_len() as f64,
+                (up.all_delivered && up.root_aggregate == inst.len() - 1) as u8 as f64,
+                down.all_reached as u8 as f64,
+                worst as f64,
+                out.bitree.pairwise_latency_bound() as f64,
+            )
+        });
+        t.push_row(vec![
+            n.to_string(),
+            f2((n as f64).log2()),
+            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
+            f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
+        ]);
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table_with_perfect_delivery() {
+        let opts = ExpOptions { quick: true, seed: 8 };
+        let tables = run(&opts);
+        for row in &tables[0].rows {
+            assert_eq!(row[3], "1.00", "convergecast must always deliver");
+            assert_eq!(row[4], "1.00", "broadcast must always deliver");
+            let pairwise: f64 = row[5].parse().unwrap();
+            let bound: f64 = row[6].parse().unwrap();
+            assert!(pairwise <= bound);
+        }
+    }
+}

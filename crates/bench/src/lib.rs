@@ -1,0 +1,140 @@
+//! Experiment harness regenerating every quantitative claim of the
+//! PODC 2012 connectivity paper.
+//!
+//! The paper is pure theory — its "evaluation" is a set of theorem
+//! bounds. Each experiment module measures one of them and prints a
+//! table whose *shape* (growth rate, who wins, by what factor) can be
+//! compared against the claim; `EXPERIMENTS.md` records the outcomes.
+//!
+//! | Module | Claim |
+//! |--------|-------|
+//! | [`experiments::e1_init`] | Thm 2: `Init` uses `O(log Δ · log n)` slots |
+//! | [`experiments::e2_degree`] | Thm 7: exponential degree tail, max `O(log n)` |
+//! | [`experiments::e3_sparsity`] | Thm 11/13: `O(log n)`- and `O(1)`-sparsity |
+//! | [`experiments::e4_reschedule`] | Thm 3: mean-power rescheduling |
+//! | [`experiments::e5_tvc_mean`] | Thm 16: `O(Υ·log n)`-slot bi-trees |
+//! | [`experiments::e6_tvc_arbitrary`] | Thm 21: `O(log n)`-slot bi-trees |
+//! | [`experiments::e7_comparison`] | §4: distributed matches centralized |
+//! | [`experiments::e8_latency`] | Def 1: converge-cast/broadcast/pairwise latency |
+//! | [`experiments::e9_sparse_capacity`] | Thm 9 / Eqn 5 machinery |
+//!
+//! Run everything with `cargo run -p sinr-bench --bin experiments`
+//! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
+//! under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+/// Shared experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOptions {
+    /// Smaller sweeps for CI / smoke runs.
+    pub quick: bool,
+    /// Base RNG seed; sweeps derive per-run seeds from it.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { quick: false, seed: 0xC0FFEE }
+    }
+}
+
+impl ExpOptions {
+    /// The instance sizes to sweep. The full ladder tops out at 256:
+    /// the simulator's per-slot cost is `O(n²)` and the TVC pipelines
+    /// run hundreds of simulated `Init` slots per iteration, so 512+
+    /// rows cost minutes each without changing any trend — bump this
+    /// locally when hunting asymptotics on bigger hardware.
+    pub fn sizes(&self) -> &'static [usize] {
+        if self.quick {
+            &[32, 64, 128]
+        } else {
+            &[32, 64, 128, 256]
+        }
+    }
+
+    /// Number of seeds per configuration.
+    pub fn trials(&self) -> u64 {
+        if self.quick {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum of a slice (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Runs `jobs` in parallel with crossbeam scoped threads, preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    let work: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results_ref = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let job = work.lock().expect("work queue lock").pop();
+                match job {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        results_ref.lock().expect("results lock")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    results.into_iter().map(|r| r.expect("all jobs ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u64> = (0..50).collect();
+        let out = parallel_map(jobs, |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[1.0, 5.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn options_sizes() {
+        assert!(ExpOptions { quick: true, seed: 0 }.sizes().len() < ExpOptions::default().sizes().len());
+    }
+}

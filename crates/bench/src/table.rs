@@ -1,0 +1,191 @@
+//! Aligned-text tables with CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A result table: title, expectation note, columns and string rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Table heading (e.g. `E1a: Init slots vs n`).
+    pub title: String,
+    /// The paper's expected shape, printed under the heading.
+    pub expectation: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each row must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Table {
+            title: title.into(),
+            expectation: expectation.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {} in table `{}`",
+            row.len(),
+            self.columns.len(),
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if !self.expectation.is_empty() {
+            let _ = writeln!(out, "   paper: {}", self.expectation);
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "  {}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows), RFC-4180-style quoting for commas.
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir`, deriving the file name from the
+    /// title (lowercased, non-alphanumerics collapsed to `_`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let mut name: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        while name.contains("__") {
+            name = name.replace("__", "_");
+        }
+        let path = dir.join(format!("{}.csv", name.trim_matches('_')));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with 2 decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0: demo", "x grows", &["n", "value"]);
+        t.push_row(vec!["32".into(), "1.50".into()]);
+        t.push_row(vec!["64".into(), "2.25".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("E0: demo"));
+        assert!(r.contains("x grows"));
+        assert!(r.contains("value"));
+        assert!(r.contains("2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", "", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new("t", "", &["a,b", "c"]);
+        t.push_row(vec!["x\"y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn save_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("sinr_bench_table_test");
+        let path = sample().save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1.50"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+        assert_eq!(f3(2.0), "2.000");
+    }
+}

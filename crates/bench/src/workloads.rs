@@ -1,0 +1,104 @@
+//! Instance families used by the experiments.
+
+use sinr_geom::{gen, Instance};
+
+/// The instance families the experiments sweep over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Uniform in a density-preserving square.
+    UniformSquare,
+    /// Thomas-process clusters (sensor-style deployments).
+    Clustered,
+    /// Jittered unit lattice.
+    Lattice,
+    /// Near-line with exponentially growing gaps (large `Δ`).
+    ExponentialChain,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 4] = [
+        Family::UniformSquare,
+        Family::Clustered,
+        Family::Lattice,
+        Family::ExponentialChain,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::UniformSquare => "uniform",
+            Family::Clustered => "clustered",
+            Family::Lattice => "lattice",
+            Family::ExponentialChain => "exp-chain",
+        }
+    }
+
+    /// Builds an instance of roughly `n` nodes with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on generator errors (the parameters used here are always
+    /// valid for `n ≥ 1`).
+    pub fn instance(&self, n: usize, seed: u64) -> Instance {
+        match self {
+            Family::UniformSquare => {
+                gen::uniform_square(n, 1.5, seed).expect("valid parameters")
+            }
+            Family::Clustered => {
+                let clusters = (n / 8).max(1);
+                let per = n.div_ceil(clusters);
+                gen::clustered(clusters, per, 1.5, 2.0, seed).expect("valid parameters")
+            }
+            Family::Lattice => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                gen::grid_lattice(side, side, 0.25, seed).expect("valid parameters")
+            }
+            Family::ExponentialChain => {
+                // Growth tuned so Δ stays within f64 for the sizes used.
+                let growth = 1.0 + 16.0 / (n.max(8) as f64);
+                gen::exponential_chain(n, growth, seed).expect("valid parameters")
+            }
+        }
+    }
+}
+
+/// Exponential-chain instances with a fixed node count and a swept
+/// aspect ratio, for experiments that isolate the `log Δ` dependence.
+/// Returns `(growth, instance)` pairs.
+pub fn delta_sweep(n: usize, seed: u64) -> Vec<(f64, Instance)> {
+    [1.2, 1.5, 2.0, 2.8]
+        .into_iter()
+        .map(|g| (g, gen::exponential_chain(n, g, seed).expect("valid parameters")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_build() {
+        for fam in Family::ALL {
+            let inst = fam.instance(40, 1);
+            assert!(inst.len() >= 40, "{fam:?} built only {} nodes", inst.len());
+            assert!(inst.is_normalized());
+            assert!(!fam.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_sweep_increases_delta() {
+        let sweep = delta_sweep(20, 0);
+        for w in sweep.windows(2) {
+            assert!(w[1].1.delta() > w[0].1.delta());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        for fam in Family::ALL {
+            assert_eq!(fam.instance(30, 7), fam.instance(30, 7));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the connectivity algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use sinr_links::LinkError;
+use sinr_phy::PhyError;
+
+/// Errors produced by the distributed connectivity algorithms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A protocol failed to converge within its safety budget.
+    ConvergenceFailure {
+        /// Which algorithm phase stalled.
+        phase: &'static str,
+        /// Diagnostic detail (active counts, budgets, …).
+        detail: String,
+    },
+    /// A configuration knob was outside its documented domain.
+    InvalidConfig {
+        /// Name of the offending knob.
+        name: &'static str,
+        /// The constraint that was violated.
+        reason: &'static str,
+    },
+    /// A physical-layer error (power/feasibility).
+    Phy(PhyError),
+    /// A combinatorial error (tree/schedule construction).
+    Link(LinkError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ConvergenceFailure { phase, detail } => {
+                write!(f, "{phase} failed to converge: {detail}")
+            }
+            CoreError::InvalidConfig { name, reason } => {
+                write!(f, "invalid config `{name}`: {reason}")
+            }
+            CoreError::Phy(e) => write!(f, "physical layer: {e}"),
+            CoreError::Link(e) => write!(f, "link layer: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Phy(e) => Some(e),
+            CoreError::Link(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PhyError> for CoreError {
+    fn from(e: PhyError) -> Self {
+        CoreError::Phy(e)
+    }
+}
+
+impl From<LinkError> for CoreError {
+    fn from(e: LinkError) -> Self {
+        CoreError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::ConvergenceFailure { phase: "init", detail: "x".into() };
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_none());
+
+        let e: CoreError = PhyError::InvalidParameter { name: "a", reason: "b" }.into();
+        assert!(e.source().is_some());
+
+        let e: CoreError = LinkError::NoRoot.into();
+        assert!(e.to_string().contains("link layer"));
+    }
+}

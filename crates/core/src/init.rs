@@ -1,0 +1,645 @@
+//! The `Init` algorithm (§6): distributed initial bi-tree construction.
+//!
+//! At any time a subset of nodes is *active* (all at the start, one — the
+//! root — at the end). Time is organized in `⌈log Δ⌉` rounds of
+//! `λ₁·log n` slot-pairs. In each slot-pair every active node becomes a
+//! broadcaster with probability `p`, otherwise a listener:
+//!
+//! - **slot 1**: broadcasters transmit (power `2βN·2^{rα}` in round `r`);
+//! - **slot 2**: a listener `v` that decoded a broadcast from `u` in the
+//!   round's length window acknowledges with probability `p`; a
+//!   broadcaster that decodes an acknowledgment addressed to it becomes
+//!   inactive with the acknowledger as its parent.
+//!
+//! Theorem 2: the result is a strongly-connected bi-tree after
+//! `O(log Δ · log n)` slots, w.h.p.
+//!
+//! # Deviations from the paper (see DESIGN.md §5)
+//!
+//! - Constants are practical knobs (`p = 0.1`, small `λ₁`), not the
+//!   worst-case proof constants; [`InitConfig::theoretical`] computes the
+//!   paper's values for reference.
+//! - With `accept_shorter` (default), round `r` accepts any decoded
+//!   broadcast with `d < 2^r`, not only `d ∈ [2^{r-1}, 2^r)`; this keeps
+//!   the network connectable when the w.h.p. invariant of Lemma 6 fails
+//!   under practical constants.
+//! - After the `⌈log Δ⌉` scheduled rounds, the top length class repeats
+//!   (up to `extra_rounds_cap` rounds) until a single active node
+//!   remains. The simulation driver checks the globally-visible active
+//!   count only as a stopping criterion; nodes themselves never use it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sinr_geom::{Instance, NodeId};
+use sinr_links::{BiTree, InTree, Link, Schedule};
+use sinr_phy::{PowerAssignment, SinrParams};
+use sinr_sim::{Action, Engine, Protocol, Reception, SlotOutcome};
+
+use crate::{CoreError, Result};
+
+/// Tuning knobs for `Init`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitConfig {
+    /// Per-slot-pair broadcast (and acknowledgment) probability `p`.
+    pub p: f64,
+    /// Slot-pairs per round = `⌈lambda1 · log₂ n⌉` (at least 1).
+    pub lambda1: f64,
+    /// Accept links shorter than the round's window lower end.
+    pub accept_shorter: bool,
+    /// Extra repetitions of the top length class before giving up.
+    pub extra_rounds_cap: u32,
+}
+
+impl Default for InitConfig {
+    fn default() -> Self {
+        InitConfig { p: 0.1, lambda1: 4.0, accept_shorter: true, extra_rounds_cap: 256 }
+    }
+}
+
+impl InitConfig {
+    /// The worst-case constants used in the paper's proofs:
+    /// `p = (64(1 + 6β·2^α/(α−2)))⁻¹` (Lemma 5) and `λ₁ = 80/p²`
+    /// (Lemma 6). These make the w.h.p. statements literally true but
+    /// are far too conservative to simulate; exposed for documentation
+    /// and for sanity tests of the formulas.
+    pub fn theoretical(params: &SinrParams) -> Self {
+        let alpha = params.alpha();
+        let beta = params.beta();
+        let p = 1.0 / (64.0 * (1.0 + 6.0 * beta * 2f64.powf(alpha) / (alpha - 2.0)));
+        InitConfig { p, lambda1: 80.0 / (p * p), accept_shorter: false, extra_rounds_cap: 0 }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `p ∉ (0, 0.5]` or
+    /// `lambda1 ≤ 0`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.p > 0.0 && self.p <= 0.5) {
+            return Err(CoreError::InvalidConfig {
+                name: "p",
+                reason: "broadcast probability must lie in (0, 0.5]",
+            });
+        }
+        if !(self.lambda1.is_finite() && self.lambda1 > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "lambda1",
+                reason: "round-length factor must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Message payload of the `Init` protocol. A broadcast carries the
+/// sender's identity/location implicitly (the simulator reports sender
+/// and distance, as the paper's message model allows); an
+/// acknowledgment names its addressee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitMsg {
+    /// Exploratory message to no node in particular (§5).
+    Broadcast,
+    /// Response addressed to a previous broadcaster.
+    Ack {
+        /// The broadcaster being acknowledged.
+        to: NodeId,
+    },
+}
+
+/// Static data shared by all node state machines of one run.
+#[derive(Debug)]
+struct Shared {
+    p: f64,
+    pairs_per_round: u64,
+    num_rounds: u32,
+    accept_shorter: bool,
+    /// Transmission power per round index (clamped for extra rounds).
+    round_powers: Vec<f64>,
+    /// `[2^{r-1}, 2^r)` windows per round index.
+    round_windows: Vec<(f64, f64)>,
+}
+
+impl Shared {
+    fn round_of_pair(&self, pair: u64) -> usize {
+        let r = pair / self.pairs_per_round;
+        (r as usize).min(self.num_rounds as usize - 1)
+    }
+}
+
+/// Per-node state machine (one per node, driven by the simulator).
+#[derive(Debug)]
+pub struct InitNode {
+    shared: Arc<Shared>,
+    active: bool,
+    participates: bool,
+    parent: Option<NodeId>,
+    /// Broadcast-slot timestamp of the node's own uplink formation.
+    uplink_slot: Option<u64>,
+    /// Power used when the uplink formed.
+    uplink_power: Option<f64>,
+    /// Listener-side optimistic child records: `(child, broadcast slot)`.
+    optimistic_children: Vec<(NodeId, u64)>,
+    is_broadcaster: bool,
+    pending_ack: Option<NodeId>,
+}
+
+impl InitNode {
+    fn new(shared: Arc<Shared>, participates: bool) -> Self {
+        InitNode {
+            shared,
+            active: participates,
+            participates,
+            parent: None,
+            uplink_slot: None,
+            uplink_power: None,
+            optimistic_children: Vec::new(),
+            is_broadcaster: false,
+            pending_ack: None,
+        }
+    }
+
+    /// Whether this node is still active (unconnected).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The parent chosen when the node deactivated.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+}
+
+impl Protocol for InitNode {
+    type Msg = InitMsg;
+
+    fn begin_slot(&mut self, _node: NodeId, slot: u64, rng: &mut StdRng) -> Action<InitMsg> {
+        if !self.active {
+            return Action::Sleep;
+        }
+        let pair = slot / 2;
+        let round = self.shared.round_of_pair(pair);
+        if slot % 2 == 0 {
+            // First slot of the pair: choose a role.
+            self.pending_ack = None;
+            self.is_broadcaster = rng.gen_bool(self.shared.p);
+            if self.is_broadcaster {
+                Action::Transmit { power: self.shared.round_powers[round], msg: InitMsg::Broadcast }
+            } else {
+                Action::Listen
+            }
+        } else if self.is_broadcaster {
+            // Second slot: broadcasters listen for acknowledgments.
+            Action::Listen
+        } else if let Some(target) = self.pending_ack {
+            Action::Transmit {
+                power: self.shared.round_powers[round],
+                msg: InitMsg::Ack { to: target },
+            }
+        } else {
+            Action::Sleep
+        }
+    }
+
+    fn end_slot(
+        &mut self,
+        node: NodeId,
+        slot: u64,
+        outcome: SlotOutcome<InitMsg>,
+        rng: &mut StdRng,
+    ) {
+        if !self.active {
+            return;
+        }
+        let pair = slot / 2;
+        let round = self.shared.round_of_pair(pair);
+        match (slot % 2, outcome) {
+            (0, SlotOutcome::Received(Reception { from, msg: InitMsg::Broadcast, distance, .. })) => {
+                let (lo, hi) = self.shared.round_windows[round];
+                let in_window =
+                    distance < hi && (self.shared.accept_shorter || distance >= lo);
+                if in_window && rng.gen_bool(self.shared.p) {
+                    // Optimistically store the link pair (paper: listener
+                    // may store a stray link; cleanup happens later).
+                    self.pending_ack = Some(from);
+                    self.optimistic_children.push((from, slot));
+                }
+            }
+            (1, SlotOutcome::Received(Reception { from, msg: InitMsg::Ack { to }, .. })) => {
+                if self.is_broadcaster && to == node {
+                    // Connected: `from` (the acknowledger) is the parent.
+                    self.active = false;
+                    self.parent = Some(from);
+                    self.uplink_slot = Some(slot - 1);
+                    self.uplink_power = Some(self.shared.round_powers[round]);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Raw result of an `Init` run over a participant subset.
+#[derive(Clone, Debug)]
+pub struct InitRun {
+    /// Parent per node; `None` for non-participants and for the root.
+    pub parents: Vec<Option<NodeId>>,
+    /// The participating nodes (ascending).
+    pub participants: Vec<NodeId>,
+    /// The surviving active node (tree root).
+    pub root: NodeId,
+    /// Broadcast-slot timestamp for each aggregation link formed.
+    pub link_slots: HashMap<Link, u64>,
+    /// Uniform power used per aggregation link when it formed (the same
+    /// power was used by its acknowledgment).
+    pub link_powers: HashMap<Link, f64>,
+    /// Total simulated slots.
+    pub slots_used: u64,
+    /// Rounds executed (including extra repetitions of the top class).
+    pub rounds_used: u32,
+    /// Listener-side optimistic records that never became real links
+    /// (the "stray links" of §6's remark).
+    pub stray_records: usize,
+}
+
+impl InitRun {
+    /// The aggregation links (child → parent) of the formed tree, in
+    /// deterministic (sorted) order.
+    pub fn aggregation_links(&self) -> sinr_links::LinkSet {
+        let mut v: Vec<Link> = self.link_slots.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter().collect()
+    }
+
+    /// The explicit power assignment covering both directions of every
+    /// formed link (ack uses the same round power as its broadcast).
+    pub fn power_assignment(&self) -> PowerAssignment {
+        let mut map = HashMap::new();
+        for (&l, &p) in &self.link_powers {
+            map.insert(l, p);
+            map.insert(l.dual(), p);
+        }
+        PowerAssignment::explicit(map).expect("round powers are positive")
+    }
+}
+
+/// Full-instance result of `Init`: the bi-tree of Theorem 2 plus the
+/// raw run data.
+#[derive(Clone, Debug)]
+pub struct InitOutcome {
+    /// The converge-cast tree.
+    pub tree: InTree,
+    /// The bi-tree with the (compacted) timestamp schedule.
+    pub bitree: BiTree,
+    /// The aggregation schedule (compacted timestamps).
+    pub schedule: Schedule,
+    /// Raw run data (slots, powers, strays).
+    pub run: InitRun,
+}
+
+/// Number of slot-pairs per round for an instance of `n` participants.
+fn pairs_per_round(cfg: &InitConfig, n: usize) -> u64 {
+    let log_n = (n.max(2) as f64).log2();
+    (cfg.lambda1 * log_n).ceil().max(1.0) as u64
+}
+
+/// Runs `Init` over the nodes of `instance` flagged in `active_mask`.
+///
+/// Non-participants sleep for the whole run (they model nodes that have
+/// already dropped out of `TreeViaCapacity` iterations). The formed
+/// structure spans exactly the participants.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] for bad knobs or an empty mask;
+/// - [`CoreError::ConvergenceFailure`] if more than one active node
+///   remains after all scheduled and extra rounds.
+pub fn run_init_on(
+    params: &SinrParams,
+    instance: &Instance,
+    active_mask: &[bool],
+    cfg: &InitConfig,
+    seed: u64,
+) -> Result<InitRun> {
+    cfg.validate()?;
+    if active_mask.len() != instance.len() {
+        return Err(CoreError::InvalidConfig {
+            name: "active_mask",
+            reason: "mask length must equal instance size",
+        });
+    }
+    let participants: Vec<NodeId> =
+        (0..instance.len()).filter(|&i| active_mask[i]).collect();
+    if participants.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            name: "active_mask",
+            reason: "at least one node must participate",
+        });
+    }
+    if participants.len() == 1 {
+        let mut parents = vec![None; instance.len()];
+        parents[participants[0]] = None;
+        return Ok(InitRun {
+            parents,
+            root: participants[0],
+            participants,
+            link_slots: HashMap::new(),
+            link_powers: HashMap::new(),
+            slots_used: 0,
+            rounds_used: 0,
+            stray_records: 0,
+        });
+    }
+
+    // Length classes from the participant diameter (tighter than the
+    // full instance when the mask has shrunk).
+    let mut delta = 0.0f64;
+    for (i, &u) in participants.iter().enumerate() {
+        for &v in &participants[i + 1..] {
+            delta = delta.max(instance.distance(u, v));
+        }
+    }
+    // The class of the diameter itself: the top window [2^{r-1}, 2^r)
+    // must contain Δ even when Δ is an exact power of two.
+    let num_classes = sinr_geom::Instance::length_class_of(delta);
+
+    let ppr = pairs_per_round(cfg, participants.len());
+    let total_rounds = num_classes + cfg.extra_rounds_cap;
+    let mut round_powers = Vec::with_capacity(total_rounds as usize);
+    let mut round_windows = Vec::with_capacity(total_rounds as usize);
+    for r0 in 0..total_rounds {
+        // Extra rounds repeat the top class.
+        let class = (r0 + 1).min(num_classes);
+        let hi = 2f64.powi(class as i32);
+        round_powers.push(params.min_power_for_length(hi));
+        round_windows.push((hi / 2.0, hi));
+    }
+    let shared = Arc::new(Shared {
+        p: cfg.p,
+        pairs_per_round: ppr,
+        num_rounds: total_rounds,
+        accept_shorter: cfg.accept_shorter,
+        round_powers,
+        round_windows,
+    });
+
+    let mut engine = Engine::new(
+        params,
+        instance,
+        |id| InitNode::new(Arc::clone(&shared), active_mask[id]),
+        seed,
+    );
+    let max_slots = 2 * ppr * total_rounds as u64;
+    engine.run_until(max_slots, |nodes| {
+        nodes.iter().filter(|n| n.is_active()).count() <= 1
+    });
+    let slots_used = engine.slot();
+
+    let actives: Vec<NodeId> = engine
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_active())
+        .map(|(i, _)| i)
+        .collect();
+    if actives.len() != 1 {
+        return Err(CoreError::ConvergenceFailure {
+            phase: "init",
+            detail: format!(
+                "{} active nodes remain after {} rounds ({} slots)",
+                actives.len(),
+                total_rounds,
+                slots_used
+            ),
+        });
+    }
+    let root = actives[0];
+
+    let mut parents = vec![None; instance.len()];
+    let mut link_slots = HashMap::new();
+    let mut link_powers = HashMap::new();
+    for (id, node) in engine.nodes().iter().enumerate() {
+        if !node.participates {
+            continue;
+        }
+        if let Some(p) = node.parent {
+            parents[id] = Some(p);
+            let link = Link::new(id, p);
+            link_slots.insert(
+                link,
+                node.uplink_slot.expect("connected nodes have a timestamp"),
+            );
+            link_powers.insert(
+                link,
+                node.uplink_power.expect("connected nodes record their power"),
+            );
+        }
+    }
+
+    // Stray records: listener-side optimism that never became a link.
+    let mut stray_records = 0;
+    for (id, node) in engine.nodes().iter().enumerate() {
+        for &(child, bslot) in &node.optimistic_children {
+            let confirmed = parents[child] == Some(id)
+                && link_slots.get(&Link::new(child, id)) == Some(&bslot);
+            if !confirmed {
+                stray_records += 1;
+            }
+        }
+    }
+
+    Ok(InitRun {
+        parents,
+        participants,
+        root,
+        link_slots,
+        link_powers,
+        slots_used,
+        rounds_used: ((slots_used / 2).div_ceil(ppr).max(1)) as u32,
+        stray_records,
+    })
+}
+
+/// Runs `Init` over the whole instance and assembles the bi-tree of
+/// Theorem 2.
+///
+/// # Errors
+///
+/// Propagates [`run_init_on`] errors; tree/schedule assembly errors
+/// indicate a bug and are converted to [`CoreError::Link`].
+///
+/// # Example
+///
+/// ```
+/// use sinr_connectivity::init::{run_init, InitConfig};
+/// use sinr_geom::gen;
+/// use sinr_phy::SinrParams;
+///
+/// let params = SinrParams::default();
+/// let inst = gen::uniform_square(12, 1.5, 3)?;
+/// let out = run_init(&params, &inst, &InitConfig::default(), 7)?;
+/// // A spanning converge-cast tree: n − 1 links, timestamp schedule.
+/// assert_eq!(out.tree.aggregation_links().len(), 11);
+/// assert!(out.schedule.num_slots() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_init(
+    params: &SinrParams,
+    instance: &Instance,
+    cfg: &InitConfig,
+    seed: u64,
+) -> Result<InitOutcome> {
+    let mask = vec![true; instance.len()];
+    let run = run_init_on(params, instance, &mask, cfg, seed)?;
+
+    let tree = InTree::from_parents(run.parents.clone())?;
+    let mut schedule = Schedule::new();
+    for (&link, &slot) in &run.link_slots {
+        schedule.assign(link, slot as usize);
+    }
+    schedule.compact();
+    let bitree = BiTree::new(tree.clone(), schedule.clone())?;
+    Ok(InitOutcome { tree, bitree, schedule, run })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::gen;
+    use sinr_phy::feasibility;
+
+    fn params() -> SinrParams {
+        SinrParams::default()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(InitConfig::default().validate().is_ok());
+        assert!(InitConfig { p: 0.0, ..Default::default() }.validate().is_err());
+        assert!(InitConfig { p: 0.6, ..Default::default() }.validate().is_err());
+        assert!(InitConfig { lambda1: 0.0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn theoretical_constants_are_tiny() {
+        let t = InitConfig::theoretical(&params());
+        assert!(t.p < 1e-3);
+        assert!(t.lambda1 > 1e6);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn single_node_is_trivial() {
+        let inst = gen::line(1).unwrap();
+        let out = run_init(&params(), &inst, &InitConfig::default(), 0).unwrap();
+        assert_eq!(out.tree.root(), 0);
+        assert_eq!(out.run.slots_used, 0);
+        assert_eq!(out.schedule.num_slots(), 0);
+    }
+
+    #[test]
+    fn two_nodes_connect() {
+        let inst = gen::line(2).unwrap();
+        let out = run_init(&params(), &inst, &InitConfig::default(), 1).unwrap();
+        assert_eq!(out.tree.len(), 2);
+        assert_eq!(out.run.link_slots.len(), 1);
+        assert!(out.run.slots_used > 0);
+    }
+
+    #[test]
+    fn uniform_instance_builds_spanning_bitree() {
+        let p = params();
+        for seed in 0..3u64 {
+            let inst = gen::uniform_square(40, 1.5, seed).unwrap();
+            let out = run_init(&p, &inst, &InitConfig::default(), seed).unwrap();
+            // Spanning: n−1 links, every node reaches the root.
+            assert_eq!(out.run.link_slots.len(), inst.len() - 1);
+            for u in 0..inst.len() {
+                let path = out.tree.path_to_root(u);
+                assert_eq!(*path.last().unwrap(), out.tree.root());
+            }
+            // The timestamp schedule is feasible under the powers used.
+            let power = out.run.power_assignment();
+            feasibility::validate_schedule(&p, &inst, &out.schedule, &power)
+                .expect("timestamp schedule must replay feasibly");
+        }
+    }
+
+    #[test]
+    fn subset_run_spans_only_participants() {
+        let p = params();
+        let inst = gen::uniform_square(30, 1.5, 3).unwrap();
+        let mut mask = vec![false; inst.len()];
+        for i in (0..inst.len()).step_by(2) {
+            mask[i] = true;
+        }
+        let run = run_init_on(&p, &inst, &mask, &InitConfig::default(), 9).unwrap();
+        assert!(mask[run.root]);
+        for (id, parent) in run.parents.iter().enumerate() {
+            if !mask[id] {
+                assert!(parent.is_none(), "non-participant {id} got a parent");
+            } else if id != run.root {
+                assert!(parent.is_some(), "participant {id} stayed unconnected");
+                assert!(mask[parent.unwrap()], "parent must participate");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_instance_uses_multiple_rounds() {
+        let p = params();
+        let inst = gen::exponential_chain(10, 2.0, 0).unwrap();
+        let out = run_init(&p, &inst, &InitConfig::default(), 5).unwrap();
+        assert!(out.run.rounds_used > 1, "Δ ≫ 1 needs several length classes");
+        assert_eq!(out.run.link_slots.len(), 9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = params();
+        let inst = gen::uniform_square(25, 1.5, 7).unwrap();
+        let a = run_init(&p, &inst, &InitConfig::default(), 11).unwrap();
+        let b = run_init(&p, &inst, &InitConfig::default(), 11).unwrap();
+        assert_eq!(a.run.parents, b.run.parents);
+        assert_eq!(a.run.slots_used, b.run.slots_used);
+    }
+
+    #[test]
+    fn mask_length_mismatch_rejected() {
+        let p = params();
+        let inst = gen::line(4).unwrap();
+        let e = run_init_on(&p, &inst, &[true; 3], &InitConfig::default(), 0);
+        assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_mask_rejected() {
+        let p = params();
+        let inst = gen::line(4).unwrap();
+        let e = run_init_on(&p, &inst, &[false; 4], &InitConfig::default(), 0);
+        assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn ordering_property_holds() {
+        // BiTree::new would fail on an ordering violation; explicitly
+        // assert slots increase toward the root.
+        let p = params();
+        let inst = gen::uniform_square(35, 1.5, 2).unwrap();
+        let out = run_init(&p, &inst, &InitConfig::default(), 3).unwrap();
+        for u in 0..inst.len() {
+            if let (Some(pu), Some(gp)) = (
+                out.tree.parent(u),
+                out.tree.parent(u).and_then(|x| out.tree.parent(x)),
+            ) {
+                let s_child = out.schedule.slot_of(Link::new(u, pu)).unwrap();
+                let s_parent = out.schedule.slot_of(Link::new(pu, gp)).unwrap();
+                assert!(s_child < s_parent);
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Failure repair — the "dynamic situations" extension the paper's
+//! conclusion names as future work (§9: "node and link failures").
+//!
+//! Given a previously built connectivity structure and a set of failed
+//! nodes, the survivors repair as follows:
+//!
+//! 1. links with a failed endpoint disappear; the surviving links form
+//!    a forest over the alive nodes;
+//! 2. the forest roots (nodes whose parent failed, plus the old root if
+//!    it survived) re-run the `TreeViaCapacity` selection loop —
+//!    exactly the paper's machinery, restricted to the orphaned roots —
+//!    until one root remains ([`tvc::extend_forest`](crate::tvc::extend_forest));
+//! 3. the merged tree is re-packed into an ordered, per-slot-feasible
+//!    schedule (kept links keep their powers; new links use the
+//!    selector's powers).
+//!
+//! Step 2 is the paper-faithful distributed part; step 3 reuses the
+//! centralized packer because re-deriving slot assignments for a
+//! *changed* tree distributively is exactly the open problem the paper
+//! leaves — we document the boundary rather than hide it.
+//!
+//! The repaired structure lives on a compacted sub-instance of the
+//! survivors; [`RepairOutcome`] carries the id mappings.
+
+use std::collections::HashMap;
+
+use sinr_geom::{Instance, NodeId};
+use sinr_links::{BiTree, InTree, Link, LinkSet, Schedule};
+use sinr_phy::{packing, PowerAssignment, SinrParams};
+
+use crate::selector::SubsetSelector;
+use crate::tvc::{extend_forest, TvcConfig};
+use crate::{CoreError, Result};
+
+/// The repaired structure and its bookkeeping.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The survivors as a compacted instance (`new` ids `0..alive`).
+    pub instance: Instance,
+    /// `old_to_new[old_id] = Some(new_id)` for survivors, `None` for
+    /// failed nodes.
+    pub old_to_new: Vec<Option<NodeId>>,
+    /// `new_to_old[new_id] = old_id`.
+    pub new_to_old: Vec<NodeId>,
+    /// The repaired converge-cast tree (new ids).
+    pub tree: InTree,
+    /// The repaired bi-tree with an ordered, feasible schedule.
+    pub bitree: BiTree,
+    /// The aggregation schedule.
+    pub schedule: Schedule,
+    /// Powers for both directions of every link.
+    pub power: PowerAssignment,
+    /// Surviving links kept from the old structure.
+    pub kept_links: usize,
+    /// Links added during reattachment.
+    pub new_links: usize,
+    /// Forest roots that had to reattach.
+    pub orphaned_roots: usize,
+    /// Distributed runtime of the reattachment phase, in slots.
+    pub runtime_slots: u64,
+}
+
+/// Repairs a structure after node failures.
+///
+/// `old_parents` is the pre-failure parent array over the original
+/// instance (e.g. from `TvcOutcome::tree`), `old_powers` the explicit
+/// per-link powers of both directions, `failed` the failed node ids.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] if every node failed or `failed`
+///   contains an out-of-range id;
+/// - reattachment errors from the selection loop;
+/// - packing/validation errors if the surviving powers cannot carry
+///   their links alone (cannot happen for powers produced by this
+///   crate's pipelines).
+#[allow(clippy::too_many_arguments)]
+pub fn repair_after_failures(
+    params: &SinrParams,
+    original: &Instance,
+    old_parents: &[Option<NodeId>],
+    old_powers: &HashMap<Link, f64>,
+    failed: &[NodeId],
+    cfg: &TvcConfig,
+    selector: &mut dyn SubsetSelector,
+    seed: u64,
+) -> Result<RepairOutcome> {
+    let n = original.len();
+    if old_parents.len() != n {
+        return Err(CoreError::InvalidConfig {
+            name: "old_parents",
+            reason: "parent array length must equal instance size",
+        });
+    }
+    let mut alive = vec![true; n];
+    for &f in failed {
+        if f >= n {
+            return Err(CoreError::InvalidConfig {
+                name: "failed",
+                reason: "failed id out of range",
+            });
+        }
+        alive[f] = false;
+    }
+    let new_to_old: Vec<NodeId> = (0..n).filter(|&i| alive[i]).collect();
+    if new_to_old.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            name: "failed",
+            reason: "at least one node must survive",
+        });
+    }
+    let mut old_to_new = vec![None; n];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        old_to_new[old] = Some(new);
+    }
+
+    // The survivors as a standalone instance (distances unchanged).
+    let points: Vec<sinr_geom::Point> =
+        new_to_old.iter().map(|&o| original.position(o)).collect();
+    let instance = Instance::new(points).map_err(|_| CoreError::InvalidConfig {
+        name: "failed",
+        reason: "survivor set produced an invalid instance",
+    })?;
+
+    // Surviving forest: keep (u, p) when both endpoints survive.
+    let mut seeded: Vec<Option<NodeId>> = vec![None; instance.len()];
+    let mut kept = LinkSet::new();
+    for (old_u, parent) in old_parents.iter().enumerate() {
+        let (Some(new_u), Some(old_p)) = (old_to_new[old_u], parent) else { continue };
+        if let Some(new_p) = old_to_new[*old_p] {
+            seeded[new_u] = Some(new_p);
+            kept.insert(Link::new(new_u, new_p));
+        }
+    }
+    let orphaned_roots = seeded.iter().filter(|p| p.is_none()).count();
+
+    // Kept-link powers, remapped to the new ids.
+    let mut kept_powers: HashMap<Link, f64> = HashMap::new();
+    for l in kept.iter() {
+        let old_link = Link::new(new_to_old[l.sender], new_to_old[l.receiver]);
+        for (dir, old_dir) in [(l, old_link), (l.dual(), old_link.dual())] {
+            let p = old_powers.get(&old_dir).copied().ok_or(CoreError::Phy(
+                sinr_phy::PhyError::MissingPower { link: old_dir },
+            ))?;
+            kept_powers.insert(dir, p);
+        }
+    }
+
+    let done = complete_and_pack(params, &instance, seeded, kept_powers, cfg, selector, seed)?;
+
+    Ok(RepairOutcome {
+        instance,
+        old_to_new,
+        new_to_old,
+        tree: done.tree,
+        bitree: done.bitree,
+        schedule: done.schedule,
+        power: done.power,
+        kept_links: kept.len(),
+        new_links: done.new_links,
+        orphaned_roots,
+        runtime_slots: done.runtime_slots,
+    })
+}
+
+/// The shared tail of the dynamic pipelines (repair, join): complete the
+/// seeded forest distributively, merge powers, re-pack an ordered
+/// feasible schedule, and assemble the bi-tree.
+pub(crate) struct CompletedForest {
+    pub(crate) tree: InTree,
+    pub(crate) bitree: BiTree,
+    pub(crate) schedule: Schedule,
+    pub(crate) power: PowerAssignment,
+    pub(crate) new_links: usize,
+    pub(crate) runtime_slots: u64,
+}
+
+pub(crate) fn complete_and_pack(
+    params: &SinrParams,
+    instance: &Instance,
+    seeded_parents: Vec<Option<NodeId>>,
+    kept_powers: HashMap<Link, f64>,
+    cfg: &TvcConfig,
+    selector: &mut dyn SubsetSelector,
+    seed: u64,
+) -> Result<CompletedForest> {
+    let ext = extend_forest(params, instance, cfg, selector, seed, seeded_parents)?;
+    let mut powers = kept_powers;
+    powers.extend(ext.new_powers.iter().map(|(&l, &p)| (l, p)));
+    let power = PowerAssignment::explicit(powers)?;
+
+    let tree = InTree::from_parents(ext.parents)?;
+    let (schedule, unschedulable) =
+        packing::pack_tree_ordered(params, instance, &tree, &power);
+    if let Some(&l) = unschedulable.first() {
+        return Err(CoreError::Phy(sinr_phy::PhyError::PowerBelowNoiseFloor {
+            link: l,
+            power: power.power_of(l, instance, params).unwrap_or(0.0),
+            required: params.noise_floor_power(l.length(instance)),
+        }));
+    }
+    let bitree = BiTree::new(tree.clone(), schedule.clone())?;
+    Ok(CompletedForest {
+        tree,
+        bitree,
+        schedule,
+        power,
+        new_links: ext.new_links.len(),
+        runtime_slots: ext.runtime_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::MeanSamplingSelector;
+    use crate::tvc::tree_via_capacity;
+    use sinr_geom::gen;
+    use sinr_phy::feasibility;
+
+    fn build(n: usize, seed: u64) -> (Instance, crate::tvc::TvcOutcome) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let mut sel = MeanSamplingSelector::default();
+        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed)
+            .unwrap();
+        (inst, out)
+    }
+
+    fn old_pieces(
+        out: &crate::tvc::TvcOutcome,
+    ) -> (Vec<Option<NodeId>>, HashMap<Link, f64>) {
+        let parents: Vec<Option<NodeId>> =
+            (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
+        let powers = out.power.as_explicit().unwrap().clone();
+        (parents, powers)
+    }
+
+    #[test]
+    fn repair_after_scattered_failures() {
+        let params = SinrParams::default();
+        let (inst, out) = build(40, 3);
+        let (parents, powers) = old_pieces(&out);
+        let failed = vec![3usize, 11, 17, 29];
+        let mut sel = MeanSamplingSelector::default();
+        let rep = repair_after_failures(
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &failed,
+            &TvcConfig::default(),
+            &mut sel,
+            99,
+        )
+        .unwrap();
+
+        assert_eq!(rep.instance.len(), 36);
+        assert_eq!(rep.tree.len(), 36);
+        assert_eq!(rep.kept_links + rep.new_links, 35);
+        assert!(rep.orphaned_roots >= 1);
+        feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power)
+            .expect("repaired schedule feasible");
+        // Id mappings are mutually inverse.
+        for (new, &old) in rep.new_to_old.iter().enumerate() {
+            assert_eq!(rep.old_to_new[old], Some(new));
+        }
+        for &f in &failed {
+            assert_eq!(rep.old_to_new[f], None);
+        }
+    }
+
+    #[test]
+    fn repair_survives_root_failure() {
+        let params = SinrParams::default();
+        let (inst, out) = build(30, 7);
+        let (parents, powers) = old_pieces(&out);
+        let failed = vec![out.tree.root()];
+        let mut sel = MeanSamplingSelector::default();
+        let rep = repair_after_failures(
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &failed,
+            &TvcConfig::default(),
+            &mut sel,
+            5,
+        )
+        .unwrap();
+        assert_eq!(rep.tree.len(), 29);
+        // Every old root-child became an orphan root.
+        assert!(rep.orphaned_roots >= out.tree.children(out.tree.root()).len());
+        let (up, down) = crate::latency::audit_bitree(
+            &params,
+            &rep.instance,
+            &rep.bitree,
+            &rep.power,
+        )
+        .unwrap();
+        assert!(up.all_delivered && down.all_reached);
+    }
+
+    #[test]
+    fn repair_with_no_failures_is_identity_shaped() {
+        let params = SinrParams::default();
+        let (inst, out) = build(20, 9);
+        let (parents, powers) = old_pieces(&out);
+        let mut sel = MeanSamplingSelector::default();
+        let rep = repair_after_failures(
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &[],
+            &TvcConfig::default(),
+            &mut sel,
+            1,
+        )
+        .unwrap();
+        assert_eq!(rep.kept_links, 19);
+        assert_eq!(rep.new_links, 0);
+        assert_eq!(rep.orphaned_roots, 1); // the old root
+        assert_eq!(rep.runtime_slots, 0);
+    }
+
+    #[test]
+    fn repair_rejects_total_failure_and_bad_ids() {
+        let params = SinrParams::default();
+        let (inst, out) = build(5, 2);
+        let (parents, powers) = old_pieces(&out);
+        let mut sel = MeanSamplingSelector::default();
+        let all: Vec<NodeId> = (0..5).collect();
+        assert!(matches!(
+            repair_after_failures(
+                &params, &inst, &parents, &powers, &all,
+                &TvcConfig::default(), &mut sel, 0,
+            ),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            repair_after_failures(
+                &params, &inst, &parents, &powers, &[9],
+                &TvcConfig::default(), &mut sel, 0,
+            ),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_failures_compound() {
+        // Two rounds of failures: repair the repaired structure.
+        let params = SinrParams::default();
+        let (inst, out) = build(36, 13);
+        let (parents, powers) = old_pieces(&out);
+        let mut sel = MeanSamplingSelector::default();
+        let rep1 = repair_after_failures(
+            &params, &inst, &parents, &powers, &[1, 2, 3],
+            &TvcConfig::default(), &mut sel, 4,
+        )
+        .unwrap();
+
+        let parents2: Vec<Option<NodeId>> =
+            (0..rep1.tree.len()).map(|u| rep1.tree.parent(u)).collect();
+        let powers2 = rep1.power.as_explicit().unwrap().clone();
+        let rep2 = repair_after_failures(
+            &params, &rep1.instance, &parents2, &powers2, &[0, 5],
+            &TvcConfig::default(), &mut sel, 6,
+        )
+        .unwrap();
+        assert_eq!(rep2.tree.len(), 31);
+        feasibility::validate_schedule(&params, &rep2.instance, &rep2.schedule, &rep2.power)
+            .unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+
+/// An axis-aligned bounding box in the plane.
+///
+/// Used by the spatial index and by sparsity measurement (balls are
+/// conservatively pre-filtered through their bounding boxes).
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{Aabb, Point};
+///
+/// let b = Aabb::from_points([Point::new(0.0, 1.0), Point::new(2.0, -1.0)]).unwrap();
+/// assert!(b.contains(Point::new(1.0, 0.0)));
+/// assert_eq!(b.width(), 2.0);
+/// assert_eq!(b.height(), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(
+    feature = "serde",
+    serde(try_from = "(Point, Point)", into = "(Point, Point)")
+)]
+pub struct Aabb {
+    min: Point,
+    max: Point,
+}
+
+impl From<Aabb> for (Point, Point) {
+    /// Extracts the `(min, max)` corners.
+    fn from(b: Aabb) -> Self {
+        (b.min, b.max)
+    }
+}
+
+impl TryFrom<(Point, Point)> for Aabb {
+    type Error = crate::GeomError;
+
+    /// Validating conversion: rejects inverted/non-finite corners, so
+    /// deserialized boxes uphold the ordering invariant.
+    fn try_from((min, max): (Point, Point)) -> Result<Self, Self::Error> {
+        Aabb::new(min, max).ok_or(crate::GeomError::InvalidParameter {
+            name: "aabb",
+            reason: "corners must be finite with min ≤ max",
+        })
+    }
+}
+
+impl Aabb {
+    /// Creates a box from its min and max corners.
+    ///
+    /// Returns `None` if the corners are not ordered (`min.x > max.x` or
+    /// `min.y > max.y`) or not finite.
+    pub fn new(min: Point, max: Point) -> Option<Self> {
+        if min.is_finite() && max.is_finite() && min.x <= max.x && min.y <= max.y {
+            Some(Aabb { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest box containing every point of the iterator.
+    ///
+    /// Returns `None` for an empty iterator or non-finite points.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        if !first.is_finite() {
+            return None;
+        }
+        let mut bb = Aabb { min: first, max: first };
+        for p in it {
+            if !p.is_finite() {
+                return None;
+            }
+            bb.min.x = bb.min.x.min(p.x);
+            bb.min.y = bb.min.y.min(p.y);
+            bb.max.x = bb.max.x.max(p.x);
+            bb.max.y = bb.max.y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// The min (lower-left) corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The max (upper-right) corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// The center of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Length of the diagonal.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Whether the closed box contains `p`.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether two closed boxes intersect.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the box by `margin` on all four sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative and would invert the box.
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        let b = Aabb::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        );
+        b.expect("inflate produced an inverted box")
+    }
+
+    /// The bounding box of the closed ball with the given center and radius.
+    pub fn of_ball(center: Point, radius: f64) -> Option<Aabb> {
+        if radius < 0.0 {
+            return None;
+        }
+        Aabb::new(
+            Point::new(center.x - radius, center.y - radius),
+            Point::new(center.x + radius, center.y + radius),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_inverted() {
+        assert!(Aabb::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0)).is_none());
+        assert!(Aabb::new(Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)).is_none());
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn from_points_single() {
+        let b = Aabb::from_points([Point::new(2.0, 3.0)]).unwrap();
+        assert_eq!(b.min(), b.max());
+        assert_eq!(b.width(), 0.0);
+        assert!(b.contains(Point::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+        let b = Aabb::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0)).unwrap();
+        let c = Aabb::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0)).unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(Point::new(2.0, 2.0)));
+        assert!(!a.contains(Point::new(2.0001, 2.0)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let b = Aabb::new(Point::new(2.0, -1.0), Point::new(3.0, 0.5)).unwrap();
+        let u = a.union(&b);
+        assert!(u.contains(Point::new(0.0, 1.0)));
+        assert!(u.contains(Point::new(3.0, -1.0)));
+    }
+
+    #[test]
+    fn ball_bbox() {
+        let b = Aabb::of_ball(Point::new(1.0, 1.0), 2.0).unwrap();
+        assert_eq!(b.min(), Point::new(-1.0, -1.0));
+        assert_eq!(b.max(), Point::new(3.0, 3.0));
+        assert!(Aabb::of_ball(Point::ORIGIN, -1.0).is_none());
+    }
+
+    #[test]
+    fn inflate_grows() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        let g = a.inflate(0.5);
+        assert_eq!(g.width(), 2.0);
+        assert_eq!(g.center(), a.center());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for geometry operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing geometric objects or instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// The instance would contain no points.
+    EmptyInstance,
+    /// Two points coincide (zero minimum distance), which the paper's
+    /// normalization (minimum distance 1) cannot represent.
+    CoincidentPoints {
+        /// Index of the first of the coinciding points.
+        first: usize,
+        /// Index of the second of the coinciding points.
+        second: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinitePoint {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A generator parameter was out of its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::EmptyInstance => write!(f, "instance must contain at least one point"),
+            GeomError::CoincidentPoints { first, second } => {
+                write!(f, "points {first} and {second} coincide; minimum distance must be positive")
+            }
+            GeomError::NonFinitePoint { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+            GeomError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            GeomError::EmptyInstance,
+            GeomError::CoincidentPoints { first: 0, second: 1 },
+            GeomError::NonFinitePoint { index: 3 },
+            GeomError::InvalidParameter { name: "n", reason: "must be positive" },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(GeomError::EmptyInstance);
+        assert!(e.source().is_none());
+    }
+}

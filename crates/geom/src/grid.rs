@@ -1,0 +1,242 @@
+//! A uniform-grid spatial index over an instance's nodes.
+
+use std::collections::HashMap;
+
+use crate::{Instance, NodeId, Point};
+
+/// A uniform grid over the nodes of an [`Instance`], supporting fast
+/// range (ball) queries.
+///
+/// The simulator uses it to prune interference sums and the `Init`
+/// analysis tooling uses it for annulus counting. Cells are square with a
+/// caller-chosen side length; nodes are bucketed by `floor(coord / cell)`.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{gen, GridIndex};
+///
+/// let inst = gen::uniform_square(128, 2.0, 7)?;
+/// let grid = GridIndex::build(&inst, 4.0);
+/// let center = inst.position(0);
+/// let mut near = grid.nodes_within(center, 10.0);
+/// near.sort_unstable();
+/// let mut brute = inst.nodes_in_ball(center, 10.0);
+/// brute.sort_unstable();
+/// assert_eq!(near, brute);
+/// # Ok::<(), sinr_geom::GeomError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<NodeId>>,
+    positions: Vec<Point>,
+    /// Bounding rectangle of occupied cell keys; range queries are
+    /// clamped to it so an arbitrarily large radius never scans more
+    /// cells than exist.
+    key_min: (i64, i64),
+    key_max: (i64, i64),
+}
+
+impl GridIndex {
+    /// Builds an index with square cells of side `cell_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn build(instance: &Instance, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        let mut key_min = (i64::MAX, i64::MAX);
+        let mut key_max = (i64::MIN, i64::MIN);
+        for (id, p) in instance.iter() {
+            let k = Self::key(p, cell_size);
+            key_min = (key_min.0.min(k.0), key_min.1.min(k.1));
+            key_max = (key_max.0.max(k.0), key_max.1.max(k.1));
+            cells.entry(k).or_default().push(id);
+        }
+        GridIndex {
+            cell: cell_size,
+            cells,
+            positions: instance.points().to_vec(),
+            key_min,
+            key_max,
+        }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Cell side length.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All nodes within the closed ball of `radius` around `center`.
+    pub fn nodes_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id| out.push(id));
+        out
+    }
+
+    /// Calls `f` for each node within the closed ball, without allocating.
+    ///
+    /// The cell scan is clamped to the occupied-cell bounding rectangle,
+    /// so the cost is `O(min(query area, occupied area) / cell² +
+    /// matches)` — a huge radius degrades gracefully to a full scan of
+    /// the existing cells rather than of the query rectangle.
+    pub fn for_each_within<F: FnMut(NodeId)>(&self, center: Point, radius: f64, mut f: F) {
+        if !(radius >= 0.0) || self.cells.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        let (qx0, qy0) = Self::key(Point::new(center.x - radius, center.y - radius), self.cell);
+        let (qx1, qy1) = Self::key(Point::new(center.x + radius, center.y + radius), self.cell);
+        let (cx0, cy0) = (qx0.max(self.key_min.0), qy0.max(self.key_min.1));
+        let (cx1, cy1) = (qx1.min(self.key_max.0), qy1.min(self.key_max.1));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &id in bucket {
+                        if self.positions[id].distance_sq(center) <= r2 {
+                            f(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of nodes within the closed ball (no allocation).
+    pub fn count_within(&self, center: Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(center, radius, |_| n += 1);
+        n
+    }
+
+    /// The nearest other node to `u`, or `None` for a 1-node instance.
+    ///
+    /// Runs an expanding-ring search, so it is fast when the grid cell is
+    /// on the order of the typical nearest-neighbor distance.
+    pub fn nearest_neighbor(&self, u: NodeId) -> Option<(NodeId, f64)> {
+        if self.positions.len() < 2 {
+            return None;
+        }
+        let center = self.positions[u];
+        let mut radius = self.cell;
+        loop {
+            let mut best: Option<(NodeId, f64)> = None;
+            self.for_each_within(center, radius, |id| {
+                if id != u {
+                    let d = self.positions[id].distance(center);
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((id, d));
+                    }
+                }
+            });
+            // A candidate found strictly inside the ring is provably the
+            // global nearest once radius exceeds its distance.
+            if let Some((id, d)) = best {
+                if d <= radius {
+                    return Some((id, d));
+                }
+            }
+            radius *= 2.0;
+            // Diameter bound: every node is within this radius eventually.
+            if radius > 4.0 * self.diameter_upper_bound() {
+                return best;
+            }
+        }
+    }
+
+    fn diameter_upper_bound(&self) -> f64 {
+        // Conservative: diagonal of the bounding box of stored positions.
+        let bb = crate::Aabb::from_points(self.positions.iter().copied())
+            .expect("index holds at least one point");
+        bb.diagonal().max(self.cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn rejects_zero_cell() {
+        let inst = Instance::new(vec![Point::ORIGIN]).unwrap();
+        let _ = GridIndex::build(&inst, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..5u64 {
+            let inst = gen::uniform_square(200, 1.5, seed).unwrap();
+            let grid = GridIndex::build(&inst, 3.0);
+            for q in 0..10 {
+                let center = inst.position(q * 17 % inst.len());
+                for radius in [0.5, 2.0, 10.0, 1e6] {
+                    let mut a = grid.nodes_within(center, radius);
+                    let mut b = inst.nodes_in_ball(center, radius);
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "seed {seed} radius {radius}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let inst = gen::uniform_square(10, 2.0, 1).unwrap();
+        let grid = GridIndex::build(&inst, 1.0);
+        assert!(grid.nodes_within(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_brute_force() {
+        let inst = gen::uniform_square(100, 2.0, 3).unwrap();
+        let grid = GridIndex::build(&inst, 2.0);
+        for u in 0..inst.len() {
+            let (nn, d) = grid.nearest_neighbor(u).unwrap();
+            let mut best = (usize::MAX, f64::INFINITY);
+            for v in 0..inst.len() {
+                if v != u {
+                    let dv = inst.distance(u, v);
+                    if dv < best.1 {
+                        best = (v, dv);
+                    }
+                }
+            }
+            assert_eq!(nn, best.0, "node {u}");
+            assert!((d - best.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_single_node() {
+        let inst = Instance::new(vec![Point::ORIGIN]).unwrap();
+        let grid = GridIndex::build(&inst, 1.0);
+        assert!(grid.nearest_neighbor(0).is_none());
+    }
+
+    #[test]
+    fn count_matches_len() {
+        let inst = gen::uniform_square(64, 2.0, 9).unwrap();
+        let grid = GridIndex::build(&inst, 5.0);
+        let c = inst.position(5);
+        assert_eq!(grid.count_within(c, 7.5), grid.nodes_within(c, 7.5).len());
+    }
+}

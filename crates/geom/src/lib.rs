@@ -1,0 +1,49 @@
+//! Planar geometry substrate for SINR wireless-network algorithms.
+//!
+//! This crate provides the geometric foundation used throughout the
+//! `sinr-connect` workspace, which reproduces Halldórsson & Mitra,
+//! *Distributed Connectivity of Wireless Networks* (PODC 2012):
+//!
+//! - [`Point`] — a point in the plane with exact-enough `f64` arithmetic;
+//! - [`Aabb`] — axis-aligned bounding boxes;
+//! - [`Instance`] — an immutable set of wireless node positions with the
+//!   paper's normalization (minimum pairwise distance 1) and the derived
+//!   quantities `Δ` (max distance) and `log₂ Δ` (number of length classes);
+//! - [`GridIndex`] — a uniform-grid spatial index for range queries;
+//! - [`gen`] — seeded instance generators (uniform, clustered, grid,
+//!   exponential chain for large `Δ`, line, annulus);
+//! - [`mst`] — Euclidean minimum spanning trees (used by the centralized
+//!   baselines of the paper's related work \[11\]).
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_geom::{gen, Instance};
+//!
+//! let inst: Instance = gen::uniform_square(64, 1.5, 42).expect("valid parameters");
+//! assert_eq!(inst.len(), 64);
+//! // The paper's normalization: minimum pairwise distance is exactly 1.
+//! assert!((inst.min_distance() - 1.0).abs() < 1e-9);
+//! assert!(inst.delta() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aabb;
+mod error;
+pub mod gen;
+mod grid;
+mod instance;
+pub mod mst;
+mod point;
+
+pub use aabb::Aabb;
+pub use error::GeomError;
+pub use grid::GridIndex;
+pub use instance::{Instance, NodeId};
+pub use point::Point;
+
+/// Convenience result alias for fallible geometry operations.
+pub type Result<T> = std::result::Result<T, GeomError>;

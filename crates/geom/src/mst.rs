@@ -1,0 +1,201 @@
+//! Euclidean minimum spanning trees.
+//!
+//! The centralized connectivity results the paper compares against
+//! (Halldórsson & Mitra, SODA 2012 \[11\]) schedule the links of the
+//! Euclidean MST; the baselines crate builds on this module.
+
+use crate::{Instance, NodeId};
+
+/// An undirected MST edge between two nodes.
+pub type MstEdge = (NodeId, NodeId);
+
+/// Computes the Euclidean minimum spanning tree with Prim's algorithm.
+///
+/// Returns `n − 1` undirected edges (empty for a single-node instance).
+/// Runs in `O(n²)` time and `O(n)` space, which is exact and fast for the
+/// instance sizes used in this workspace (≤ a few thousand nodes).
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{gen, mst};
+///
+/// let inst = gen::uniform_square(32, 2.0, 3)?;
+/// let edges = mst::euclidean_mst(&inst);
+/// assert_eq!(edges.len(), 31);
+/// # Ok::<(), sinr_geom::GeomError>(())
+/// ```
+pub fn euclidean_mst(instance: &Instance) -> Vec<MstEdge> {
+    let n = instance.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    in_tree[0] = true;
+    for v in 1..n {
+        best_dist[v] = instance.distance(0, v);
+    }
+
+    for _ in 1..n {
+        let mut u = usize::MAX;
+        let mut du = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best_dist[v] < du {
+                du = best_dist[v];
+                u = v;
+            }
+        }
+        debug_assert!(u != usize::MAX, "graph is complete; a candidate always exists");
+        in_tree[u] = true;
+        edges.push((best_from[u], u));
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = instance.distance(u, v);
+                if d < best_dist[v] {
+                    best_dist[v] = d;
+                    best_from[v] = u;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Orients the MST toward `root`, returning a parent array:
+/// `parent[u] = Some(v)` means the tree edge `u → v` points toward the
+/// root; `parent[root] = None`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn mst_parent_array(instance: &Instance, root: NodeId) -> Vec<Option<NodeId>> {
+    let n = instance.len();
+    assert!(root < n, "root {root} out of range for {n} nodes");
+    let edges = euclidean_mst(instance);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut parent = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = Some(u);
+                stack.push(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Total Euclidean weight of a set of edges.
+pub fn total_weight(instance: &Instance, edges: &[MstEdge]) -> f64 {
+    edges.iter().map(|&(a, b)| instance.distance(a, b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Point};
+
+    /// Union-find used to check spanning/acyclicity in tests.
+    struct Dsu(Vec<usize>);
+    impl Dsu {
+        fn new(n: usize) -> Self {
+            Dsu((0..n).collect())
+        }
+        fn find(&mut self, x: usize) -> usize {
+            if self.0[x] != x {
+                let r = self.find(self.0[x]);
+                self.0[x] = r;
+            }
+            self.0[x]
+        }
+        fn union(&mut self, a: usize, b: usize) -> bool {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                return false;
+            }
+            self.0[ra] = rb;
+            true
+        }
+    }
+
+    #[test]
+    fn single_node_has_no_edges() {
+        let inst = Instance::new(vec![Point::ORIGIN]).unwrap();
+        assert!(euclidean_mst(&inst).is_empty());
+    }
+
+    #[test]
+    fn spanning_and_acyclic() {
+        for seed in 0..5 {
+            let inst = gen::uniform_square(120, 1.5, seed).unwrap();
+            let edges = euclidean_mst(&inst);
+            assert_eq!(edges.len(), inst.len() - 1);
+            let mut dsu = Dsu::new(inst.len());
+            for &(a, b) in &edges {
+                assert!(dsu.union(a, b), "MST contained a cycle (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn line_mst_is_the_path() {
+        let inst = gen::line(6).unwrap();
+        let mut edges = euclidean_mst(&inst);
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(total_weight(&inst, &edges), 5.0);
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_vs_star() {
+        // The star from node 0 is a spanning tree; MST must not be heavier.
+        let inst = gen::uniform_square(60, 2.0, 8).unwrap();
+        let mst_w = total_weight(&inst, &euclidean_mst(&inst));
+        let star: Vec<MstEdge> = (1..inst.len()).map(|v| (0, v)).collect();
+        assert!(mst_w <= total_weight(&inst, &star) + 1e-9);
+    }
+
+    #[test]
+    fn parent_array_roots_correctly() {
+        let inst = gen::uniform_square(50, 2.0, 2).unwrap();
+        for root in [0usize, 7, 49] {
+            let parent = mst_parent_array(&inst, root);
+            assert_eq!(parent[root], None);
+            assert_eq!(parent.iter().filter(|p| p.is_none()).count(), 1);
+            // Every node reaches the root.
+            for mut u in 0..inst.len() {
+                let mut hops = 0;
+                while let Some(p) = parent[u] {
+                    u = p;
+                    hops += 1;
+                    assert!(hops <= inst.len(), "cycle detected");
+                }
+                assert_eq!(u, root);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn parent_array_rejects_bad_root() {
+        let inst = gen::line(3).unwrap();
+        let _ = mst_parent_array(&inst, 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Points in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the Euclidean plane.
+///
+/// All wireless nodes in the PODC 2012 model live at points on the plane;
+/// distances between points determine both signal attenuation and the
+/// length classes of the `Init` algorithm.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for comparisons.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm (distance from the origin).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.distance(Point::ORIGIN)
+    }
+
+    /// Linear interpolation: returns `self + t * (other - self)`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; `t` outside `[0, 1]`
+    /// extrapolates.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Rotates the point by `angle` radians around the origin.
+    #[inline]
+    pub fn rotate(self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Scales both coordinates by `factor`.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Point {
+        Point::new(self.x * factor, self.y * factor)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.5, 7.25);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(0.25, -1.5);
+        let b = Point::new(4.0, 2.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(5.0, -3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let p = Point::new(1.0, 0.0).rotate(std::f64::consts::FRAC_PI_2);
+        assert!((p.x - 0.0).abs() < 1e-12);
+        assert!((p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Point::from((2.0, -4.0));
+        let (x, y) = p.into();
+        assert_eq!((x, y), (2.0, -4.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Point::ORIGIN).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Degree statistics of link sets (Theorem 7 tooling).
+//!
+//! Theorem 7 of the paper bounds the degree distribution of the `Init`
+//! tree: `P(deg ≥ d) ≤ e^{−p²d/8}`, hence maximum degree `O(log n)`
+//! w.h.p. Experiment E2 measures the empirical histogram and tail with
+//! the helpers here.
+
+use crate::LinkSet;
+
+/// Summary statistics of the node degrees of a link set.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegreeStats {
+    /// Number of nodes incident to at least one link.
+    pub nodes: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree over incident nodes.
+    pub mean: f64,
+    /// Histogram: `histogram[d]` = number of nodes with degree exactly
+    /// `d` (index 0 unused for incident nodes, kept for alignment).
+    pub histogram: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `links`.
+    ///
+    /// Returns an all-zero summary for an empty set.
+    pub fn of(links: &LinkSet) -> DegreeStats {
+        let degrees = links.degrees();
+        if degrees.is_empty() {
+            return DegreeStats { nodes: 0, max: 0, mean: 0.0, histogram: vec![0] };
+        }
+        let max = degrees.values().copied().max().unwrap_or(0);
+        let sum: usize = degrees.values().sum();
+        let mut histogram = vec![0usize; max + 1];
+        for &d in degrees.values() {
+            histogram[d] += 1;
+        }
+        DegreeStats {
+            nodes: degrees.len(),
+            max,
+            mean: sum as f64 / degrees.len() as f64,
+            histogram,
+        }
+    }
+
+    /// Empirical tail `P(deg ≥ d)`: the fraction of incident nodes with
+    /// degree at least `d`. Returns 0 if there are no incident nodes.
+    pub fn tail(&self, d: usize) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        let at_least: usize = self
+            .histogram
+            .iter()
+            .enumerate()
+            .filter(|&(deg, _)| deg >= d)
+            .map(|(_, &count)| count)
+            .sum();
+        at_least as f64 / self.nodes as f64
+    }
+
+    /// The theoretical tail bound of Theorem 7, `e^{−p²d/8}`, for
+    /// comparison against [`DegreeStats::tail`].
+    pub fn theorem7_bound(p: f64, d: usize) -> f64 {
+        (-p * p * d as f64 / 8.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+
+    #[test]
+    fn empty_set_stats() {
+        let s = DegreeStats::of(&LinkSet::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.tail(1), 0.0);
+    }
+
+    #[test]
+    fn star_statistics() {
+        // Node 0 has degree 4, leaves have degree 1.
+        let links =
+            LinkSet::from_links((1..=4).map(|v| Link::new(v, 0))).unwrap();
+        let s = DegreeStats::of(&links);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.histogram[1], 4);
+        assert_eq!(s.histogram[4], 1);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_monotone_decreasing() {
+        let links = LinkSet::from_links(vec![
+            Link::new(1, 0),
+            Link::new(2, 0),
+            Link::new(3, 2),
+        ])
+        .unwrap();
+        let s = DegreeStats::of(&links);
+        assert_eq!(s.tail(0), 1.0);
+        for d in 0..5 {
+            assert!(s.tail(d) >= s.tail(d + 1));
+        }
+        assert_eq!(s.tail(100), 0.0);
+    }
+
+    #[test]
+    fn theorem7_bound_decays() {
+        let b1 = DegreeStats::theorem7_bound(0.1, 10);
+        let b2 = DegreeStats::theorem7_bound(0.1, 1000);
+        assert!(b1 > b2);
+        assert!(b2 > 0.0);
+        assert!(DegreeStats::theorem7_bound(0.5, 0) == 1.0);
+    }
+}

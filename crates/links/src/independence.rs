@@ -1,0 +1,196 @@
+//! q-independence of links (Appendix A of the paper).
+//!
+//! Two links `ℓ = (x, y)` and `ℓ' = (x', y')` are *q-independent* if
+//!
+//! ```text
+//! d(x, y′) · d(y, x′) ≥ q² · d(x, y) · d(x′, y′)
+//! ```
+//!
+//! i.e. the cross distances dominate the product of the lengths. The
+//! paper's Lemma 23 shows a sparse set can be partitioned into a
+//! constant number of `C`-independent sets; this module provides the
+//! pairwise predicate and the greedy ascending-length partition used in
+//! that proof.
+
+use sinr_geom::Instance;
+
+use crate::{Link, LinkSet};
+
+/// Whether `a` and `b` are q-independent in `instance`.
+///
+/// The relation is symmetric in its two links. A link is q-independent
+/// of itself exactly when `q ≤ 1` (its cross-distance product equals
+/// its length product); the partition below only ever compares distinct
+/// links, so this boundary case never matters there.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{Instance, Point};
+/// use sinr_links::{independence, Link};
+///
+/// let inst = Instance::new(vec![
+///     Point::new(0.0, 0.0), Point::new(1.0, 0.0),    // short link
+///     Point::new(100.0, 0.0), Point::new(101.0, 0.0), // far short link
+/// ])?;
+/// let a = Link::new(0, 1);
+/// let b = Link::new(2, 3);
+/// assert!(independence::are_q_independent(&inst, a, b, 2.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn are_q_independent(instance: &Instance, a: Link, b: Link, q: f64) -> bool {
+    let cross = instance.distance(a.sender, b.receiver) * instance.distance(a.receiver, b.sender);
+    let lengths = a.length(instance) * b.length(instance);
+    cross >= q * q * lengths
+}
+
+/// Partitions `links` into classes such that within each class every
+/// pair is q-independent, using greedy first-fit in ascending length
+/// order (the coloring argument of Lemma 23).
+///
+/// Returns the classes in creation order; their union is exactly
+/// `links`. For sparse sets and constant `q` the number of classes is
+/// `O(1)` (Lemma 23), which experiment E9 verifies empirically.
+pub fn partition_q_independent(instance: &Instance, links: &LinkSet, q: f64) -> Vec<LinkSet> {
+    let mut classes: Vec<LinkSet> = Vec::new();
+    for l in links.sorted_by_length(instance) {
+        let slot = classes.iter().position(|class| {
+            class.iter().all(|m| are_q_independent(instance, l, m, q))
+        });
+        match slot {
+            Some(i) => {
+                classes[i].insert(l);
+            }
+            None => {
+                let mut fresh = LinkSet::new();
+                fresh.insert(l);
+                classes.push(fresh);
+            }
+        }
+    }
+    classes
+}
+
+/// The minimum pairwise independence level of a set: the largest `q`
+/// such that every pair is q-independent (∞ for fewer than two links).
+pub fn independence_level(instance: &Instance, links: &LinkSet) -> f64 {
+    let v = links.links();
+    let mut best = f64::INFINITY;
+    for i in 0..v.len() {
+        for j in (i + 1)..v.len() {
+            let (a, b) = (v[i], v[j]);
+            let cross = instance.distance(a.sender, b.receiver)
+                * instance.distance(a.receiver, b.sender);
+            let lengths = a.length(instance) * b.length(instance);
+            if lengths > 0.0 {
+                best = best.min((cross / lengths).sqrt());
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::Point;
+
+    fn two_parallel(offset: f64) -> (Instance, Link, Link) {
+        let inst = Instance::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, offset),
+            Point::new(1.0, offset),
+        ])
+        .unwrap();
+        (inst, Link::new(0, 1), Link::new(2, 3))
+    }
+
+    #[test]
+    fn far_links_are_independent() {
+        let (inst, a, b) = two_parallel(100.0);
+        assert!(are_q_independent(&inst, a, b, 50.0));
+    }
+
+    #[test]
+    fn close_links_are_not_independent() {
+        let (inst, a, b) = two_parallel(0.5);
+        assert!(!are_q_independent(&inst, a, b, 10.0));
+    }
+
+    #[test]
+    fn relation_is_symmetric() {
+        let (inst, a, b) = two_parallel(3.0);
+        for q in [0.5, 1.0, 2.0, 4.0] {
+            assert_eq!(
+                are_q_independent(&inst, a, b, q),
+                are_q_independent(&inst, b, a, q)
+            );
+        }
+    }
+
+    #[test]
+    fn self_independence_boundary() {
+        // Cross product == length product for a link against itself, so
+        // the predicate holds exactly up to q = 1.
+        let (inst, a, _) = two_parallel(5.0);
+        assert!(are_q_independent(&inst, a, a, 1.0));
+        assert!(are_q_independent(&inst, a, a, 0.5));
+        assert!(!are_q_independent(&inst, a, a, 1.001));
+    }
+
+    #[test]
+    fn partition_covers_input() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new(3.0 * i as f64, 0.0));
+            pts.push(Point::new(3.0 * i as f64 + 1.0, 0.0));
+        }
+        let inst = Instance::new(pts).unwrap();
+        let links =
+            LinkSet::from_links((0..10).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let classes = partition_q_independent(&inst, &links, 1.5);
+        let total: usize = classes.iter().map(LinkSet::len).sum();
+        assert_eq!(total, links.len());
+        // Every class internally q-independent.
+        for class in &classes {
+            let v = class.links();
+            for i in 0..v.len() {
+                for j in (i + 1)..v.len() {
+                    assert!(are_q_independent(&inst, v[i], v[j], 1.5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widely_spaced_links_form_one_class() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push(Point::new(1000.0 * i as f64, 0.0));
+            pts.push(Point::new(1000.0 * i as f64 + 1.0, 0.0));
+        }
+        let inst = Instance::new(pts).unwrap();
+        let links =
+            LinkSet::from_links((0..6).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let classes = partition_q_independent(&inst, &links, 2.0);
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn independence_level_matches_predicate() {
+        let (inst, a, b) = two_parallel(10.0);
+        let set = LinkSet::from_links(vec![a, b]).unwrap();
+        let q = independence_level(&inst, &set);
+        assert!(q.is_finite());
+        assert!(are_q_independent(&inst, a, b, q * 0.999));
+        assert!(!are_q_independent(&inst, a, b, q * 1.001));
+    }
+
+    #[test]
+    fn independence_level_single_link_is_infinite() {
+        let (inst, a, _) = two_parallel(2.0);
+        let set = LinkSet::from_links(vec![a]).unwrap();
+        assert_eq!(independence_level(&inst, &set), f64::INFINITY);
+    }
+}

@@ -1,0 +1,51 @@
+//! Link-set and tree combinatorics for SINR wireless networks.
+//!
+//! This crate provides the combinatorial vocabulary of the PODC 2012
+//! connectivity paper, independent of the physical (SINR) layer:
+//!
+//! - [`Link`] — a directed sender→receiver edge; [`LinkSet`] — a set of
+//!   links with duals, length classes and degree queries (§3 of the paper);
+//! - [`InTree`] — a rooted spanning in-tree (converge-cast tree) given by
+//!   a parent array, with ordering and reachability validation;
+//! - [`BiTree`] — an aggregation tree plus its complementary dissemination
+//!   tree sharing one schedule (Definition 1);
+//! - [`Schedule`] — a partition of links into time slots;
+//! - [`sparsity`] — the ψ-sparsity measure of Definition 8;
+//! - [`independence`] — the q-independence relation of Appendix A;
+//! - [`degree`] — degree statistics (Theorem 7 tooling).
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_links::{Link, LinkSet};
+//!
+//! let set = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 1)]).unwrap();
+//! assert_eq!(set.degree_of(1), 2);
+//! let dual = set.dual();
+//! assert_eq!(dual.links()[0], Link::new(1, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitree;
+pub mod degree;
+mod error;
+pub mod independence;
+mod link;
+mod linkset;
+mod schedule;
+pub mod sparsity;
+pub mod svg;
+mod tree;
+
+pub use bitree::BiTree;
+pub use error::LinkError;
+pub use link::Link;
+pub use linkset::LinkSet;
+pub use schedule::Schedule;
+pub use tree::InTree;
+
+/// Convenience result alias for fallible link/tree operations.
+pub type Result<T> = std::result::Result<T, LinkError>;

@@ -1,0 +1,182 @@
+//! Directed links between wireless nodes.
+
+use std::fmt;
+
+use sinr_geom::{Instance, NodeId};
+
+use crate::{LinkError, Result};
+
+/// A directed communication link from a sender node to a receiver node.
+///
+/// Following §3 of the paper, a link `(u, v)` denotes a transmission from
+/// `u` to `v`; the link `(v, u)` is its *dual*. Links are small `Copy`
+/// values identified by their endpoints; lengths are derived from an
+/// [`Instance`].
+///
+/// # Example
+///
+/// ```
+/// use sinr_links::Link;
+///
+/// let l = Link::new(3, 7);
+/// assert_eq!(l.dual(), Link::new(7, 3));
+/// assert!(l.shares_node(Link::new(7, 9)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Link {
+    /// The transmitting node.
+    pub sender: NodeId,
+    /// The intended receiving node.
+    pub receiver: NodeId,
+}
+
+impl Link {
+    /// Creates a link from `sender` to `receiver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender == receiver`; use [`Link::try_new`] for a
+    /// fallible constructor.
+    #[inline]
+    pub fn new(sender: NodeId, receiver: NodeId) -> Self {
+        assert_ne!(sender, receiver, "self-loop link at node {sender}");
+        Link { sender, receiver }
+    }
+
+    /// Fallible constructor rejecting self-loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::SelfLoop`] if `sender == receiver`.
+    #[inline]
+    pub fn try_new(sender: NodeId, receiver: NodeId) -> Result<Self> {
+        if sender == receiver {
+            Err(LinkError::SelfLoop { node: sender })
+        } else {
+            Ok(Link { sender, receiver })
+        }
+    }
+
+    /// The dual link `(v, u)` of `(u, v)` (the acknowledgment direction).
+    #[inline]
+    pub fn dual(self) -> Link {
+        Link { sender: self.receiver, receiver: self.sender }
+    }
+
+    /// Euclidean length of the link in `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range for the instance.
+    #[inline]
+    pub fn length(self, instance: &Instance) -> f64 {
+        instance.distance(self.sender, self.receiver)
+    }
+
+    /// The length class (`Init` round) this link belongs to:
+    /// `r` with `length ∈ [2^{r-1}, 2^r)`.
+    #[inline]
+    pub fn length_class(self, instance: &Instance) -> u32 {
+        Instance::length_class_of(self.length(instance))
+    }
+
+    /// Whether the two links share an endpoint (in either role).
+    #[inline]
+    pub fn shares_node(self, other: Link) -> bool {
+        self.sender == other.sender
+            || self.sender == other.receiver
+            || self.receiver == other.sender
+            || self.receiver == other.receiver
+    }
+
+    /// Whether `node` is the sender or receiver of this link.
+    #[inline]
+    pub fn is_incident(self, node: NodeId) -> bool {
+        self.sender == node || self.receiver == node
+    }
+
+    /// Both endpoints, sender first.
+    #[inline]
+    pub fn endpoints(self) -> [NodeId; 2] {
+        [self.sender, self.receiver]
+    }
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}", self.sender, self.receiver)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} → {})", self.sender, self.receiver)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Link {
+    fn from((s, r): (NodeId, NodeId)) -> Self {
+        Link::new(s, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::Point;
+
+    #[test]
+    fn dual_is_involution() {
+        let l = Link::new(2, 5);
+        assert_eq!(l.dual().dual(), l);
+        assert_ne!(l.dual(), l);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Link::new(3, 3);
+    }
+
+    #[test]
+    fn try_new_rejects_self_loop() {
+        assert_eq!(Link::try_new(1, 1), Err(LinkError::SelfLoop { node: 1 }));
+        assert!(Link::try_new(1, 2).is_ok());
+    }
+
+    #[test]
+    fn length_and_class() {
+        let inst = Instance::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+        ])
+        .unwrap();
+        let short = Link::new(0, 1);
+        let long = Link::new(0, 2);
+        assert_eq!(short.length(&inst), 1.0);
+        assert_eq!(long.length(&inst), 5.0);
+        assert_eq!(short.length_class(&inst), 1);
+        assert_eq!(long.length_class(&inst), 3); // 5 ∈ [4, 8)
+        // Dual has the same length.
+        assert_eq!(long.dual().length(&inst), 5.0);
+    }
+
+    #[test]
+    fn incidence() {
+        let l = Link::new(4, 9);
+        assert!(l.is_incident(4));
+        assert!(l.is_incident(9));
+        assert!(!l.is_incident(5));
+        assert!(l.shares_node(Link::new(9, 1)));
+        assert!(!l.shares_node(Link::new(2, 3)));
+        assert_eq!(l.endpoints(), [4, 9]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Link::new(1, 2)), "1→2");
+        assert_eq!(format!("{}", Link::new(1, 2)), "(1 → 2)");
+    }
+}

@@ -1,0 +1,271 @@
+//! Schedules: partitions of a link set into time slots.
+
+use std::collections::BTreeMap;
+
+use crate::{Link, LinkError, LinkSet, Result};
+
+/// A schedule assigns every link of a set to a time slot; the links of
+/// one slot are intended to transmit simultaneously.
+///
+/// The *length* of the schedule (its number of slots) is the paper's
+/// measure of efficiency: Theorem 4 produces bi-trees schedulable in
+/// `O(log n)` slots. Whether each slot is actually SINR-feasible is
+/// checked by `sinr-phy` (`validate_schedule`), keeping this type purely
+/// combinatorial.
+///
+/// # Example
+///
+/// ```
+/// use sinr_links::{Link, Schedule};
+///
+/// let mut s = Schedule::new();
+/// s.assign(Link::new(0, 1), 0);
+/// s.assign(Link::new(2, 3), 0);
+/// s.assign(Link::new(1, 4), 1);
+/// assert_eq!(s.num_slots(), 2);
+/// assert_eq!(s.slot_of(Link::new(1, 4)), Some(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    /// Slot index per link; slots may be sparse until normalized.
+    assignment: BTreeMap<Link, usize>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Builds a schedule from explicit `(link, slot)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ScheduleMismatch`] if a link appears twice.
+    pub fn from_pairs<I: IntoIterator<Item = (Link, usize)>>(pairs: I) -> Result<Self> {
+        let mut s = Schedule::new();
+        for (l, slot) in pairs {
+            if s.assignment.insert(l, slot).is_some() {
+                return Err(LinkError::ScheduleMismatch {
+                    detail: format!("link {l:?} assigned twice"),
+                });
+            }
+        }
+        Ok(s)
+    }
+
+    /// Assigns (or reassigns) `link` to `slot`.
+    pub fn assign(&mut self, link: Link, slot: usize) {
+        self.assignment.insert(link, slot);
+    }
+
+    /// The slot of `link`, if scheduled.
+    pub fn slot_of(&self, link: Link) -> Option<usize> {
+        self.assignment.get(&link).copied()
+    }
+
+    /// Number of scheduled links.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether no links are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of slots: one past the maximum slot index (0 if empty).
+    ///
+    /// Note that intermediate slots may be empty; use
+    /// [`Schedule::compact`] to renumber.
+    pub fn num_slots(&self) -> usize {
+        self.assignment.values().map(|&s| s + 1).max().unwrap_or(0)
+    }
+
+    /// The links assigned to `slot`.
+    pub fn links_in_slot(&self, slot: usize) -> LinkSet {
+        self.assignment
+            .iter()
+            .filter(|&(_, &s)| s == slot)
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// All scheduled links as a set.
+    pub fn links(&self) -> LinkSet {
+        self.assignment.keys().copied().collect()
+    }
+
+    /// Slot contents in slot order, one `LinkSet` per slot (empty slots
+    /// included so indices line up with slot numbers).
+    pub fn slots(&self) -> Vec<LinkSet> {
+        let n = self.num_slots();
+        let mut out = vec![LinkSet::new(); n];
+        for (&l, &s) in &self.assignment {
+            out[s].insert(l);
+        }
+        out
+    }
+
+    /// Renumbers slots to remove empty ones, preserving relative order.
+    /// Returns the number of slots removed.
+    pub fn compact(&mut self) -> usize {
+        let n = self.num_slots();
+        let mut used = vec![false; n];
+        for &s in self.assignment.values() {
+            used[s] = true;
+        }
+        let mut remap = vec![0usize; n];
+        let mut next = 0;
+        for (i, &u) in used.iter().enumerate() {
+            remap[i] = next;
+            if u {
+                next += 1;
+            }
+        }
+        for slot in self.assignment.values_mut() {
+            *slot = remap[*slot];
+        }
+        n - next
+    }
+
+    /// Reverses the slot order within the occupied range: slot `k`
+    /// becomes `min + max − k`, where `min`/`max` are the smallest and
+    /// largest occupied slots. Used to turn an aggregation schedule
+    /// into the complementary dissemination schedule of a bi-tree
+    /// (Definition 1). An involution for every schedule; for compacted
+    /// schedules this is the familiar `S − 1 − k`.
+    pub fn reversed(&self) -> Schedule {
+        let min = self.assignment.values().copied().min().unwrap_or(0);
+        let max = self.assignment.values().copied().max().unwrap_or(0);
+        let assignment = self
+            .assignment
+            .iter()
+            .map(|(&l, &s)| (l, min + max - s))
+            .collect();
+        Schedule { assignment }
+    }
+
+    /// Maps every link through `f` (e.g. [`Link::dual`]), keeping slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ScheduleMismatch`] if `f` maps two links to
+    /// the same link.
+    pub fn map_links<F: FnMut(Link) -> Link>(&self, mut f: F) -> Result<Schedule> {
+        Schedule::from_pairs(self.assignment.iter().map(|(&l, &s)| (f(l), s)))
+    }
+
+    /// Checks the schedule covers exactly `links`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ScheduleMismatch`] naming a missing or extra
+    /// link.
+    pub fn validate_covers(&self, links: &LinkSet) -> Result<()> {
+        for l in links.iter() {
+            if !self.assignment.contains_key(&l) {
+                return Err(LinkError::ScheduleMismatch {
+                    detail: format!("link {l:?} is not scheduled"),
+                });
+            }
+        }
+        if self.assignment.len() != links.len() {
+            let extra = self
+                .assignment
+                .keys()
+                .find(|l| !links.contains(**l))
+                .expect("length mismatch implies an extra link");
+            return Err(LinkError::ScheduleMismatch {
+                detail: format!("scheduled link {extra:?} is not in the link set"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(link, slot)` pairs in link order.
+    pub fn iter(&self) -> impl Iterator<Item = (Link, usize)> + '_ {
+        self.assignment.iter().map(|(&l, &s)| (l, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::from_pairs(vec![
+            (Link::new(0, 1), 0),
+            (Link::new(2, 3), 0),
+            (Link::new(1, 4), 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_pairs_rejects_duplicate_links() {
+        let r = Schedule::from_pairs(vec![(Link::new(0, 1), 0), (Link::new(0, 1), 1)]);
+        assert!(matches!(r, Err(LinkError::ScheduleMismatch { .. })));
+    }
+
+    #[test]
+    fn slots_and_lengths() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_slots(), 3); // slot 1 empty
+        assert_eq!(s.links_in_slot(0).len(), 2);
+        assert_eq!(s.links_in_slot(1).len(), 0);
+        assert_eq!(s.slots().len(), 3);
+    }
+
+    #[test]
+    fn compact_removes_empty_slots() {
+        let mut s = sample();
+        let removed = s.compact();
+        assert_eq!(removed, 1);
+        assert_eq!(s.num_slots(), 2);
+        assert_eq!(s.slot_of(Link::new(1, 4)), Some(1));
+        // Order preserved.
+        assert_eq!(s.slot_of(Link::new(0, 1)), Some(0));
+    }
+
+    #[test]
+    fn reversed_flips_order() {
+        let s = sample();
+        let r = s.reversed();
+        assert_eq!(r.slot_of(Link::new(0, 1)), Some(2));
+        assert_eq!(r.slot_of(Link::new(1, 4)), Some(0));
+        assert_eq!(r.reversed(), s);
+    }
+
+    #[test]
+    fn map_links_to_duals() {
+        let s = sample();
+        let d = s.map_links(Link::dual).unwrap();
+        assert_eq!(d.slot_of(Link::new(1, 0)), Some(0));
+        assert_eq!(d.len(), s.len());
+    }
+
+    #[test]
+    fn validate_covers_detects_mismatch() {
+        let s = sample();
+        let exact: LinkSet = s.links();
+        assert!(s.validate_covers(&exact).is_ok());
+
+        let mut missing = exact.clone();
+        missing.insert(Link::new(7, 8));
+        assert!(s.validate_covers(&missing).is_err());
+
+        let partial: LinkSet = vec![Link::new(0, 1)].into_iter().collect();
+        assert!(s.validate_covers(&partial).is_err());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new();
+        assert_eq!(s.num_slots(), 0);
+        assert!(s.is_empty());
+        assert!(s.validate_covers(&LinkSet::new()).is_ok());
+    }
+}

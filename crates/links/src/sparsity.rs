@@ -1,0 +1,250 @@
+//! ψ-sparsity of link sets (Definition 8 of the paper).
+//!
+//! A set `L` of links is *ψ-sparse* if for every closed ball `B` in the
+//! plane, the number of links of length at least `8·rad(B)` with at
+//! least one endpoint in `B` is at most `ψ`.
+//!
+//! The supremum ranges over uncountably many balls, so we expose two
+//! computable quantities:
+//!
+//! - [`sparsity_lower_bound`] evaluates balls centered at link endpoints
+//!   with the critical radii `length/8`; every evaluated ball is a real
+//!   ball, so the result is an *achieved* lower bound on ψ.
+//! - [`sparsity_upper_bound`] uses the standard doubling argument: any
+//!   ball of radius ρ containing `k` qualifying endpoints is covered by
+//!   an endpoint-centered ball of radius `2ρ`, so the maximum count over
+//!   endpoint-centered balls of doubled radius bounds ψ from above.
+//!
+//! Theorem 11 of the paper states the `Init` tree is `O(log n)`-sparse
+//! and Theorem 13 that the degree-capped subtree is `O(1)`-sparse;
+//! experiment E3 measures both via these functions.
+
+use sinr_geom::Instance;
+
+use crate::LinkSet;
+
+/// How far a sparsity ball's radius may reach relative to the link
+/// lengths it counts (the constant 8 of Definition 8).
+pub const SPARSITY_LENGTH_FACTOR: f64 = 8.0;
+
+#[derive(Clone, Copy)]
+struct Endpoint {
+    x: f64,
+    y: f64,
+}
+
+/// Counts links of `L` with length ≥ `min_len` having an endpoint within
+/// distance `radius` of `center`.
+fn count_qualifying(
+    lengths: &[f64],
+    endpoints: &[(Endpoint, Endpoint)],
+    center: Endpoint,
+    radius: f64,
+    min_len: f64,
+) -> usize {
+    let r2 = radius * radius;
+    let mut count = 0;
+    for (i, &(a, b)) in endpoints.iter().enumerate() {
+        if lengths[i] >= min_len {
+            let da = (a.x - center.x).powi(2) + (a.y - center.y).powi(2);
+            let db = (b.x - center.x).powi(2) + (b.y - center.y).powi(2);
+            if da <= r2 || db <= r2 {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn precompute(instance: &Instance, links: &LinkSet) -> (Vec<f64>, Vec<(Endpoint, Endpoint)>) {
+    let mut lengths = Vec::with_capacity(links.len());
+    let mut endpoints = Vec::with_capacity(links.len());
+    for l in links.iter() {
+        lengths.push(l.length(instance));
+        let pa = instance.position(l.sender);
+        let pb = instance.position(l.receiver);
+        endpoints.push((Endpoint { x: pa.x, y: pa.y }, Endpoint { x: pb.x, y: pb.y }));
+    }
+    (lengths, endpoints)
+}
+
+/// Distinct critical radii: `length / 8` for each distinct link length.
+///
+/// As the ball radius ρ grows within an interval where no link length
+/// crosses the `8ρ` threshold, the set of qualifying links only loses
+/// members while the ball gains area; the per-scale maximum over
+/// endpoint-centered balls is therefore attained at radii of this form.
+fn critical_radii(lengths: &[f64]) -> Vec<f64> {
+    let mut radii: Vec<f64> = lengths.iter().map(|&d| d / SPARSITY_LENGTH_FACTOR).collect();
+    radii.sort_by(|a, b| a.partial_cmp(b).expect("finite lengths"));
+    radii.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    radii
+}
+
+/// Achieved lower bound on the sparsity ψ of `links` (Definition 8):
+/// the maximum, over balls centered at link endpoints with radii
+/// `length/8` for each link length, of the count of qualifying links.
+///
+/// Returns 0 for an empty set.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{Instance, Point};
+/// use sinr_links::{sparsity, Link, LinkSet};
+///
+/// let inst = Instance::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(100.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 100.0),
+/// ])?;
+/// // Two long links sharing a tight neighborhood: ψ ≥ 2.
+/// let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)])?;
+/// assert!(sparsity::sparsity_lower_bound(&inst, &links) >= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sparsity_lower_bound(instance: &Instance, links: &LinkSet) -> usize {
+    sparsity_scan(instance, links, 1.0)
+}
+
+/// Upper bound on the sparsity ψ of `links` via the doubling argument:
+/// endpoint-centered balls of radius `2·(length/8)` counted against the
+/// same `length` threshold dominate every ball of radius `length/8`.
+pub fn sparsity_upper_bound(instance: &Instance, links: &LinkSet) -> usize {
+    sparsity_scan(instance, links, 2.0)
+}
+
+fn sparsity_scan(instance: &Instance, links: &LinkSet, radius_factor: f64) -> usize {
+    if links.is_empty() {
+        return 0;
+    }
+    let (lengths, endpoints) = precompute(instance, links);
+    let radii = critical_radii(&lengths);
+    let mut best = 0;
+    for &rho in &radii {
+        let min_len = SPARSITY_LENGTH_FACTOR * rho;
+        for &(a, b) in &endpoints {
+            for center in [a, b] {
+                let c = count_qualifying(
+                    &lengths,
+                    &endpoints,
+                    center,
+                    rho * radius_factor,
+                    // Slack keeps `length/8`-radius balls counting the
+                    // link that defined them despite f64 rounding.
+                    min_len * (1.0 - 1e-12),
+                );
+                best = best.max(c);
+            }
+        }
+    }
+    best
+}
+
+/// Checks that `links` is `psi`-sparse as far as the achieved lower
+/// bound can tell (i.e. the lower bound does not exceed `psi`).
+pub fn is_sparse_at_most(instance: &Instance, links: &LinkSet, psi: usize) -> bool {
+    sparsity_lower_bound(instance, links) <= psi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+    use sinr_geom::Point;
+
+    fn star_instance(k: usize, arm: f64) -> (Instance, LinkSet) {
+        // k long links all leaving a tight hub of radius 1.
+        let mut pts = Vec::new();
+        for i in 0..k {
+            let theta = std::f64::consts::TAU * i as f64 / k as f64;
+            // Hub endpoints on a unit circle, far endpoints on radius `arm`.
+            pts.push(Point::new(theta.cos(), theta.sin()));
+            pts.push(Point::new(arm * theta.cos(), arm * theta.sin()));
+        }
+        let inst = Instance::new(pts).unwrap();
+        let links =
+            LinkSet::from_links((0..k).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        (inst, links)
+    }
+
+    #[test]
+    fn empty_set_is_zero_sparse() {
+        let inst = Instance::new(vec![Point::ORIGIN]).unwrap();
+        assert_eq!(sparsity_lower_bound(&inst, &LinkSet::new()), 0);
+        assert_eq!(sparsity_upper_bound(&inst, &LinkSet::new()), 0);
+    }
+
+    #[test]
+    fn single_link_has_sparsity_one() {
+        let inst =
+            Instance::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+        let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
+        assert_eq!(sparsity_lower_bound(&inst, &links), 1);
+        assert_eq!(sparsity_upper_bound(&inst, &links), 1);
+    }
+
+    #[test]
+    fn hub_of_long_links_is_dense() {
+        let (inst, links) = star_instance(6, 100.0);
+        // All 6 links have an endpoint within the unit hub and length ≈ 99,
+        // far exceeding 8 · (hub radius): ψ must see all of them.
+        let lo = sparsity_lower_bound(&inst, &links);
+        assert!(lo >= 6, "expected ≥ 6, got {lo}");
+    }
+
+    #[test]
+    fn spread_short_links_are_sparse() {
+        // Unit-length links spaced 100 apart: every ball that may count a
+        // link (radius ≤ 1/8) reaches only that link's own endpoints.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(Point::new(100.0 * i as f64, 0.0));
+            pts.push(Point::new(100.0 * i as f64 + 1.0, 0.0));
+        }
+        let inst = Instance::new(pts).unwrap();
+        let links =
+            LinkSet::from_links((0..8).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        assert_eq!(sparsity_lower_bound(&inst, &links), 1);
+        assert_eq!(sparsity_upper_bound(&inst, &links), 1);
+    }
+
+    #[test]
+    fn lower_is_at_most_upper() {
+        for seed in 0..5u64 {
+            let inst = sinr_geom::gen::uniform_square(60, 1.5, seed).unwrap();
+            // Random link set: each node to (i+7) mod n.
+            let n = inst.len();
+            let links = LinkSet::from_links(
+                (0..n).filter(|&i| i != (i + 7) % n).map(|i| Link::new(i, (i + 7) % n)),
+            )
+            .unwrap();
+            let lo = sparsity_lower_bound(&inst, &links);
+            let hi = sparsity_upper_bound(&inst, &links);
+            assert!(lo <= hi, "lo {lo} > hi {hi} (seed {seed})");
+            assert!(lo >= 1);
+        }
+    }
+
+    #[test]
+    fn sparsity_is_monotone_under_subset() {
+        let (inst, links) = star_instance(5, 50.0);
+        let mut subset = LinkSet::new();
+        for (i, l) in links.iter().enumerate() {
+            if i % 2 == 0 {
+                subset.insert(l);
+            }
+        }
+        assert!(
+            sparsity_lower_bound(&inst, &subset) <= sparsity_lower_bound(&inst, &links)
+        );
+    }
+
+    #[test]
+    fn is_sparse_at_most_works() {
+        let (inst, links) = star_instance(4, 60.0);
+        assert!(is_sparse_at_most(&inst, &links, 4));
+        assert!(!is_sparse_at_most(&inst, &links, 3));
+    }
+}

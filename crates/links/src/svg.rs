@@ -1,0 +1,221 @@
+//! SVG rendering of instances, link sets and schedules.
+//!
+//! Produces self-contained SVG documents for inspecting deployments and
+//! the structures the algorithms build: nodes as dots, links as arrows,
+//! slots as colors. Pure string generation — no I/O, no dependencies —
+//! so it is usable from tests, examples and the `connect` CLI alike.
+
+use std::fmt::Write as _;
+
+use sinr_geom::Instance;
+
+use crate::{LinkSet, Schedule};
+
+/// Rendering options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvgOptions {
+    /// Canvas width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Margin around the drawing, in pixels.
+    pub margin: f64,
+    /// Node dot radius in pixels.
+    pub node_radius: f64,
+    /// Whether to label nodes with their ids.
+    pub node_labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 800.0, margin: 24.0, node_radius: 3.5, node_labels: false }
+    }
+}
+
+/// A qualitative palette for slot coloring (12 distinguishable hues).
+const PALETTE: [&str; 12] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
+    "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+];
+
+/// The color assigned to a slot index.
+pub fn slot_color(slot: usize) -> &'static str {
+    PALETTE[slot % PALETTE.len()]
+}
+
+struct Mapper {
+    scale: f64,
+    ox: f64,
+    oy: f64,
+    height: f64,
+    margin: f64,
+}
+
+impl Mapper {
+    fn new(instance: &Instance, opts: &SvgOptions) -> Mapper {
+        let bb = instance.bounding_box();
+        let w = bb.width().max(1e-9);
+        let h = bb.height().max(1e-9);
+        let scale = (opts.width - 2.0 * opts.margin) / w;
+        Mapper {
+            scale,
+            ox: bb.min().x,
+            oy: bb.min().y,
+            height: h * scale + 2.0 * opts.margin,
+            margin: opts.margin,
+        }
+    }
+
+    fn x(&self, x: f64) -> f64 {
+        (x - self.ox) * self.scale + self.margin
+    }
+
+    /// SVG y grows downward; flip so the plane reads conventionally.
+    fn y(&self, y: f64) -> f64 {
+        self.height - ((y - self.oy) * self.scale + self.margin)
+    }
+}
+
+/// Renders the instance's nodes, optionally with a link set drawn as
+/// arrows colored by schedule slot (uncolored gray when `schedule` is
+/// `None` or a link is unscheduled).
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::gen;
+/// use sinr_links::{svg, Link, LinkSet};
+///
+/// let inst = gen::uniform_square(16, 1.5, 3)?;
+/// let links = LinkSet::from_links(vec![Link::new(0, 1)])?;
+/// let doc = svg::render(&inst, Some(&links), None, &svg::SvgOptions::default());
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("</svg>"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render(
+    instance: &Instance,
+    links: Option<&LinkSet>,
+    schedule: Option<&Schedule>,
+    opts: &SvgOptions,
+) -> String {
+    let m = Mapper::new(instance, opts);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        opts.width, m.height, opts.width, m.height
+    );
+    let _ = write!(
+        out,
+        r#"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="5" markerHeight="5" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="context-stroke"/></marker></defs>"#
+    );
+    let _ = write!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    if let Some(links) = links {
+        for l in links.iter() {
+            let a = instance.position(l.sender);
+            let b = instance.position(l.receiver);
+            let color = schedule
+                .and_then(|s| s.slot_of(l))
+                .map(slot_color)
+                .unwrap_or("#999999");
+            let _ = write!(
+                out,
+                r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="1.4" marker-end="url(#arrow)"/>"#,
+                m.x(a.x),
+                m.y(a.y),
+                m.x(b.x),
+                m.y(b.y),
+                color
+            );
+        }
+    }
+
+    for (id, p) in instance.iter() {
+        let _ = write!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="#222222"/>"##,
+            m.x(p.x),
+            m.y(p.y),
+            opts.node_radius
+        );
+        if opts.node_labels {
+            let _ = write!(
+                out,
+                r##"<text x="{:.2}" y="{:.2}" font-size="9" fill="#444444">{}</text>"##,
+                m.x(p.x) + opts.node_radius + 1.0,
+                m.y(p.y) - 2.0,
+                id
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+    use sinr_geom::gen;
+
+    #[test]
+    fn render_nodes_only() {
+        let inst = gen::uniform_square(10, 1.5, 1).unwrap();
+        let doc = render(&inst, None, None, &SvgOptions::default());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>"));
+        assert_eq!(doc.matches("<circle").count(), 10);
+        assert_eq!(doc.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn render_links_colored_by_slot() {
+        let inst = gen::line(4).unwrap();
+        let links =
+            LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)]).unwrap();
+        let schedule = Schedule::from_pairs(vec![
+            (Link::new(0, 1), 0),
+            (Link::new(2, 3), 1),
+        ])
+        .unwrap();
+        let doc = render(&inst, Some(&links), Some(&schedule), &SvgOptions::default());
+        assert_eq!(doc.matches("<line").count(), 2);
+        assert!(doc.contains(slot_color(0)));
+        assert!(doc.contains(slot_color(1)));
+    }
+
+    #[test]
+    fn unscheduled_links_are_gray() {
+        let inst = gen::line(3).unwrap();
+        let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
+        let doc = render(&inst, Some(&links), None, &SvgOptions::default());
+        assert!(doc.contains("#999999"));
+    }
+
+    #[test]
+    fn labels_toggle() {
+        let inst = gen::line(3).unwrap();
+        let with = render(
+            &inst,
+            None,
+            None,
+            &SvgOptions { node_labels: true, ..Default::default() },
+        );
+        let without = render(&inst, None, None, &SvgOptions::default());
+        assert!(with.contains("<text"));
+        assert!(!without.contains("<text"));
+    }
+
+    #[test]
+    fn single_point_instance_renders() {
+        let inst = sinr_geom::Instance::new(vec![sinr_geom::Point::new(2.0, 5.0)]).unwrap();
+        let doc = render(&inst, None, None, &SvgOptions::default());
+        assert_eq!(doc.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(slot_color(0), slot_color(12));
+        assert_ne!(slot_color(0), slot_color(1));
+    }
+}

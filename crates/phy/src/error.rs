@@ -1,0 +1,88 @@
+//! Error types for the physical layer.
+
+use std::error::Error;
+use std::fmt;
+
+use sinr_links::Link;
+
+/// Errors produced by physical-layer validation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PhyError {
+    /// A model parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The constraint that was violated.
+        reason: &'static str,
+    },
+    /// A link's power cannot overcome ambient noise even without any
+    /// interference (`P ≤ βN·d^α`), so the noise factor `c(u,v)` is
+    /// undefined.
+    PowerBelowNoiseFloor {
+        /// The offending link.
+        link: Link,
+        /// The power that was assigned.
+        power: f64,
+        /// The minimum power that would work (`βN·d^α`, exclusive).
+        required: f64,
+    },
+    /// An explicit power assignment is missing a link it was asked about.
+    MissingPower {
+        /// The link that has no assigned power.
+        link: Link,
+    },
+    /// A schedule slot was infeasible.
+    InfeasibleSlot {
+        /// Slot index within the schedule.
+        slot: usize,
+        /// One offending link in that slot.
+        link: Link,
+        /// Its achieved SINR (or 0 when the receiver was transmitting).
+        sinr: f64,
+    },
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PhyError::PowerBelowNoiseFloor { link, power, required } => write!(
+                f,
+                "link {link:?} power {power} cannot overcome noise (needs > {required})"
+            ),
+            PhyError::MissingPower { link } => {
+                write!(f, "explicit power assignment has no entry for link {link:?}")
+            }
+            PhyError::InfeasibleSlot { slot, link, sinr } => {
+                write!(f, "slot {slot} infeasible: link {link:?} achieves SINR {sinr}")
+            }
+        }
+    }
+}
+
+impl Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            PhyError::InvalidParameter { name: "alpha", reason: "must exceed 2" },
+            PhyError::PowerBelowNoiseFloor {
+                link: Link::new(0, 1),
+                power: 1.0,
+                required: 2.0,
+            },
+            PhyError::MissingPower { link: Link::new(0, 1) },
+            PhyError::InfeasibleSlot { slot: 3, link: Link::new(0, 1), sinr: 0.5 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

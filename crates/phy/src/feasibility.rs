@@ -1,0 +1,344 @@
+//! Feasibility of link sets and validation of schedules.
+//!
+//! A set `L` of links is *feasible* under a power assignment if every
+//! link's SINR constraint (Eqn 1) holds when all senders of `L` transmit
+//! simultaneously — equivalently `a_{S(L)}(ℓ) ≤ 1` for every `ℓ ∈ L`
+//! (§5). On top of the SINR constraint we enforce the physical rules the
+//! paper uses implicitly:
+//!
+//! - **half-duplex** — a node cannot transmit and receive in one slot;
+//! - **single transmission** — a node cannot be the sender of two links
+//!   in one slot (it has one radio).
+
+use sinr_geom::{Instance, NodeId};
+use sinr_links::{Link, LinkSet, Schedule};
+
+use crate::affectance::AffectanceCalc;
+use crate::{PhyError, PowerAssignment, SinrParams};
+
+/// Why a link failed within its slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ViolationKind {
+    /// The achieved SINR is below `β`.
+    LowSinr,
+    /// The link's receiver is also a sender in the same slot.
+    HalfDuplex,
+    /// The link's sender also sends another link in the same slot.
+    DuplicateSender,
+    /// The assigned power cannot overcome ambient noise at this length.
+    BelowNoiseFloor,
+    /// The power assignment has no entry for this link.
+    MissingPower,
+}
+
+/// A single feasibility violation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Violation {
+    /// The offending link.
+    pub link: Link,
+    /// The achieved SINR (0 when not computable).
+    pub sinr: f64,
+    /// The category of failure.
+    pub kind: ViolationKind,
+}
+
+/// Result of checking one link set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FeasibilityReport {
+    /// All violations found (empty ⇔ feasible).
+    pub violations: Vec<Violation>,
+    /// Number of links checked.
+    pub checked: usize,
+    /// Minimum SINR across links whose SINR was computable.
+    pub min_sinr: Option<f64>,
+}
+
+impl FeasibilityReport {
+    /// Whether the set was feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks whether `links` is feasible under `power` when all of its
+/// senders transmit simultaneously.
+///
+/// Never panics and never returns early: the report lists *all*
+/// violations, which the experiment harness uses for diagnostics.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geom::{Instance, Point};
+/// use sinr_links::{Link, LinkSet};
+/// use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+///
+/// let params = SinrParams::default();
+/// let inst = Instance::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0),
+///                               Point::new(2.0, 0.0)])?;
+/// // 0→1 and 2→1 collide at the shared receiver: infeasible.
+/// let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 1)])?;
+/// let power = PowerAssignment::uniform_with_margin(&params, inst.delta());
+/// assert!(!feasibility::check(&params, &inst, &links, &power).is_feasible());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check(
+    params: &SinrParams,
+    instance: &Instance,
+    links: &LinkSet,
+    power: &PowerAssignment,
+) -> FeasibilityReport {
+    let calc = AffectanceCalc::new(params, instance);
+    let mut report = FeasibilityReport { checked: links.len(), ..Default::default() };
+
+    let mut senders: Vec<NodeId> = Vec::with_capacity(links.len());
+    let mut tx: Vec<(NodeId, f64)> = Vec::with_capacity(links.len());
+    let mut power_errors = Vec::new();
+    for l in links.iter() {
+        match power.power_of(l, instance, params) {
+            Ok(p) => {
+                senders.push(l.sender);
+                tx.push((l.sender, p));
+            }
+            Err(PhyError::MissingPower { link }) => {
+                power_errors.push(Violation {
+                    link,
+                    sinr: 0.0,
+                    kind: ViolationKind::MissingPower,
+                });
+            }
+            Err(_) => unreachable!("power_of only fails with MissingPower"),
+        }
+    }
+    report.violations.extend(power_errors.iter().copied());
+    if !power_errors.is_empty() {
+        // Without a complete transmitter set the SINR of the remaining
+        // links is not well-defined; stop at the structural failure.
+        return report;
+    }
+
+    for (i, l) in links.iter().enumerate() {
+        let p_l = tx[i].1;
+
+        if senders.iter().any(|&s| s == l.receiver) {
+            report.violations.push(Violation {
+                link: l,
+                sinr: 0.0,
+                kind: ViolationKind::HalfDuplex,
+            });
+            continue;
+        }
+        if senders.iter().filter(|&&s| s == l.sender).count() > 1 {
+            report.violations.push(Violation {
+                link: l,
+                sinr: 0.0,
+                kind: ViolationKind::DuplicateSender,
+            });
+            continue;
+        }
+        if p_l <= params.noise_floor_power(l.length(instance)) {
+            report.violations.push(Violation {
+                link: l,
+                sinr: 0.0,
+                kind: ViolationKind::BelowNoiseFloor,
+            });
+            continue;
+        }
+
+        let sinr = calc.sinr(l, p_l, &tx);
+        report.min_sinr = Some(report.min_sinr.map_or(sinr, |m: f64| m.min(sinr)));
+        if sinr < params.beta() * (1.0 - 1e-12) {
+            report.violations.push(Violation { link: l, sinr, kind: ViolationKind::LowSinr });
+        }
+    }
+    report
+}
+
+/// Shorthand for `check(..).is_feasible()`.
+pub fn is_feasible(
+    params: &SinrParams,
+    instance: &Instance,
+    links: &LinkSet,
+    power: &PowerAssignment,
+) -> bool {
+    check(params, instance, links, power).is_feasible()
+}
+
+/// Validates that every slot of `schedule` is feasible under `power`.
+///
+/// # Errors
+///
+/// Returns [`PhyError::InfeasibleSlot`] for the first offending slot.
+pub fn validate_schedule(
+    params: &SinrParams,
+    instance: &Instance,
+    schedule: &Schedule,
+    power: &PowerAssignment,
+) -> Result<(), PhyError> {
+    for (slot, links) in schedule.slots().iter().enumerate() {
+        let report = check(params, instance, links, power);
+        if let Some(v) = report.violations.first() {
+            return Err(PhyError::InfeasibleSlot { slot, link: v.link, sinr: v.sinr });
+        }
+    }
+    Ok(())
+}
+
+/// The *measured* affectance a receiver observes for a successful
+/// reception: the total thresholded affectance of the other transmitters
+/// on the link. This implements the measurement assumption of §8.2
+/// ("receivers can measure the SINR of a successful link").
+///
+/// Returns `None` when the link power cannot overcome noise (the
+/// measurement is undefined because the link cannot succeed at all).
+pub fn measured_affectance(
+    params: &SinrParams,
+    instance: &Instance,
+    link: Link,
+    link_power: f64,
+    transmitters: &[(NodeId, f64)],
+) -> Option<f64> {
+    AffectanceCalc::new(params, instance)
+        .sum_on(transmitters, link, link_power)
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::Point;
+
+    fn params() -> SinrParams {
+        SinrParams::default()
+    }
+
+    fn line_instance(xs: &[f64]) -> Instance {
+        Instance::new(xs.iter().map(|&x| Point::new(x, 0.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_strong_link_is_feasible() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0]);
+        let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, 1.0);
+        let report = check(&p, &inst, &links, &power);
+        assert!(report.is_feasible(), "{report:?}");
+        assert!(report.min_sinr.unwrap() >= p.beta());
+    }
+
+    #[test]
+    fn below_noise_floor_is_flagged() {
+        let p = params();
+        let inst = line_instance(&[0.0, 4.0]);
+        let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
+        let power = PowerAssignment::uniform(p.noise_floor_power(4.0) * 0.5);
+        let report = check(&p, &inst, &links, &power);
+        assert_eq!(report.violations[0].kind, ViolationKind::BelowNoiseFloor);
+    }
+
+    #[test]
+    fn half_duplex_violation() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 2.0]);
+        // 0 → 1 while 1 → 2: node 1 transmits and receives.
+        let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(1, 2)]).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
+        let report = check(&p, &inst, &links, &power);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::HalfDuplex && v.link == Link::new(0, 1)));
+    }
+
+    #[test]
+    fn duplicate_sender_violation() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 2.0]);
+        let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(0, 2)]).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
+        let report = check(&p, &inst, &links, &power);
+        assert!(report.violations.iter().all(|v| v.kind == ViolationKind::DuplicateSender));
+        assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn near_links_collide_far_links_coexist() {
+        let p = params();
+        // Two parallel unit-ish links: close together (interferer at
+        // distance 1.5 from each receiver) → infeasible with uniform
+        // power; far apart → feasible.
+        let near = line_instance(&[0.0, 1.0, 1.5, 2.5]);
+        let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(3, 2)]).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, 1.0);
+        assert!(!is_feasible(&p, &near, &links, &power));
+
+        let far = line_instance(&[0.0, 1.0, 100.0, 101.0]);
+        let links_far = LinkSet::from_links(vec![Link::new(0, 1), Link::new(3, 2)]).unwrap();
+        assert!(is_feasible(&p, &far, &links_far, &power));
+    }
+
+    #[test]
+    fn missing_power_short_circuits() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 50.0, 51.0]);
+        let mut map = std::collections::HashMap::new();
+        map.insert(Link::new(0, 1), 100.0);
+        let power = PowerAssignment::explicit(map).unwrap();
+        let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)]).unwrap();
+        let report = check(&p, &inst, &links, &power);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::MissingPower);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 1.5, 2.5]);
+        let power = PowerAssignment::uniform_with_margin(&p, 1.0);
+        // Conflicting links in different slots: fine.
+        let good = Schedule::from_pairs(vec![
+            (Link::new(0, 1), 0),
+            (Link::new(3, 2), 1),
+        ])
+        .unwrap();
+        assert!(validate_schedule(&p, &inst, &good, &power).is_ok());
+        // Same slot: infeasible.
+        let bad = Schedule::from_pairs(vec![
+            (Link::new(0, 1), 0),
+            (Link::new(3, 2), 0),
+        ])
+        .unwrap();
+        let err = validate_schedule(&p, &inst, &bad, &power).unwrap_err();
+        assert!(matches!(err, PhyError::InfeasibleSlot { slot: 0, .. }));
+    }
+
+    #[test]
+    fn feasibility_is_monotone_under_subset() {
+        // Removing links cannot break feasibility (interference only
+        // decreases). Spot-check on a feasible pair.
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 100.0, 101.0]);
+        let both = LinkSet::from_links(vec![Link::new(0, 1), Link::new(3, 2)]).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, 1.0);
+        assert!(is_feasible(&p, &inst, &both, &power));
+        for l in both.iter() {
+            let single = LinkSet::from_links(vec![l]).unwrap();
+            assert!(is_feasible(&p, &inst, &single, &power));
+        }
+    }
+
+    #[test]
+    fn measured_affectance_matches_success() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 6.0, 7.0]);
+        let l = Link::new(0, 1);
+        let pw = p.min_power_for_length(1.0) * 2.0;
+        let tx = [(0, pw), (3, pw)];
+        let a = measured_affectance(&p, &inst, l, pw, &tx).unwrap();
+        let calc = AffectanceCalc::new(&p, &inst);
+        let sinr = calc.sinr(l, pw, &tx);
+        // Equivalence: affectance ≤ 1 iff SINR ≥ β (unclipped terms).
+        assert_eq!(a <= 1.0, sinr >= p.beta() * (1.0 - 1e-12));
+    }
+}

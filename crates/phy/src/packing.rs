@@ -1,0 +1,155 @@
+//! Greedy slot packing under a fixed power assignment.
+//!
+//! The shared engine behind the centralized schedulers (`sinr-baselines`)
+//! and the repair pipeline (`sinr-connectivity::repair`): place links
+//! into the earliest feasible slot, optionally respecting per-link slot
+//! floors — which is how converge-cast trees get leaf-to-root-ordered
+//! schedules (children strictly before parents).
+
+use sinr_geom::Instance;
+use sinr_links::{InTree, Link, LinkSet, Schedule};
+
+use crate::{feasibility, PowerAssignment, SinrParams};
+
+/// Packs `links` (in the given order) greedily: each link goes to the
+/// earliest slot `≥ min_slot(link)` whose occupancy stays feasible.
+///
+/// Returns the schedule and the links that cannot be scheduled even
+/// alone (below the noise floor or missing a power entry) — reported
+/// instead of looping forever.
+pub fn first_fit(
+    params: &SinrParams,
+    instance: &Instance,
+    links: &[Link],
+    power: &PowerAssignment,
+    mut min_slot: impl FnMut(Link) -> usize,
+) -> (Schedule, Vec<Link>) {
+    let mut slots: Vec<LinkSet> = Vec::new();
+    let mut schedule = Schedule::new();
+    let mut unschedulable = Vec::new();
+
+    'links: for &link in links {
+        let alone: LinkSet = std::iter::once(link).collect();
+        if !feasibility::is_feasible(params, instance, &alone, power) {
+            unschedulable.push(link);
+            continue;
+        }
+        let mut s = min_slot(link);
+        loop {
+            while slots.len() <= s {
+                slots.push(LinkSet::new());
+            }
+            let mut candidate = slots[s].clone();
+            candidate.insert(link);
+            if feasibility::is_feasible(params, instance, &candidate, power) {
+                slots[s] = candidate;
+                schedule.assign(link, s);
+                continue 'links;
+            }
+            s += 1;
+        }
+    }
+    (schedule, unschedulable)
+}
+
+/// Packs a converge-cast tree's aggregation links in leaf-to-root order
+/// with per-node slot floors, producing a schedule that satisfies the
+/// bi-tree ordering property (every link strictly after all links of
+/// its sender's subtree) with every slot feasible.
+///
+/// The returned schedule is compacted. Unschedulable links are reported
+/// (always empty for margin powers).
+pub fn pack_tree_ordered(
+    params: &SinrParams,
+    instance: &Instance,
+    tree: &InTree,
+    power: &PowerAssignment,
+) -> (Schedule, Vec<Link>) {
+    let mut floor = vec![0usize; tree.len()];
+    let ordered: Vec<Link> = tree
+        .leaf_to_root_order()
+        .into_iter()
+        .filter_map(|u| tree.parent(u).map(|p| Link::new(u, p)))
+        .collect();
+
+    // Pack one link at a time so receiver floors update as we go.
+    let mut slots: Vec<LinkSet> = Vec::new();
+    let mut schedule = Schedule::new();
+    let mut unschedulable = Vec::new();
+    'links: for link in ordered {
+        let alone: LinkSet = std::iter::once(link).collect();
+        if !feasibility::is_feasible(params, instance, &alone, power) {
+            unschedulable.push(link);
+            continue;
+        }
+        let mut s = floor[link.sender];
+        loop {
+            while slots.len() <= s {
+                slots.push(LinkSet::new());
+            }
+            let mut candidate = slots[s].clone();
+            candidate.insert(link);
+            if feasibility::is_feasible(params, instance, &candidate, power) {
+                slots[s] = candidate;
+                schedule.assign(link, s);
+                floor[link.receiver] = floor[link.receiver].max(s + 1);
+                continue 'links;
+            }
+            s += 1;
+        }
+    }
+    schedule.compact();
+    (schedule, unschedulable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::gen;
+
+    fn params() -> SinrParams {
+        SinrParams::default()
+    }
+
+    #[test]
+    fn first_fit_respects_floors() {
+        let p = params();
+        let inst = gen::line(4).unwrap();
+        let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
+        let links = [Link::new(0, 1), Link::new(3, 2)];
+        let (s, bad) = first_fit(&p, &inst, &links, &power, |l| {
+            if l == Link::new(3, 2) {
+                3
+            } else {
+                0
+            }
+        });
+        assert!(bad.is_empty());
+        assert_eq!(s.slot_of(Link::new(3, 2)), Some(3));
+    }
+
+    #[test]
+    fn tree_packing_is_ordered_and_feasible() {
+        let p = params();
+        let inst = gen::uniform_square(40, 1.5, 8).unwrap();
+        let parents = sinr_geom::mst::mst_parent_array(&inst, 0);
+        let tree = InTree::from_parents(parents).unwrap();
+        let power = PowerAssignment::mean_with_margin(&p, inst.delta());
+        let (schedule, bad) = pack_tree_ordered(&p, &inst, &tree, &power);
+        assert!(bad.is_empty());
+        feasibility::validate_schedule(&p, &inst, &schedule, &power).unwrap();
+        // BiTree::new enforces the ordering property.
+        sinr_links::BiTree::new(tree, schedule).expect("ordering holds");
+    }
+
+    #[test]
+    fn unschedulable_links_reported() {
+        let p = params();
+        let inst = gen::line(3).unwrap();
+        let weak = PowerAssignment::uniform(p.noise_floor_power(2.0) * 0.1);
+        let links = [Link::new(0, 2)];
+        let (s, bad) = first_fit(&p, &inst, &links, &weak, |_| 0);
+        assert_eq!(bad.len(), 1);
+        assert!(s.is_empty());
+    }
+}

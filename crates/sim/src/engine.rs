@@ -1,0 +1,465 @@
+//! The slotted simulation engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sinr_geom::{Instance, NodeId};
+use sinr_links::Link;
+use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::{feasibility, SinrParams};
+
+use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
+
+/// Summary of one simulated slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotReport {
+    /// Slot index that was executed.
+    pub slot: u64,
+    /// Number of transmitting nodes.
+    pub transmissions: usize,
+    /// Number of nodes that decoded a message.
+    pub receptions: usize,
+    /// Number of nodes that listened without decoding anything.
+    pub idle_listeners: usize,
+}
+
+/// Cumulative statistics across all executed slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Slots executed so far.
+    pub slots: u64,
+    /// Total transmissions across all slots.
+    pub transmissions: u64,
+    /// Total successful receptions across all slots.
+    pub receptions: u64,
+}
+
+/// The slotted-time SINR channel simulator.
+///
+/// Owns one [`Protocol`] value and one RNG stream per node; each call to
+/// [`step`](Engine::step) advances global time by one slot:
+///
+/// 1. every node picks an [`Action`];
+/// 2. the channel is resolved: a listener decodes the transmitter with
+///    the highest SINR at its location if that SINR reaches `β`
+///    (unique for `β ≥ 1`, `N > 0`); transmitters hear nothing
+///    (half-duplex);
+/// 3. every node observes its [`SlotOutcome`].
+pub struct Engine<'a, P: Protocol> {
+    params: &'a SinrParams,
+    instance: &'a Instance,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    slot: u64,
+    stats: EngineStats,
+}
+
+impl<'a, P: Protocol + std::fmt::Debug> std::fmt::Debug for Engine<'a, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("slot", &self.slot)
+            .field("nodes", &self.nodes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a, P: Protocol> Engine<'a, P> {
+    /// Creates an engine with one protocol state per node, built by
+    /// `make_node`, and per-node RNG streams derived from `seed`.
+    pub fn new(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        mut make_node: impl FnMut(NodeId) -> P,
+        seed: u64,
+    ) -> Self {
+        let n = instance.len();
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let nodes = (0..n).map(&mut make_node).collect();
+        let rngs = (0..n).map(|_| StdRng::seed_from_u64(seeder.gen())).collect();
+        Engine { params, instance, nodes, rngs, slot: 0, stats: EngineStats::default() }
+    }
+
+    /// The next slot index to execute.
+    #[inline]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Cumulative statistics.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The per-node protocol states.
+    #[inline]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to the per-node protocol states (for extracting
+    /// results after a run).
+    #[inline]
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// The simulated instance.
+    #[inline]
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// Executes one slot and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a protocol transmits with a non-positive or non-finite
+    /// power (a programming error in the protocol).
+    pub fn step(&mut self) -> SlotReport {
+        let slot = self.slot;
+        let n = self.nodes.len();
+
+        // Phase 1: collect actions.
+        let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            let a = node.begin_slot(id, slot, &mut self.rngs[id]);
+            if let Action::Transmit { power, .. } = &a {
+                assert!(
+                    power.is_finite() && *power > 0.0,
+                    "node {id} transmitted with invalid power {power} in slot {slot}"
+                );
+            }
+            actions.push(a);
+        }
+
+        // Phase 2: resolve the channel.
+        let transmitters: Vec<(NodeId, f64)> = actions
+            .iter()
+            .enumerate()
+            .filter_map(|(id, a)| match a {
+                Action::Transmit { power, .. } => Some((id, *power)),
+                _ => None,
+            })
+            .collect();
+        let calc = AffectanceCalc::new(self.params, self.instance);
+
+        let mut report = SlotReport {
+            slot,
+            transmissions: transmitters.len(),
+            ..Default::default()
+        };
+
+        let mut outcomes: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(n);
+        for (id, action) in actions.iter().enumerate() {
+            let outcome = match action {
+                Action::Transmit { .. } => SlotOutcome::Transmitted,
+                Action::Sleep => SlotOutcome::Slept,
+                Action::Listen => {
+                    match self.decode_at(id, &transmitters, &calc) {
+                        Some((from, power, sinr)) => {
+                            let link = Link::new(from, id);
+                            let affectance = feasibility::measured_affectance(
+                                self.params,
+                                self.instance,
+                                link,
+                                power,
+                                &transmitters,
+                            )
+                            .unwrap_or(f64::NAN);
+                            let msg = match &actions[from] {
+                                Action::Transmit { msg, .. } => msg.clone(),
+                                _ => unreachable!("decoded node is a transmitter"),
+                            };
+                            SlotOutcome::Received(Reception {
+                                from,
+                                msg,
+                                distance: self.instance.distance(from, id),
+                                sinr,
+                                affectance,
+                            })
+                        }
+                        None => SlotOutcome::Idle,
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+
+        // Phase 3: report outcomes.
+        for (id, outcome) in outcomes.into_iter().enumerate() {
+            match &outcome {
+                SlotOutcome::Received(_) => report.receptions += 1,
+                SlotOutcome::Idle => report.idle_listeners += 1,
+                _ => {}
+            }
+            self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
+        }
+
+        self.slot += 1;
+        self.stats.slots += 1;
+        self.stats.transmissions += report.transmissions as u64;
+        self.stats.receptions += report.receptions as u64;
+        report
+    }
+
+    /// Which transmitter, if any, listener `v` decodes: the best-SINR
+    /// transmitter provided it reaches `β`. Returns `(sender, sender
+    /// power, sinr)`.
+    fn decode_at(
+        &self,
+        v: NodeId,
+        transmitters: &[(NodeId, f64)],
+        calc: &AffectanceCalc<'_>,
+    ) -> Option<(NodeId, f64, f64)> {
+        let mut best: Option<(NodeId, f64, f64)> = None;
+        for &(u, pu) in transmitters {
+            debug_assert_ne!(u, v, "listeners never appear among transmitters");
+            let sinr = calc.sinr(Link::new(u, v), pu, transmitters);
+            if sinr >= self.params.beta()
+                && best.map_or(true, |(_, _, bs)| sinr > bs)
+            {
+                best = Some((u, pu, sinr));
+            }
+        }
+        best
+    }
+
+    /// Runs `slots` slots unconditionally.
+    pub fn run(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Runs until `done` returns true (checked after each slot) or
+    /// `max_slots` have executed; returns the number of slots executed.
+    pub fn run_until(&mut self, max_slots: u64, mut done: impl FnMut(&[P]) -> bool) -> u64 {
+        let start = self.slot;
+        while self.slot - start < max_slots {
+            self.step();
+            if done(&self.nodes) {
+                break;
+            }
+        }
+        self.slot - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geom::gen;
+
+    /// Every node transmits unconditionally with the given power.
+    #[derive(Debug)]
+    struct AlwaysTx(f64);
+    impl Protocol for AlwaysTx {
+        type Msg = ();
+        fn begin_slot(&mut self, _: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
+            Action::Transmit { power: self.0, msg: () }
+        }
+        fn end_slot(&mut self, _: NodeId, _: u64, _: SlotOutcome<()>, _: &mut StdRng) {}
+    }
+
+    /// Node `tx` transmits every slot; others listen and count decodes.
+    #[derive(Debug)]
+    struct OneTx {
+        tx: NodeId,
+        power: f64,
+        decoded: usize,
+        last_sinr: f64,
+    }
+    impl Protocol for OneTx {
+        type Msg = u64;
+        fn begin_slot(&mut self, node: NodeId, slot: u64, _: &mut StdRng) -> Action<u64> {
+            if node == self.tx {
+                Action::Transmit { power: self.power, msg: slot }
+            } else {
+                Action::Listen
+            }
+        }
+        fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<u64>, _: &mut StdRng) {
+            if let SlotOutcome::Received(r) = o {
+                self.decoded += 1;
+                self.last_sinr = r.sinr;
+            }
+        }
+    }
+
+    #[test]
+    fn lone_transmitter_reaches_everyone() {
+        let params = SinrParams::default();
+        let inst = gen::line(5).unwrap();
+        let power = params.min_power_for_length(inst.delta()) * 10.0;
+        let mut engine =
+            Engine::new(&params, &inst, |_| OneTx { tx: 0, power, decoded: 0, last_sinr: 0.0 }, 1);
+        let report = engine.step();
+        assert_eq!(report.transmissions, 1);
+        assert_eq!(report.receptions, 4);
+        for (id, node) in engine.nodes().iter().enumerate() {
+            if id != 0 {
+                assert_eq!(node.decoded, 1);
+                assert!(node.last_sinr >= params.beta());
+            }
+        }
+    }
+
+    #[test]
+    fn transmitters_hear_nothing() {
+        let params = SinrParams::default();
+        let inst = gen::line(2).unwrap();
+        let mut engine = Engine::new(&params, &inst, |_| AlwaysTx(100.0), 2);
+        let report = engine.step();
+        assert_eq!(report.transmissions, 2);
+        assert_eq!(report.receptions, 0);
+    }
+
+    #[test]
+    fn interference_blocks_decoding() {
+        let params = SinrParams::default();
+        // Listener at the midpoint of two equal-power transmitters:
+        // equal signal ⇒ SINR ≈ 1 < β = 2 ⇒ no decode.
+        let inst = sinr_geom::Instance::new(vec![
+            sinr_geom::Point::new(0.0, 0.0),
+            sinr_geom::Point::new(2.0, 0.0),
+            sinr_geom::Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        #[derive(Debug)]
+        struct Mid {
+            got: bool,
+        }
+        impl Protocol for Mid {
+            type Msg = ();
+            fn begin_slot(&mut self, node: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
+                if node == 2 {
+                    Action::Listen
+                } else {
+                    Action::Transmit { power: 1000.0, msg: () }
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if matches!(o, SlotOutcome::Received(_)) {
+                    self.got = true;
+                }
+            }
+        }
+        let mut engine = Engine::new(&params, &inst, |_| Mid { got: false }, 3);
+        engine.step();
+        assert!(!engine.nodes()[2].got, "midpoint listener must be jammed");
+    }
+
+    #[test]
+    fn sleeping_nodes_do_nothing() {
+        let params = SinrParams::default();
+        let inst = gen::line(3).unwrap();
+        #[derive(Debug)]
+        struct Sleepy;
+        impl Protocol for Sleepy {
+            type Msg = ();
+            fn begin_slot(&mut self, _: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
+                Action::Sleep
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                assert_eq!(o, SlotOutcome::Slept);
+            }
+        }
+        let mut engine = Engine::new(&params, &inst, |_| Sleepy, 4);
+        let report = engine.step();
+        assert_eq!(report.transmissions, 0);
+        assert_eq!(report.receptions, 0);
+        assert_eq!(report.idle_listeners, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(30, 2.0, 5).unwrap();
+
+        /// Random transmitter with p=1/2 per slot: exercises RNG streams.
+        #[derive(Debug)]
+        struct Coin {
+            decodes: u64,
+        }
+        impl Protocol for Coin {
+            type Msg = ();
+            fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if rng.gen_bool(0.5) {
+                    Action::Transmit { power: 500.0, msg: () }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if matches!(o, SlotOutcome::Received(_)) {
+                    self.decodes += 1;
+                }
+            }
+        }
+
+        let run = |seed| {
+            let mut e = Engine::new(&params, &inst, |_| Coin { decodes: 0 }, seed);
+            e.run(20);
+            (e.stats(), e.nodes().iter().map(|n| n.decodes).collect::<Vec<_>>())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1, run(10).1);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let params = SinrParams::default();
+        let inst = gen::line(4).unwrap();
+        let power = params.min_power_for_length(inst.delta()) * 10.0;
+        let mut engine =
+            Engine::new(&params, &inst, |_| OneTx { tx: 0, power, decoded: 0, last_sinr: 0.0 }, 1);
+        let executed =
+            engine.run_until(100, |nodes| nodes.iter().skip(1).all(|n| n.decoded >= 3));
+        assert_eq!(executed, 3);
+        assert_eq!(engine.slot(), 3);
+    }
+
+    #[test]
+    fn reception_reports_distance_and_affectance() {
+        let params = SinrParams::default();
+        let inst = gen::line(3).unwrap();
+        #[derive(Debug, Default)]
+        struct Probe {
+            rec: Option<Reception<()>>,
+        }
+        impl Protocol for Probe {
+            type Msg = ();
+            fn begin_slot(&mut self, node: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
+                if node == 0 {
+                    Action::Transmit { power: 1e4, msg: () }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.rec = Some(r);
+                }
+            }
+        }
+        let mut engine = Engine::new(&params, &inst, |_| Probe::default(), 0);
+        engine.step();
+        let r = engine.nodes()[1].rec.clone().expect("node 1 decodes node 0");
+        assert_eq!(r.from, 0);
+        assert_eq!(r.distance, 1.0);
+        // Sole transmitter: zero interference, zero affectance.
+        assert!(r.affectance.abs() < 1e-12);
+        assert!(r.sinr > params.beta());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power")]
+    fn invalid_power_panics() {
+        let params = SinrParams::default();
+        let inst = gen::line(2).unwrap();
+        let mut engine = Engine::new(&params, &inst, |_| AlwaysTx(-1.0), 0);
+        engine.step();
+    }
+}

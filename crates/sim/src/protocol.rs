@@ -1,0 +1,103 @@
+//! The per-node protocol interface.
+
+use rand::rngs::StdRng;
+use sinr_geom::NodeId;
+
+/// What a node does in one slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action<M> {
+    /// Transmit `msg` with the given power (must be positive and finite).
+    Transmit {
+        /// Transmission power.
+        power: f64,
+        /// The message payload.
+        msg: M,
+    },
+    /// Listen for one decodable message.
+    Listen,
+    /// Do nothing this slot (inactive nodes).
+    Sleep,
+}
+
+/// A successfully decoded message, as seen by the receiver.
+///
+/// Besides the payload, the receiver learns the sender's identity and —
+/// because messages carry the sender's location in the paper's model —
+/// the distance. The measured SINR and affectance implement the
+/// measurement assumption of §8.2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reception<M> {
+    /// The sender.
+    pub from: NodeId,
+    /// The decoded payload.
+    pub msg: M,
+    /// Distance to the sender.
+    pub distance: f64,
+    /// Achieved SINR at the receiver.
+    pub sinr: f64,
+    /// Total thresholded affectance of the *other* transmitters on the
+    /// implied link, or `NaN` if undefined (sender below noise floor).
+    pub affectance: f64,
+}
+
+/// What happened to a node during a slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SlotOutcome<M> {
+    /// The node transmitted (no feedback; acknowledgments are a
+    /// protocol-level concern, as in the paper).
+    Transmitted,
+    /// The node listened and decoded a message.
+    Received(Reception<M>),
+    /// The node listened and decoded nothing.
+    Idle,
+    /// The node slept.
+    Slept,
+}
+
+/// A per-node state machine driven by the [`Engine`](crate::Engine).
+///
+/// One value of the implementing type exists per node; the engine calls
+/// [`begin_slot`](Protocol::begin_slot) on every node, resolves the
+/// channel, then calls [`end_slot`](Protocol::end_slot) with each node's
+/// outcome. The `rng` argument is the node's private deterministic
+/// stream — protocols must draw randomness only from it so whole runs
+/// are reproducible from the engine seed.
+pub trait Protocol {
+    /// The message payload type.
+    type Msg: Clone;
+
+    /// Chooses this node's action for slot `slot`.
+    fn begin_slot(&mut self, node: NodeId, slot: u64, rng: &mut StdRng) -> Action<Self::Msg>;
+
+    /// Observes the outcome of slot `slot`.
+    fn end_slot(
+        &mut self,
+        node: NodeId,
+        slot: u64,
+        outcome: SlotOutcome<Self::Msg>,
+        rng: &mut StdRng,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_equality() {
+        let a: Action<u8> = Action::Transmit { power: 1.0, msg: 3 };
+        assert_eq!(a, Action::Transmit { power: 1.0, msg: 3 });
+        assert_ne!(a, Action::Listen);
+        assert_ne!(Action::<u8>::Listen, Action::Sleep);
+    }
+
+    #[test]
+    fn outcome_carries_reception() {
+        let r = Reception { from: 1, msg: "x", distance: 2.0, sinr: 5.0, affectance: 0.2 };
+        let o = SlotOutcome::Received(r.clone());
+        match o {
+            SlotOutcome::Received(got) => assert_eq!(got, r),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

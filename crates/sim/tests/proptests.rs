@@ -1,0 +1,147 @@
+//! Property-based tests for the slotted radio simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sinr_geom::{gen, NodeId};
+use sinr_phy::SinrParams;
+use sinr_sim::{Action, Engine, Protocol, SlotOutcome};
+
+/// Transmit with probability `p`, else listen; count events.
+#[derive(Debug)]
+struct RandomTalker {
+    p: f64,
+    power: f64,
+    sent: u64,
+    received: u64,
+    idle: u64,
+}
+
+impl Protocol for RandomTalker {
+    type Msg = u64;
+    fn begin_slot(&mut self, node: NodeId, slot: u64, rng: &mut StdRng) -> Action<u64> {
+        if rng.gen_bool(self.p) {
+            Action::Transmit { power: self.power, msg: slot * 1000 + node as u64 }
+        } else {
+            Action::Listen
+        }
+    }
+    fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<u64>, _: &mut StdRng) {
+        match o {
+            SlotOutcome::Transmitted => self.sent += 1,
+            SlotOutcome::Received(_) => self.received += 1,
+            SlotOutcome::Idle => self.idle += 1,
+            SlotOutcome::Slept => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Conservation: per slot, transmitters + receivers + idle listeners
+    /// = n, and engine stats aggregate the slot reports exactly.
+    #[test]
+    fn slot_accounting(seed in 0u64..5_000, n in 2usize..30, p in 0.05f64..0.9) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 2.0, seed).unwrap();
+        let power = params.min_power_for_length(inst.delta()) * 4.0;
+        let mut engine = Engine::new(
+            &params,
+            &inst,
+            |_| RandomTalker { p, power, sent: 0, received: 0, idle: 0 },
+            seed,
+        );
+        let mut tx_total = 0u64;
+        let mut rx_total = 0u64;
+        for _ in 0..15 {
+            let r = engine.step();
+            prop_assert_eq!(r.transmissions + r.receptions + r.idle_listeners, n);
+            tx_total += r.transmissions as u64;
+            rx_total += r.receptions as u64;
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.transmissions, tx_total);
+        prop_assert_eq!(stats.receptions, rx_total);
+        prop_assert_eq!(stats.slots, 15);
+        let node_sent: u64 = engine.nodes().iter().map(|t| t.sent).sum();
+        let node_recv: u64 = engine.nodes().iter().map(|t| t.received).sum();
+        prop_assert_eq!(node_sent, tx_total);
+        prop_assert_eq!(node_recv, rx_total);
+    }
+
+    /// β ≥ 1 decode uniqueness: receivers decode at most one message,
+    /// and the decoded payload always matches an actual transmitter's.
+    #[test]
+    fn decode_uniqueness_and_integrity(seed in 0u64..5_000, n in 3usize..24) {
+        #[derive(Debug, Default)]
+        struct Audit {
+            decoded_from: Vec<(u64, NodeId, u64)>, // (slot, sender, payload)
+        }
+        impl Protocol for Audit {
+            type Msg = u64;
+            fn begin_slot(&mut self, node: NodeId, _: u64, rng: &mut StdRng) -> Action<u64> {
+                if rng.gen_bool(0.4) {
+                    Action::Transmit { power: 1e4, msg: node as u64 }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, slot: u64, o: SlotOutcome<u64>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.decoded_from.push((slot, r.from, r.msg));
+                }
+            }
+        }
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 2.0, seed).unwrap();
+        let mut engine = Engine::new(&params, &inst, |_| Audit::default(), seed);
+        engine.run(10);
+        for node in engine.nodes() {
+            // Payload integrity: msg == sender id by construction.
+            for &(_, from, msg) in &node.decoded_from {
+                prop_assert_eq!(msg, from as u64);
+            }
+            // At most one decode per slot per node.
+            let mut slots: Vec<u64> = node.decoded_from.iter().map(|e| e.0).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            prop_assert_eq!(slots.len(), node.decoded_from.len());
+        }
+    }
+
+    /// Reported SINR at receivers is always ≥ β and the reported
+    /// distance matches the instance geometry.
+    #[test]
+    fn reception_metadata_correct(seed in 0u64..5_000, n in 2usize..20) {
+        #[derive(Debug, Default)]
+        struct Meta {
+            checks: Vec<(NodeId, f64, f64)>, // (from, distance, sinr)
+        }
+        impl Protocol for Meta {
+            type Msg = ();
+            fn begin_slot(&mut self, node: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if node == 0 || rng.gen_bool(0.2) {
+                    Action::Transmit { power: 5e3, msg: () }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.checks.push((r.from, r.distance, r.sinr));
+                }
+            }
+        }
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 2.0, seed).unwrap();
+        let mut engine = Engine::new(&params, &inst, |_| Meta::default(), seed);
+        engine.run(8);
+        for (id, node) in engine.nodes().iter().enumerate() {
+            for &(from, distance, sinr) in &node.checks {
+                prop_assert!(sinr >= params.beta());
+                prop_assert!((distance - inst.distance(from, id)).abs() < 1e-12);
+            }
+        }
+    }
+}

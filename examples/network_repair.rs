@@ -1,0 +1,83 @@
+//! Failure repair: nodes die, the survivors re-attach — the "dynamic
+//! situations" direction the paper's conclusion raises, built from the
+//! paper's own machinery (forest roots re-run the TreeViaCapacity
+//! selection loop).
+//!
+//! ```text
+//! cargo run --release --example network_repair
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sinr_connect_suite::connectivity::latency::audit_bitree;
+use sinr_connect_suite::connectivity::repair::repair_after_failures;
+use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
+use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_connect_suite::geom::gen;
+use sinr_connect_suite::phy::SinrParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SinrParams::default();
+    let instance = gen::uniform_square(120, 1.5, 31)?;
+
+    // Build the initial backbone.
+    let mut selector = MeanSamplingSelector::default();
+    let built =
+        tree_via_capacity(&params, &instance, &TvcConfig::default(), &mut selector, 8)?;
+    println!(
+        "initial backbone: {} nodes, {} slots, root {}",
+        instance.len(),
+        built.schedule_len(),
+        built.tree.root()
+    );
+
+    // A random 10% of the nodes — including possibly the root — fail.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ids: Vec<usize> = (0..instance.len()).collect();
+    ids.shuffle(&mut rng);
+    let failed: Vec<usize> = ids.into_iter().take(instance.len() / 10).collect();
+    let root_died = failed.contains(&built.tree.root());
+    println!(
+        "\n{} nodes fail{}",
+        failed.len(),
+        if root_died { " — including the root!" } else { "" }
+    );
+
+    // Repair: survivors keep their links; orphaned subtree roots re-run
+    // the selection loop; the merged tree is re-packed.
+    let old_parents: Vec<Option<usize>> =
+        (0..built.tree.len()).map(|u| built.tree.parent(u)).collect();
+    let old_powers = built.power.as_explicit().expect("explicit powers").clone();
+    let repaired = repair_after_failures(
+        &params,
+        &instance,
+        &old_parents,
+        &old_powers,
+        &failed,
+        &TvcConfig::default(),
+        &mut selector,
+        77,
+    )?;
+
+    println!(
+        "repair: kept {} links, added {} links for {} orphaned roots",
+        repaired.kept_links, repaired.new_links, repaired.orphaned_roots
+    );
+    println!(
+        "reattachment ran {} distributed slots; new schedule {} slots",
+        repaired.runtime_slots,
+        repaired.schedule.num_slots()
+    );
+
+    // Prove the repaired network still works, end to end.
+    let (up, down) =
+        audit_bitree(&params, &repaired.instance, &repaired.bitree, &repaired.power)?;
+    println!(
+        "audit: convergecast {} slots, broadcast reached {}/{} ✓",
+        up.slots,
+        down.reached,
+        repaired.instance.len()
+    );
+    Ok(())
+}

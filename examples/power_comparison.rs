@@ -1,0 +1,76 @@
+//! Power-assignment shoot-out on one instance: how many slots does the
+//! same tree need under uniform, mean, linear and arbitrary power?
+//!
+//! Reproduces the paper's motivating gap (§1): oblivious power costs a
+//! `Υ = O(log log Δ + log n)` factor over arbitrary power, and uniform
+//! power costs a `log Δ` factor.
+//!
+//! ```text
+//! cargo run --release --example power_comparison
+//! ```
+
+use sinr_connect_suite::baselines::first_fit::{first_fit_schedule, FirstFitOrder};
+use sinr_connect_suite::baselines::mst::{centroid_root, mst_bitree};
+use sinr_connect_suite::connectivity::{connect, Strategy};
+use sinr_connect_suite::geom::gen;
+use sinr_connect_suite::links::{Link, LinkSet};
+use sinr_connect_suite::phy::{PowerAssignment, SinrParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SinrParams::default();
+    let instance = gen::uniform_square(150, 1.5, 23)?;
+    println!(
+        "instance: n = {}, Δ = {:.1}\n",
+        instance.len(),
+        instance.delta()
+    );
+
+    // The same centralized MST tree under three oblivious powers.
+    let root = centroid_root(&instance);
+    println!("centralized MST bi-tree (first-fit, ordering-aware):");
+    for (name, power) in [
+        ("uniform", PowerAssignment::uniform_with_margin(&params, instance.delta())),
+        ("mean", PowerAssignment::mean_with_margin(&params, instance.delta())),
+        ("linear", PowerAssignment::linear_with_margin(&params)),
+    ] {
+        let base = mst_bitree(&params, &instance, root, &power);
+        println!("  {name:<8} {:>4} slots", base.schedule.num_slots());
+    }
+
+    // Unordered packing (pure scheduling, no bi-tree constraint).
+    let links: LinkSet = sinr_connect_suite::geom::mst::mst_parent_array(&instance, root)
+        .iter()
+        .enumerate()
+        .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
+        .collect();
+    println!("\nplain first-fit scheduling of the MST links (no ordering):");
+    for (name, power) in [
+        ("uniform", PowerAssignment::uniform_with_margin(&params, instance.delta())),
+        ("mean", PowerAssignment::mean_with_margin(&params, instance.delta())),
+        ("linear", PowerAssignment::linear_with_margin(&params)),
+    ] {
+        let (schedule, bad) = first_fit_schedule(
+            &params,
+            &instance,
+            &links,
+            &power,
+            FirstFitOrder::AscendingLength,
+            |_| 0,
+        );
+        assert!(bad.is_empty());
+        println!("  {name:<8} {:>4} slots", schedule.num_slots());
+    }
+
+    // The distributed pipelines.
+    println!("\ndistributed pipelines (this paper):");
+    for strategy in [Strategy::InitOnly, Strategy::MeanReschedule, Strategy::TvcMean, Strategy::TvcArbitrary] {
+        let r = connect(&params, &instance, strategy, 3)?;
+        println!(
+            "  {:<16} {:>4} slots   (runtime {} slots)",
+            r.strategy.label(),
+            r.schedule_len,
+            r.runtime_slots
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the `sinr-connect` workspace.
+//!
+//! This crate re-exports the public APIs of the workspace members so that
+//! examples and integration tests can use a single import root. The actual
+//! functionality lives in the member crates:
+//!
+//! - [`geom`] — points, instances, generators, spatial index, MST
+//! - [`links`] — links, trees, schedules, sparsity
+//! - [`phy`] — the SINR physical model: power, affectance, feasibility
+//! - [`sim`] — the slotted single-channel radio simulator
+//! - [`connectivity`] — the paper's distributed algorithms
+//! - [`baselines`] — centralized comparators
+//!
+//! See `DESIGN.md` at the repository root for the full system inventory.
+
+pub use sinr_baselines as baselines;
+pub use sinr_connectivity as connectivity;
+pub use sinr_geom as geom;
+pub use sinr_links as links;
+pub use sinr_phy as phy;
+pub use sinr_sim as sim;

@@ -1,0 +1,110 @@
+//! End-to-end integration: every strategy on every instance family
+//! must produce a spanning structure whose every schedule slot is
+//! SINR-feasible, in both directions.
+
+use sinr_connect_suite::connectivity::{connect, Strategy};
+use sinr_connect_suite::geom::gen;
+use sinr_connect_suite::links::InTree;
+use sinr_connect_suite::phy::{feasibility, SinrParams};
+
+fn families(seed: u64) -> Vec<(&'static str, sinr_connect_suite::geom::Instance)> {
+    vec![
+        ("uniform", gen::uniform_square(40, 1.5, seed).unwrap()),
+        ("clustered", gen::clustered(5, 8, 1.5, 2.0, seed).unwrap()),
+        ("lattice", gen::grid_lattice(6, 7, 0.25, seed).unwrap()),
+        ("chain", gen::exponential_chain(20, 1.7, seed).unwrap()),
+        ("line", gen::line(24).unwrap()),
+        ("annulus", gen::annulus(36, 6.0, 14.0, seed).unwrap()),
+    ]
+}
+
+/// Rebuild the tree from the links and verify it spans all nodes.
+fn assert_spanning(n: usize, links: &sinr_connect_suite::links::LinkSet) {
+    let mut parents = vec![None; n];
+    for l in links.iter() {
+        assert!(parents[l.sender].is_none(), "node {} has two uplinks", l.sender);
+        parents[l.sender] = Some(l.receiver);
+    }
+    let tree = InTree::from_parents(parents).expect("links must form a rooted in-tree");
+    assert_eq!(tree.len(), n);
+}
+
+#[test]
+fn every_strategy_on_every_family() {
+    let params = SinrParams::default();
+    for (name, inst) in families(5) {
+        for strategy in Strategy::ALL {
+            let r = connect(&params, &inst, strategy, 77)
+                .unwrap_or_else(|e| panic!("{name}/{strategy}: {e}"));
+            assert_eq!(
+                r.tree_links.len(),
+                inst.len() - 1,
+                "{name}/{strategy}: wrong link count"
+            );
+            assert_spanning(inst.len(), &r.tree_links);
+            feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power)
+                .unwrap_or_else(|e| panic!("{name}/{strategy} aggregation: {e}"));
+            feasibility::validate_schedule(
+                &params,
+                &inst,
+                &r.dissemination_schedule,
+                &r.power,
+            )
+            .unwrap_or_else(|e| panic!("{name}/{strategy} dissemination: {e}"));
+        }
+    }
+}
+
+#[test]
+fn strategies_are_deterministic_per_seed() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(30, 1.5, 9).unwrap();
+    for strategy in Strategy::ALL {
+        let a = connect(&params, &inst, strategy, 123).unwrap();
+        let b = connect(&params, &inst, strategy, 123).unwrap();
+        assert_eq!(a.schedule_len, b.schedule_len, "{strategy}");
+        assert_eq!(a.runtime_slots, b.runtime_slots, "{strategy}");
+        assert_eq!(
+            a.aggregation_schedule, b.aggregation_schedule,
+            "{strategy}: schedules differ across identical runs"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_trees() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(40, 1.5, 11).unwrap();
+    let a = connect(&params, &inst, Strategy::InitOnly, 1).unwrap();
+    let b = connect(&params, &inst, Strategy::InitOnly, 2).unwrap();
+    assert_ne!(
+        a.tree_links, b.tree_links,
+        "randomized protocol should explore different trees"
+    );
+}
+
+#[test]
+fn tiny_instances_work() {
+    let params = SinrParams::default();
+    for n in [1usize, 2, 3] {
+        let inst = gen::line(n).unwrap();
+        for strategy in Strategy::ALL {
+            let r = connect(&params, &inst, strategy, 4)
+                .unwrap_or_else(|e| panic!("n={n}/{strategy}: {e}"));
+            assert_eq!(r.tree_links.len(), n - 1, "n={n}/{strategy}");
+        }
+    }
+}
+
+#[test]
+fn nonuniform_sinr_parameters_work() {
+    // α = 4 (fast decay), β = 1.5, noisier environment.
+    let params = SinrParams::new(4.0, 1.5, 2.0, 0.1).unwrap();
+    let inst = gen::uniform_square(30, 1.5, 3).unwrap();
+    for strategy in [Strategy::InitOnly, Strategy::TvcArbitrary] {
+        let r = connect(&params, &inst, strategy, 8)
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power)
+            .unwrap();
+    }
+}

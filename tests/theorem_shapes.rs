@@ -1,0 +1,167 @@
+//! Integration checks of the paper's comparative claims — not absolute
+//! constants (our constants are practical, the paper's are worst-case)
+//! but the *order* between methods, which is the reproducible shape.
+
+use sinr_connect_suite::baselines::first_fit::{first_fit_schedule, FirstFitOrder};
+use sinr_connect_suite::connectivity::{connect, Strategy};
+use sinr_connect_suite::geom::gen;
+use sinr_connect_suite::links::sparsity;
+use sinr_connect_suite::phy::{PowerAssignment, SinrParams};
+
+/// Averages schedule length over seeds to tame protocol randomness.
+fn mean_schedule_len(
+    params: &SinrParams,
+    inst: &sinr_connect_suite::geom::Instance,
+    strategy: Strategy,
+    seeds: std::ops::Range<u64>,
+) -> f64 {
+    let n = (seeds.end - seeds.start) as f64;
+    seeds
+        .map(|s| connect(params, inst, strategy, s).unwrap().schedule_len as f64)
+        .sum::<f64>()
+        / n
+}
+
+#[test]
+fn tvc_beats_init_timestamps() {
+    // Theorem 4 vs Theorem 2: the interleaved pipeline produces far
+    // shorter schedules than Init's timestamps.
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(96, 1.5, 21).unwrap();
+    let init = mean_schedule_len(&params, &inst, Strategy::InitOnly, 0..3);
+    let tvc = mean_schedule_len(&params, &inst, Strategy::TvcArbitrary, 0..3);
+    assert!(
+        tvc < init,
+        "TvcArbitrary ({tvc:.1}) must beat InitOnly timestamps ({init:.1})"
+    );
+}
+
+#[test]
+fn arbitrary_power_beats_mean_power_tvc() {
+    // Theorem 21 (O(log n)) vs Theorem 16 (O(Υ·log n)).
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(96, 1.5, 22).unwrap();
+    let mean_p = mean_schedule_len(&params, &inst, Strategy::TvcMean, 0..3);
+    let arb = mean_schedule_len(&params, &inst, Strategy::TvcArbitrary, 0..3);
+    assert!(
+        arb <= mean_p * 1.15,
+        "TvcArbitrary ({arb:.1}) should not lose to TvcMean ({mean_p:.1})"
+    );
+}
+
+#[test]
+fn reschedule_insensitive_to_delta() {
+    // Theorem 3's point: after rescheduling with mean power the log Δ
+    // factor collapses to log log Δ. The Init *runtime* grows with Δ
+    // (unavoidable for a from-scratch build, Thm 2), while the
+    // rescheduled schedule length barely moves.
+    let params = SinrParams::default();
+    let small_delta = gen::exponential_chain(20, 1.2, 3).unwrap();
+    let large_delta = gen::exponential_chain(20, 2.6, 3).unwrap();
+    assert!(large_delta.delta() > 100.0 * small_delta.delta());
+
+    let runtime = |inst: &sinr_connect_suite::geom::Instance| -> f64 {
+        (0..3u64)
+            .map(|s| {
+                connect(&params, inst, Strategy::InitOnly, s).unwrap().runtime_slots as f64
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let rt_small = runtime(&small_delta);
+    let rt_large = runtime(&large_delta);
+    assert!(
+        rt_large > 1.3 * rt_small,
+        "Init runtime should grow with Δ: {rt_small:.0} → {rt_large:.0}"
+    );
+
+    let re_small = mean_schedule_len(&params, &small_delta, Strategy::MeanReschedule, 0..3);
+    let re_large = mean_schedule_len(&params, &large_delta, Strategy::MeanReschedule, 0..3);
+    assert!(
+        re_large <= 1.6 * re_small,
+        "rescheduled schedule length should be Δ-insensitive: \
+         {re_small:.1} → {re_large:.1}"
+    );
+}
+
+#[test]
+fn distributed_contention_within_log_factor_of_centralized() {
+    // [9]: the distributed scheduler is an O(log n) approximation.
+    use sinr_connect_suite::connectivity::contention::{
+        schedule_distributed, ContentionConfig,
+    };
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(60, 1.5, 13).unwrap();
+    let links: sinr_connect_suite::links::LinkSet =
+        sinr_connect_suite::geom::mst::mst_parent_array(&inst, 0)
+            .iter()
+            .enumerate()
+            .filter_map(|(u, p)| p.map(|v| sinr_connect_suite::links::Link::new(u, v)))
+            .collect();
+    let power = PowerAssignment::mean_with_margin(&params, inst.delta());
+
+    let (central, bad) = first_fit_schedule(
+        &params,
+        &inst,
+        &links,
+        &power,
+        FirstFitOrder::AscendingLength,
+        |_| 0,
+    );
+    assert!(bad.is_empty());
+    let dist = schedule_distributed(
+        &params,
+        &inst,
+        &links,
+        &power,
+        &ContentionConfig::default(),
+        5,
+    )
+    .unwrap();
+
+    let log_n = (inst.len() as f64).log2();
+    let ratio = dist.schedule.num_slots() as f64 / central.num_slots().max(1) as f64;
+    assert!(
+        ratio <= 4.0 * log_n,
+        "distributed/centralized ratio {ratio:.2} exceeds O(log n) regime (log n = {log_n:.1})"
+    );
+}
+
+#[test]
+fn init_tree_sparsity_grows_slowly() {
+    // Theorem 11: ψ(T) = O(log n). Check ψ stays within a small
+    // multiple of log₂ n across a size ladder.
+    let params = SinrParams::default();
+    for (n, seed) in [(32usize, 1u64), (128, 2), (256, 3)] {
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let r = connect(&params, &inst, Strategy::InitOnly, seed).unwrap();
+        let psi = sparsity::sparsity_lower_bound(&inst, &r.tree_links);
+        let bound = 4.0 * (n as f64).log2();
+        assert!(
+            (psi as f64) <= bound,
+            "ψ = {psi} exceeds 4·log₂ n = {bound:.1} at n = {n}"
+        );
+    }
+}
+
+#[test]
+fn bitree_latency_promises_hold() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(64, 1.5, 17).unwrap();
+    let r = connect(&params, &inst, Strategy::TvcArbitrary, 6).unwrap();
+    let bitree = r.bitree.expect("bi-tree strategy");
+    let (up, down) = sinr_connect_suite::connectivity::latency::audit_bitree(
+        &params,
+        &inst,
+        &bitree,
+        &r.power,
+    )
+    .unwrap();
+    assert_eq!(up.slots, r.schedule_len);
+    assert_eq!(down.slots, r.schedule_len);
+    for u in [0usize, 5, 20] {
+        for v in [63usize, 33, 1] {
+            assert!(bitree.pairwise_latency(u, v) <= 2 * r.schedule_len);
+        }
+    }
+}
