@@ -22,7 +22,7 @@ use sinr_connectivity::power_control::{make_feasible, PowerControlConfig};
 use sinr_geom::Instance;
 use sinr_links::{Link, LinkSet};
 use sinr_phy::affectance::AffectanceCalc;
-use sinr_phy::{SinrParams};
+use sinr_phy::SinrParams;
 
 /// Result of the centralized capacity selection.
 #[derive(Clone, Debug)]
@@ -52,7 +52,10 @@ pub fn greedy_capacity(
     tau: f64,
     pc: &PowerControlConfig,
 ) -> CapacityOutcome {
-    assert!(tau > 0.0 && tau.is_finite(), "tau must be positive, got {tau}");
+    assert!(
+        tau > 0.0 && tau.is_finite(),
+        "tau must be positive, got {tau}"
+    );
     let calc = AffectanceCalc::new(params, instance);
     let alpha = params.alpha();
 
@@ -68,12 +71,8 @@ pub fn greedy_capacity(
         for m in selected.iter() {
             let len_m = m.length(instance);
             // a^L_L(ℓ): linear-power affectance of m on ℓ.
-            burden += calc.of_sender_noiseless(
-                m.sender,
-                len_m.powf(alpha),
-                ell,
-                len_ell.powf(alpha),
-            );
+            burden +=
+                calc.of_sender_noiseless(m.sender, len_m.powf(alpha), ell, len_ell.powf(alpha));
             // a^U_ℓ(L): uniform-power affectance of ℓ on m.
             burden += calc.of_sender_noiseless(ell.sender, 1.0, m, 1.0);
             if burden > tau {
@@ -86,7 +85,11 @@ pub fn greedy_capacity(
     }
 
     let fm = make_feasible(params, instance, &selected, pc);
-    CapacityOutcome { selected: fm.links, powers: fm.powers, dropped: fm.dropped }
+    CapacityOutcome {
+        selected: fm.links,
+        powers: fm.powers,
+        dropped: fm.dropped,
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +114,7 @@ mod tests {
         let p = params();
         let inst = gen::uniform_square(60, 2.0, 4).unwrap();
         let candidates = all_nearest_links(&inst);
-        let out =
-            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        let out = greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
         assert!(!out.selected.is_empty());
         assert!(out.dropped.is_empty(), "τ = 0.5 should never need drops");
         let pa = PowerAssignment::explicit(out.powers).unwrap();
@@ -130,8 +132,7 @@ mod tests {
         }
         let inst = sinr_geom::Instance::new(pts).unwrap();
         let candidates: LinkSet = (0..10).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
-        let out =
-            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        let out = greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
         assert_eq!(out.selected.len(), 10);
     }
 
@@ -145,8 +146,7 @@ mod tests {
         }
         let inst = sinr_geom::Instance::new(pts).unwrap();
         let candidates: LinkSet = (0..8).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
-        let out =
-            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        let out = greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
         assert!(out.selected.len() < 8, "crowded instance must be thinned");
         assert!(!out.selected.is_empty());
     }
@@ -155,14 +155,9 @@ mod tests {
     fn shared_node_links_never_coselected() {
         let p = params();
         let inst = gen::line(3).unwrap();
-        let candidates = LinkSet::from_links(vec![
-            Link::new(0, 1),
-            Link::new(2, 1),
-            Link::new(1, 2),
-        ])
-        .unwrap();
-        let out =
-            greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
+        let candidates =
+            LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 1), Link::new(1, 2)]).unwrap();
+        let out = greedy_capacity(&p, &inst, &candidates, 0.5, &PowerControlConfig::default());
         assert_eq!(out.selected.len(), 1);
     }
 

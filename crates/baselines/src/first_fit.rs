@@ -147,8 +147,7 @@ mod tests {
             FirstFitOrder::DescendingLength,
             FirstFitOrder::AsGiven,
         ] {
-            let (s, bad) =
-                first_fit_schedule(&p, &inst, &links, &power, order, |_| 0);
+            let (s, bad) = first_fit_schedule(&p, &inst, &links, &power, order, |_| 0);
             assert!(bad.is_empty(), "{order:?}");
             assert_eq!(s.links().len(), links.len(), "{order:?}");
             feasibility::validate_schedule(&p, &inst, &s, &power)
@@ -162,14 +161,13 @@ mod tests {
         let inst = gen::line(4).unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(3, 2)]).unwrap();
         let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
-        let (s, bad) = first_fit_schedule(
-            &p,
-            &inst,
-            &links,
-            &power,
-            FirstFitOrder::AsGiven,
-            |l| if l == Link::new(3, 2) { 5 } else { 0 },
-        );
+        let (s, bad) = first_fit_schedule(&p, &inst, &links, &power, FirstFitOrder::AsGiven, |l| {
+            if l == Link::new(3, 2) {
+                5
+            } else {
+                0
+            }
+        });
         assert!(bad.is_empty());
         assert_eq!(s.slot_of(Link::new(3, 2)), Some(5));
         assert_eq!(s.slot_of(Link::new(0, 1)), Some(0));
@@ -181,14 +179,8 @@ mod tests {
         let inst = gen::line(3).unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 2)]).unwrap(); // length 2
         let weak = PowerAssignment::uniform(p.noise_floor_power(2.0) * 0.5);
-        let (s, bad) = first_fit_schedule(
-            &p,
-            &inst,
-            &links,
-            &weak,
-            FirstFitOrder::default(),
-            |_| 0,
-        );
+        let (s, bad) =
+            first_fit_schedule(&p, &inst, &links, &weak, FirstFitOrder::default(), |_| 0);
         assert_eq!(bad, vec![Link::new(0, 2)]);
         assert_eq!(s.num_slots(), 0);
     }
@@ -200,8 +192,7 @@ mod tests {
         // Shared receiver: can never share a slot.
         let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 1)]).unwrap();
         let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
-        let (s, bad) =
-            first_fit_schedule(&p, &inst, &links, &power, FirstFitOrder::AsGiven, |_| 0);
+        let (s, bad) = first_fit_schedule(&p, &inst, &links, &power, FirstFitOrder::AsGiven, |_| 0);
         assert!(bad.is_empty());
         assert_eq!(s.num_slots(), 2);
     }

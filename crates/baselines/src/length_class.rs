@@ -71,7 +71,12 @@ pub fn length_class_schedule(
     }
 
     schedule.compact();
-    LengthClassOutcome { schedule, powers, classes: occupied, unschedulable }
+    LengthClassOutcome {
+        schedule,
+        powers,
+        classes: occupied,
+        unschedulable,
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! compare against the paper's distributed constructions.
 
 use sinr_geom::{Instance, NodeId};
-use sinr_links::{BiTree, InTree, Link, LinkSet, Schedule};
-use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+use sinr_links::{BiTree, InTree, Link, Schedule};
+use sinr_phy::{packing, PowerAssignment, SinrParams};
 
 /// A centrally computed MST bi-tree with its schedule and power.
 #[derive(Clone, Debug)]
@@ -43,9 +43,11 @@ pub fn centroid_root(instance: &Instance) -> NodeId {
 }
 
 /// Builds the MST bi-tree under `power`, packing aggregation links
-/// greedily in leaf-to-root order with a per-node slot floor, so each
-/// link lands strictly after every link of its sender's subtree — the
-/// bi-tree ordering holds by construction and every slot is feasible.
+/// greedily in leaf-to-root order with a per-node slot floor
+/// (`sinr_phy::packing::pack_tree_ordered`), so each link lands
+/// strictly after every link of its sender's subtree — the bi-tree
+/// ordering holds by construction and every slot is feasible in both
+/// schedule directions.
 ///
 /// # Panics
 ///
@@ -74,43 +76,16 @@ pub fn mst_bitree(
 ) -> MstBaseline {
     let parents = sinr_geom::mst::mst_parent_array(instance, root);
     let tree = InTree::from_parents(parents).expect("MST orientation is a valid in-tree");
-
-    let mut slots: Vec<LinkSet> = Vec::new();
-    let mut schedule = Schedule::new();
-    let mut unschedulable = Vec::new();
-    // floor[v] = earliest slot at which v's own uplink may fire: one
-    // past the latest slot of any link already received by v.
-    let mut floor = vec![0usize; instance.len()];
-
-    'links: for u in tree.leaf_to_root_order() {
-        let Some(p) = tree.parent(u) else { continue };
-        let link = Link::new(u, p);
-        let alone: LinkSet = std::iter::once(link).collect();
-        if !feasibility::is_feasible(params, instance, &alone, power) {
-            unschedulable.push(link);
-            continue;
-        }
-        let mut s = floor[u];
-        loop {
-            while slots.len() <= s {
-                slots.push(LinkSet::new());
-            }
-            let mut candidate = slots[s].clone();
-            candidate.insert(link);
-            if feasibility::is_feasible(params, instance, &candidate, power) {
-                slots[s] = candidate;
-                schedule.assign(link, s);
-                floor[p] = floor[p].max(s + 1);
-                continue 'links;
-            }
-            s += 1;
-        }
-    }
-    schedule.compact();
-
+    let (schedule, unschedulable) = packing::pack_tree_ordered(params, instance, &tree, power);
     let bitree = BiTree::new(tree.clone(), schedule.clone())
         .expect("leaf-to-root packing with floors yields a valid aggregation order");
-    MstBaseline { tree, bitree, schedule, power: power.clone(), unschedulable }
+    MstBaseline {
+        tree,
+        bitree,
+        schedule,
+        power: power.clone(),
+        unschedulable,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +116,7 @@ mod tests {
             let base = mst_bitree(&p, &inst, root, &power);
             assert!(base.unschedulable.is_empty());
             assert_eq!(base.schedule.links().len(), inst.len() - 1);
-            feasibility::validate_schedule(&p, &inst, &base.schedule, &power).unwrap();
+            sinr_phy::feasibility::validate_schedule(&p, &inst, &base.schedule, &power).unwrap();
             assert_eq!(base.bitree.num_slots(), base.schedule.num_slots());
         }
     }

@@ -15,7 +15,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_init_p");
     group.sample_size(10);
     for p in [0.05f64, 0.1, 0.3] {
-        let cfg = InitConfig { p, ..Default::default() };
+        let cfg = InitConfig {
+            p,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(p), &cfg, |b, cfg| {
             let mut seed = 0u64;
             b.iter(|| {

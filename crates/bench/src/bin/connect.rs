@@ -34,7 +34,8 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let key = argv[i].as_str();
         let val = |i: usize| -> Result<&String, String> {
-            argv.get(i + 1).ok_or_else(|| format!("missing value for {key}"))
+            argv.get(i + 1)
+                .ok_or_else(|| format!("missing value for {key}"))
         };
         match key {
             "--family" => {
@@ -70,15 +71,23 @@ fn parse_args() -> Result<Args, String> {
                 i += 2;
             }
             "--help" | "-h" => {
-                return Err("usage: connect --family uniform|clustered|lattice|exp-chain \
+                return Err(
+                    "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--export <dir>]"
-                    .into());
+                        .into(),
+                );
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    Ok(Args { family, n, strategy, seed, export })
+    Ok(Args {
+        family,
+        n,
+        strategy,
+        seed,
+        export,
+    })
 }
 
 fn main() {
@@ -141,7 +150,10 @@ fn main() {
             eprintln!("svg export failed: {e}");
             std::process::exit(1);
         }
-        println!("exported: {}/{{nodes,links}}.csv + network.svg", dir.display());
+        println!(
+            "exported: {}/{{nodes,links}}.csv + network.svg",
+            dir.display()
+        );
     }
 }
 

@@ -21,8 +21,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC0FFEE);
-    let wanted: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--") && !a.parse::<u64>().is_ok()).collect();
+    let wanted: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .collect();
 
     let opts = ExpOptions { quick, seed };
     let out_dir = PathBuf::from("target/experiments");
@@ -33,7 +35,11 @@ fn main() {
             continue;
         }
         ran += 1;
-        println!("\n######## {} — {} ########", exp.id.to_uppercase(), exp.what);
+        println!(
+            "\n######## {} — {} ########",
+            exp.id.to_uppercase(),
+            exp.what
+        );
         let start = std::time::Instant::now();
         let tables = (exp.run)(&opts);
         for table in &tables {

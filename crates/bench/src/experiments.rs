@@ -29,22 +29,65 @@ pub struct Experiment {
 
 impl std::fmt::Debug for Experiment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Experiment").field("id", &self.id).field("what", &self.what).finish()
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("what", &self.what)
+            .finish()
     }
 }
 
 /// The registry of all experiments, in order.
 pub const ALL: [Experiment; 10] = [
-    Experiment { id: "e1", what: "Thm 2: Init slot complexity", run: e1_init::run },
-    Experiment { id: "e2", what: "Thm 7: degree distribution", run: e2_degree::run },
-    Experiment { id: "e3", what: "Thm 11/13: sparsity", run: e3_sparsity::run },
-    Experiment { id: "e4", what: "Thm 3: mean-power rescheduling", run: e4_reschedule::run },
-    Experiment { id: "e5", what: "Thm 16: TVC with mean power", run: e5_tvc_mean::run },
-    Experiment { id: "e6", what: "Thm 21: TVC with arbitrary power", run: e6_tvc_arbitrary::run },
-    Experiment { id: "e7", what: "§4: distributed vs centralized", run: e7_comparison::run },
-    Experiment { id: "e8", what: "Def 1: bi-tree latency", run: e8_latency::run },
-    Experiment { id: "e9", what: "Thm 9/Eqn 5: sparse capacity machinery", run: e9_sparse_capacity::run },
-    Experiment { id: "e10", what: "ablations of DESIGN.md §5 knobs", run: e10_ablations::run },
+    Experiment {
+        id: "e1",
+        what: "Thm 2: Init slot complexity",
+        run: e1_init::run,
+    },
+    Experiment {
+        id: "e2",
+        what: "Thm 7: degree distribution",
+        run: e2_degree::run,
+    },
+    Experiment {
+        id: "e3",
+        what: "Thm 11/13: sparsity",
+        run: e3_sparsity::run,
+    },
+    Experiment {
+        id: "e4",
+        what: "Thm 3: mean-power rescheduling",
+        run: e4_reschedule::run,
+    },
+    Experiment {
+        id: "e5",
+        what: "Thm 16: TVC with mean power",
+        run: e5_tvc_mean::run,
+    },
+    Experiment {
+        id: "e6",
+        what: "Thm 21: TVC with arbitrary power",
+        run: e6_tvc_arbitrary::run,
+    },
+    Experiment {
+        id: "e7",
+        what: "§4: distributed vs centralized",
+        run: e7_comparison::run,
+    },
+    Experiment {
+        id: "e8",
+        what: "Def 1: bi-tree latency",
+        run: e8_latency::run,
+    },
+    Experiment {
+        id: "e9",
+        what: "Thm 9/Eqn 5: sparse capacity machinery",
+        run: e9_sparse_capacity::run,
+    },
+    Experiment {
+        id: "e10",
+        what: "ablations of DESIGN.md §5 knobs",
+        run: e10_ablations::run,
+    },
 ];
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
         let rows = parallel_map(jobs, |t| {
             let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
-            let cfg = InitConfig { p, ..Default::default() };
+            let cfg = InitConfig {
+                p,
+                ..Default::default()
+            };
             match run_init(&params, &inst, &cfg, opts.seed.wrapping_add(1000 + t)) {
                 Ok(out) => (out.run.slots_used as f64, 0.0),
                 Err(_) => (f64::NAN, 1.0),
@@ -55,7 +58,12 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut t2 = Table::new(
         "E10b: accept_shorter window (DESIGN.md substitution 2)",
         "strict paper window at practical constants risks non-convergence; widened never fails",
-        &["accept_shorter", "converged", "failed", "mean slots (converged)"],
+        &[
+            "accept_shorter",
+            "converged",
+            "failed",
+            "mean slots (converged)",
+        ],
     );
     for accept in [true, false] {
         let jobs: Vec<u64> = (0..opts.trials() * 2).collect();
@@ -87,7 +95,12 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut t3 = Table::new(
         "E10c: Distr-Cap probe repetitions per length class",
         "more repetitions → fewer TVC iterations and shorter schedules, at more protocol slots",
-        &["class_repeats", "schedule slots", "iterations", "selection slots"],
+        &[
+            "class_repeats",
+            "schedule slots",
+            "iterations",
+            "selection slots",
+        ],
     );
     for reps in [1u32, 2, 4, 10] {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
@@ -106,7 +119,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             )
             .expect("tvc converges");
             let selection: u64 = out.trace.iter().map(|i| i.selection_slots).sum();
-            (out.schedule_len() as f64, out.iterations as f64, selection as f64)
+            (
+                out.schedule_len() as f64,
+                out.iterations as f64,
+                selection as f64,
+            )
         });
         t3.push_row(vec![
             reps.to_string(),
@@ -127,7 +144,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let rows = parallel_map(jobs, |t| {
             let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
             let mut sel = DistrCapSelector::default();
-            let cfg = TvcConfig { degree_cap: rho, ..Default::default() };
+            let cfg = TvcConfig {
+                degree_cap: rho,
+                ..Default::default()
+            };
             let out = tree_via_capacity(
                 &params,
                 &inst,
@@ -154,7 +174,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_four_tables() {
-        let opts = ExpOptions { quick: true, seed: 10 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 10,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 4);
         for t in &tables {

@@ -21,7 +21,14 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut t1 = Table::new(
         "E1a: Init slots vs n",
         "slots = O(log Δ · log n): the normalized column stays ~flat",
-        &["family", "n", "logΔ", "slots", "rounds", "slots/(logΔ·log n)"],
+        &[
+            "family",
+            "n",
+            "logΔ",
+            "slots",
+            "rounds",
+            "slots/(logΔ·log n)",
+        ],
     );
     for family in [Family::UniformSquare, Family::Clustered] {
         for &n in opts.sizes() {
@@ -64,8 +71,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     for (growth, inst) in delta_sweep(n, opts.seed) {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
         let results = parallel_map(jobs, |t| {
-            let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(t))
-                .expect("init converges");
+            let out =
+                run_init(&params, &inst, &cfg, opts.seed.wrapping_add(t)).expect("init converges");
             out.run.slots_used as f64
         });
         let log_delta = inst.delta().log2().max(1.0);
@@ -86,7 +93,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_tables() {
-        let opts = ExpOptions { quick: true, seed: 1 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 1,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].rows.is_empty());

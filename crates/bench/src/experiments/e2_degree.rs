@@ -22,7 +22,13 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let mut t1 = Table::new(
         "E2a: Init tree degrees vs n",
         "max degree = O(log n); mean degree < 2 + o(1) on trees",
-        &["n", "log n", "max deg (mean over seeds)", "max deg (worst)", "mean deg"],
+        &[
+            "n",
+            "log n",
+            "max deg (mean over seeds)",
+            "max deg (worst)",
+            "mean deg",
+        ],
     );
     let mut tails: Vec<DegreeStats> = Vec::new();
     for &n in opts.sizes() {
@@ -76,7 +82,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_tables() {
-        let opts = ExpOptions { quick: true, seed: 2 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 2,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].rows.is_empty());

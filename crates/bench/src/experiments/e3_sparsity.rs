@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let opts = ExpOptions { quick: true, seed: 3 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 3,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), opts.sizes().len());

@@ -18,8 +18,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
 
     let measure = |inst: &sinr_geom::Instance, seed: u64| -> (f64, f64, f64, f64) {
-        let init = run_init(&params, inst, &InitConfig::default(), seed)
-            .expect("init converges");
+        let init = run_init(&params, inst, &InitConfig::default(), seed).expect("init converges");
         let links = init.tree.aggregation_links();
         let timestamps = init.schedule.num_slots() as f64;
         let re = reschedule_mean(
@@ -42,13 +41,24 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         );
         assert!(bad.is_empty());
         let centralized = ff.num_slots() as f64;
-        (timestamps, distributed, centralized, distributed / centralized.max(1.0))
+        (
+            timestamps,
+            distributed,
+            centralized,
+            distributed / centralized.max(1.0),
+        )
     };
 
     let mut t1 = Table::new(
         "E4a: schedule length, timestamps vs rescheduled (mean power)",
         "distributed reschedule ≪ timestamps; within O(log n) of centralized first-fit",
-        &["n", "timestamp slots", "distributed slots", "centralized slots", "dist/cent"],
+        &[
+            "n",
+            "timestamp slots",
+            "distributed slots",
+            "centralized slots",
+            "dist/cent",
+        ],
     );
     for &n in opts.sizes() {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
@@ -93,7 +103,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_tables() {
-        let opts = ExpOptions { quick: true, seed: 4 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 4,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
         // Rescheduled must beat timestamps on the largest quick size.

@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let opts = ExpOptions { quick: true, seed: 5 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 5,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 2 * opts.sizes().len());

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let opts = ExpOptions { quick: true, seed: 6 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 6,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         for row in &tables[0].rows {

@@ -31,8 +31,13 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
         let rows = parallel_map(jobs, |t_off| {
             let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
-            let r = connect(&params, &inst, strategy, opts.seed.wrapping_add(700 + t_off))
-                .expect("strategy converges");
+            let r = connect(
+                &params,
+                &inst,
+                strategy,
+                opts.seed.wrapping_add(700 + t_off),
+            )
+            .expect("strategy converges");
             (r.schedule_len as f64, r.runtime_slots as f64)
         });
         let power_name = match strategy {
@@ -50,7 +55,8 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     }
 
     // Centralized MST baselines.
-    let powers: [(&str, fn(&SinrParams, f64) -> PowerAssignment); 3] = [
+    type PowerCtor = fn(&SinrParams, f64) -> PowerAssignment;
+    let powers: [(&str, PowerCtor); 3] = [
         ("uniform", |p, d| PowerAssignment::uniform_with_margin(p, d)),
         ("mean", |p, d| PowerAssignment::mean_with_margin(p, d)),
         ("linear", |p, _| PowerAssignment::linear_with_margin(p)),
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_full_table() {
-        let opts = ExpOptions { quick: true, seed: 7 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 7,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         // 4 distributed + 3 MST + 1 length-class rows.

@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table_with_perfect_delivery() {
-        let opts = ExpOptions { quick: true, seed: 8 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 8,
+        };
         let tables = run(&opts);
         for row in &tables[0].rows {
             assert_eq!(row[3], "1.00", "convergecast must always deliver");

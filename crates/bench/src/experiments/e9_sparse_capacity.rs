@@ -52,13 +52,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let psi = sparsity::sparsity_lower_bound(&inst, &links).max(1);
 
             // Feasible-subset size via Kesselheim greedy.
-            let cap = greedy_capacity(
-                &params,
-                &inst,
-                &links,
-                0.5,
-                &PowerControlConfig::default(),
-            );
+            let cap = greedy_capacity(&params, &inst, &links, 0.5, &PowerControlConfig::default());
             let frac = cap.selected.len() as f64 / links.len().max(1) as f64;
 
             // Schedule length via mean-power first-fit.
@@ -86,7 +80,14 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             // q-independence partition of the MST links.
             let classes = independence::partition_q_independent(&inst, &links, 1.0).len();
 
-            (psi as f64, frac, slots, slots / (psi as f64 * log_n), max_f, classes as f64)
+            (
+                psi as f64,
+                frac,
+                slots,
+                slots / (psi as f64 * log_n),
+                max_f,
+                classes as f64,
+            )
         });
         t.push_row(vec![
             n.to_string(),
@@ -108,7 +109,10 @@ mod tests {
 
     #[test]
     fn quick_run_produces_table() {
-        let opts = ExpOptions { quick: true, seed: 9 };
+        let opts = ExpOptions {
+            quick: true,
+            seed: 9,
+        };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         for row in &tables[0].rows {

@@ -41,7 +41,10 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { quick: false, seed: 0xC0FFEE }
+        ExpOptions {
+            quick: false,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -91,7 +94,9 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut results: Vec<Option<R>> = Vec::new();
     results.resize_with(jobs.len(), || None);
     let work: std::sync::Mutex<Vec<(usize, T)>> =
@@ -112,7 +117,10 @@ where
         }
     })
     .expect("experiment worker panicked");
-    results.into_iter().map(|r| r.expect("all jobs ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all jobs ran"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -135,6 +143,14 @@ mod tests {
 
     #[test]
     fn options_sizes() {
-        assert!(ExpOptions { quick: true, seed: 0 }.sizes().len() < ExpOptions::default().sizes().len());
+        assert!(
+            ExpOptions {
+                quick: true,
+                seed: 0
+            }
+            .sizes()
+            .len()
+                < ExpOptions::default().sizes().len()
+        );
     }
 }

@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        expectation: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, expectation: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             title: title.into(),
             expectation: expectation.into(),
@@ -94,7 +90,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -117,7 +117,13 @@ impl Table {
         let mut name: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         while name.contains("__") {
             name = name.replace("__", "_");

@@ -42,9 +42,7 @@ impl Family {
     /// valid for `n ≥ 1`).
     pub fn instance(&self, n: usize, seed: u64) -> Instance {
         match self {
-            Family::UniformSquare => {
-                gen::uniform_square(n, 1.5, seed).expect("valid parameters")
-            }
+            Family::UniformSquare => gen::uniform_square(n, 1.5, seed).expect("valid parameters"),
             Family::Clustered => {
                 let clusters = (n / 8).max(1);
                 let per = n.div_ceil(clusters);
@@ -69,7 +67,12 @@ impl Family {
 pub fn delta_sweep(n: usize, seed: u64) -> Vec<(f64, Instance)> {
     [1.2, 1.5, 2.0, 2.8]
         .into_iter()
-        .map(|g| (g, gen::exponential_chain(n, g, seed).expect("valid parameters")))
+        .map(|g| {
+            (
+                g,
+                gen::exponential_chain(n, g, seed).expect("valid parameters"),
+            )
+        })
         .collect()
 }
 

@@ -1,0 +1,78 @@
+//! Offline API-subset shim of the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate for the
+//! `sinr-connect` workspace: just [`scope`], implemented on top of
+//! `std::thread::scope` (available since Rust 1.63, which postdates
+//! crossbeam's scoped threads). The workspace only uses
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); })`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of [`scope`]: `Err` carries the payload of a panicking child
+/// thread (or of the closure itself).
+pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+/// A handle for spawning threads that may borrow from the enclosing
+/// scope. Mirrors `crossbeam::thread::Scope`.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (crossbeam's signature), so nested spawns work. The thread is
+    /// joined when the scope ends; its panic, if any, surfaces as the
+    /// `Err` of the enclosing [`scope`] call.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle));
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data,
+/// joining all of them before returning. A panic in any spawned thread
+/// (or in `f`) is captured and returned as `Err`.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .expect("no panics");
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+}

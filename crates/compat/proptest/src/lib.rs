@@ -1,0 +1,161 @@
+//! Offline API-subset shim of the
+//! [`proptest`](https://crates.io/crates/proptest) crate for the
+//! `sinr-connect` workspace.
+//!
+//! Provides the surface the workspace's property tests use — the
+//! [`proptest!`], [`prop_compose!`], [`prop_assert!`]-family and
+//! [`prop_assume!`] macros, range/tuple/`prop_map`/`collection::vec`
+//! strategies and [`test_runner::ProptestConfig`] — with deliberate
+//! simplifications:
+//!
+//! - **Deterministic by construction.** The runner derives every case
+//!   from a fixed seed (overridable via `PROPTEST_SEED`), so a failing
+//!   case reproduces exactly on re-run; there is no persistence file.
+//! - **No shrinking.** On failure the runner reports the generated
+//!   input verbatim. Case counts here are small enough that inputs stay
+//!   readable.
+//!
+//! Swapping in the real crate is a one-line change in the workspace
+//! `Cargo.toml`: the test files only use upstream-valid API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. See the crate docs; mirrors upstream's
+/// `proptest!` for the `fn name(pat in strategy, ...) { body }` form,
+/// with an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ($($strat,)+);
+                $crate::test_runner::TestRunner::new(config).run(
+                    &strat,
+                    |($($arg,)+)| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `fn name(args)(pat in strategy, ...) -> Output { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident
+      ( $($pname:ident: $pty:ty),* $(,)? )
+      ( $($arg:pat in $strat:expr),+ $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($pname: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+///
+/// Binds through `match` (like `std::assert_eq!`) so temporaries in
+/// the operands live for the whole comparison.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{:?}` != `{:?}`", left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `{:?}` == `{:?}`", left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left != *right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it does not count towards the case total)
+/// if the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,203 @@
+//! The deterministic case runner.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the input; the case is
+    /// re-drawn and does not count toward the total.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected precondition.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration. Only the fields this workspace sets are
+/// modeled; construct with struct-update syntax from `default()`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Abort after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases, other fields default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Executes a property over a stream of generated inputs.
+///
+/// The RNG seed is fixed (`PROPTEST_SEED` env var overrides it), so
+/// every run draws the identical case sequence: a red test reproduces
+/// byte-for-byte, which is the workspace's seeded-RNG discipline.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given config and the fixed seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CA5E_u64);
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `test` on `config.cases` accepted inputs drawn from
+    /// `strategy`, panicking (with the input) on the first failure.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => {
+                    accepted += 1;
+                    rejected = 0;
+                }
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: {rejected} consecutive prop_assume! \
+                             rejections after {accepted} accepted cases"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest case #{n} failed: {msg}\n    input: {shown}",
+                        n = accepted + 1
+                    );
+                }
+                Err(panic_payload) => {
+                    eprintln!(
+                        "proptest case #{n} panicked\n    input: {shown}",
+                        n = accepted + 1
+                    );
+                    resume_unwind(panic_payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_accepted() {
+        let mut count = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(17)).run(&(0u64..100), |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut accepted = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(10)).run(&(0u64..100), |v| {
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("odd only"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 10);
+    }
+
+    #[test]
+    fn reject_budget_is_consecutive_not_cumulative() {
+        // Every other case rejects: far more total rejections than the
+        // budget, but never two in a row — must complete, since an
+        // accepted case resets the streak.
+        let config = ProptestConfig {
+            cases: 50,
+            max_global_rejects: 1,
+        };
+        let mut toggle = false;
+        let mut accepted = 0u32;
+        TestRunner::new(config).run(&(0u64..100), |_| {
+            toggle = !toggle;
+            if toggle {
+                return Err(TestCaseError::reject("every other"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_input() {
+        TestRunner::new(ProptestConfig::with_cases(10))
+            .run(&(0u64..100), |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn deterministic_sequences() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        TestRunner::new(ProptestConfig::with_cases(20)).run(&(0u64..1000), |v| {
+            a.push(v);
+            Ok(())
+        });
+        TestRunner::new(ProptestConfig::with_cases(20)).run(&(0u64..1000), |v| {
+            b.push(v);
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

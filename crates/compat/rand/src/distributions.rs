@@ -1,0 +1,76 @@
+//! Distribution types (`Distribution`, `Uniform`).
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A uniform distribution over a half-open or closed interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: empty range");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive: empty range");
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+macro_rules! impl_uniform_distribution {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.low..=self.high).sample_one(rng)
+                } else {
+                    (self.low..self.high).sample_one(rng)
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_distribution!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Uniform::new_inclusive(0.0, 4.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=4.0).contains(&x));
+        }
+        let di = Uniform::new(2u64, 5);
+        for _ in 0..1000 {
+            assert!((2..5).contains(&di.sample(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Pseudo-random generator implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ seeded via
+/// SplitMix64.
+///
+/// Unlike upstream `StdRng`, the output stream is a stability
+/// guarantee: schedules and instance generators derive from it, and the
+/// determinism tests pin their byte-level output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is a fixed point of xoshiro; fall back to
+        // the SplitMix64 expansion of 0.
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna), public-domain reference
+        // algorithm.
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_roundtrip_and_zero_guard() {
+        let a = StdRng::from_seed([1; 32]);
+        let b = StdRng::from_seed([1; 32]);
+        assert_eq!(a, b);
+        let mut z = StdRng::from_seed([0; 32]);
+        // Must not be stuck at zero.
+        assert_ne!(z.next_u64(), 0u64.wrapping_add(0));
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // Regression pin: changing the algorithm breaks every seeded
+        // artifact in the workspace, so the first outputs are frozen.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180
+            ]
+        );
+    }
+}

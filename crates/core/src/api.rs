@@ -149,8 +149,7 @@ pub fn connect(
         }
         Strategy::TvcMean => {
             let mut sel = MeanSamplingSelector::default();
-            let out =
-                tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
+            let out = tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
             Ok(ConnectivityResult {
                 strategy,
                 tree_links: out.tree.aggregation_links(),
@@ -164,8 +163,7 @@ pub fn connect(
         }
         Strategy::TvcArbitrary => {
             let mut sel = DistrCapSelector::default();
-            let out =
-                tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
+            let out = tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
             Ok(ConnectivityResult {
                 strategy,
                 tree_links: out.tree.aggregation_links(),
@@ -191,24 +189,14 @@ mod tests {
         let params = SinrParams::default();
         let inst = gen::uniform_square(32, 1.5, 19).unwrap();
         for strategy in Strategy::ALL {
-            let r = connect(&params, &inst, strategy, 5)
-                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            let r =
+                connect(&params, &inst, strategy, 5).unwrap_or_else(|e| panic!("{strategy}: {e}"));
             assert_eq!(r.tree_links.len(), inst.len() - 1, "{strategy}");
             assert_eq!(r.schedule_len, r.aggregation_schedule.num_slots());
-            feasibility::validate_schedule(
-                &params,
-                &inst,
-                &r.aggregation_schedule,
-                &r.power,
-            )
-            .unwrap_or_else(|e| panic!("{strategy} aggregation: {e}"));
-            feasibility::validate_schedule(
-                &params,
-                &inst,
-                &r.dissemination_schedule,
-                &r.power,
-            )
-            .unwrap_or_else(|e| panic!("{strategy} dissemination: {e}"));
+            feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power)
+                .unwrap_or_else(|e| panic!("{strategy} aggregation: {e}"));
+            feasibility::validate_schedule(&params, &inst, &r.dissemination_schedule, &r.power)
+                .unwrap_or_else(|e| panic!("{strategy} dissemination: {e}"));
             assert!(r.runtime_slots > 0, "{strategy}");
         }
     }
@@ -225,11 +213,17 @@ mod tests {
     fn bitree_presence_matches_strategy() {
         let params = SinrParams::default();
         let inst = gen::uniform_square(24, 1.5, 23).unwrap();
-        assert!(connect(&params, &inst, Strategy::InitOnly, 1).unwrap().bitree.is_some());
+        assert!(connect(&params, &inst, Strategy::InitOnly, 1)
+            .unwrap()
+            .bitree
+            .is_some());
         assert!(connect(&params, &inst, Strategy::MeanReschedule, 1)
             .unwrap()
             .bitree
             .is_none());
-        assert!(connect(&params, &inst, Strategy::TvcMean, 1).unwrap().bitree.is_some());
+        assert!(connect(&params, &inst, Strategy::TvcMean, 1)
+            .unwrap()
+            .bitree
+            .is_some());
     }
 }

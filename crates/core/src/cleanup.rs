@@ -62,7 +62,10 @@ pub fn reconcile_strays(
     // real parent-child pair plus the recorded strays.)
     let mut optimistic: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
     for (link, _) in outcome.run.link_slots.iter() {
-        optimistic.entry(link.receiver).or_default().insert(link.sender);
+        optimistic
+            .entry(link.receiver)
+            .or_default()
+            .insert(link.sender);
     }
     // Strays are rebuilt as "claims by a non-parent": the run records
     // how many there were; their identity is immaterial to the sweep's
@@ -146,8 +149,7 @@ mod tests {
 
             // Authoritative child sets from the tree.
             for u in 0..inst.len() {
-                let true_children: HashSet<NodeId> =
-                    out.tree.children(u).iter().copied().collect();
+                let true_children: HashSet<NodeId> = out.tree.children(u).iter().copied().collect();
                 let got = confirmed.get(&u).cloned().unwrap_or_default();
                 assert_eq!(
                     got, true_children,

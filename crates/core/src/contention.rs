@@ -49,7 +49,10 @@ pub struct ContentionConfig {
 
 impl Default for ContentionConfig {
     fn default() -> Self {
-        ContentionConfig { sweep_len: None, max_pairs: 200_000 }
+        ContentionConfig {
+            sweep_len: None,
+            max_pairs: 200_000,
+        }
     }
 }
 
@@ -121,14 +124,20 @@ impl Protocol for ContentionNode {
                 let link = self.offer().expect("pending is non-empty");
                 self.in_flight = Some(link);
                 let power = self.tx_power[&link];
-                return Action::Transmit { power, msg: ContentionMsg::Data { link } };
+                return Action::Transmit {
+                    power,
+                    msg: ContentionMsg::Data { link },
+                };
             }
             Action::Listen
         } else {
             // Ack slot.
             if let Some(link) = self.ack_due {
                 let power = self.tx_power[&link.dual()];
-                return Action::Transmit { power, msg: ContentionMsg::Ack { link } };
+                return Action::Transmit {
+                    power,
+                    msg: ContentionMsg::Ack { link },
+                };
             }
             if self.in_flight.is_some() {
                 return Action::Listen;
@@ -145,15 +154,23 @@ impl Protocol for ContentionNode {
         _rng: &mut StdRng,
     ) {
         match (slot % 2, outcome) {
-            (0, SlotOutcome::Received(Reception { msg: ContentionMsg::Data { link }, .. })) => {
-                if link.receiver == node {
-                    self.ack_due = Some(link);
-                }
+            (
+                0,
+                SlotOutcome::Received(Reception {
+                    msg: ContentionMsg::Data { link },
+                    ..
+                }),
+            ) if link.receiver == node => {
+                self.ack_due = Some(link);
             }
-            (1, SlotOutcome::Received(Reception { msg: ContentionMsg::Ack { link }, .. })) => {
-                if link.sender == node && self.in_flight == Some(link) {
-                    self.retire(link, slot - 1);
-                }
+            (
+                1,
+                SlotOutcome::Received(Reception {
+                    msg: ContentionMsg::Ack { link },
+                    ..
+                }),
+            ) if link.sender == node && self.in_flight == Some(link) => {
+                self.retire(link, slot - 1);
             }
             _ => {}
         }
@@ -192,7 +209,10 @@ pub fn schedule_distributed(
     seed: u64,
 ) -> Result<ContentionOutcome> {
     if links.is_empty() {
-        return Ok(ContentionOutcome { schedule: Schedule::new(), slots_used: 0 });
+        return Ok(ContentionOutcome {
+            schedule: Schedule::new(),
+            slots_used: 0,
+        });
     }
 
     // Precompute data and ack powers; fail fast on missing/bad powers.
@@ -211,7 +231,10 @@ pub fn schedule_distributed(
         // data power when the dual has no entry.
         let p_ack = power.power_of(l.dual(), instance, params).unwrap_or(p_data);
         per_node.entry(l.sender).or_default().insert(l, p_data);
-        per_node.entry(l.receiver).or_default().insert(l.dual(), p_ack);
+        per_node
+            .entry(l.receiver)
+            .or_default()
+            .insert(l.dual(), p_ack);
     }
 
     let sweep_len = cfg
@@ -224,8 +247,7 @@ pub fn schedule_distributed(
         instance,
         |id| {
             let tx_power = per_node.remove(&id).unwrap_or_default();
-            let pending: Vec<Link> =
-                links.iter().filter(|l| l.sender == id).collect();
+            let pending: Vec<Link> = links.iter().filter(|l| l.sender == id).collect();
             ContentionNode {
                 pending,
                 next: 0,
@@ -264,7 +286,10 @@ pub fn schedule_distributed(
     }
     schedule.compact();
     schedule.validate_covers(links)?;
-    Ok(ContentionOutcome { schedule, slots_used })
+    Ok(ContentionOutcome {
+        schedule,
+        slots_used,
+    })
 }
 
 #[cfg(test)]
@@ -300,8 +325,7 @@ mod tests {
         let inst = gen::line(2).unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
         let power = PowerAssignment::mean_with_margin(&p, inst.delta());
-        let out = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 1)
-            .unwrap();
+        let out = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 1).unwrap();
         assert_eq!(out.schedule.num_slots(), 1);
         assert!(out.slots_used < 200);
     }
@@ -318,8 +342,7 @@ mod tests {
             .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
             .collect();
         let power = PowerAssignment::mean_with_margin(&p, inst.delta());
-        let out = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 7)
-            .unwrap();
+        let out = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 7).unwrap();
         assert_eq!(out.schedule.links().len(), links.len());
         feasibility::validate_schedule(&p, &inst, &out.schedule, &power)
             .expect("per-slot sets replay feasibly");
@@ -338,8 +361,7 @@ mod tests {
         // Dissemination direction: parents send to many children.
         let dual = agg.dual();
         let power = PowerAssignment::mean_with_margin(&p, inst.delta());
-        let out = schedule_distributed(&p, &inst, &dual, &power, &Default::default(), 9)
-            .unwrap();
+        let out = schedule_distributed(&p, &inst, &dual, &power, &Default::default(), 9).unwrap();
         assert_eq!(out.schedule.links().len(), dual.len());
         feasibility::validate_schedule(&p, &inst, &out.schedule, &power).unwrap();
     }
@@ -350,10 +372,8 @@ mod tests {
         let inst = gen::uniform_square(15, 1.5, 2).unwrap();
         let links = LinkSet::from_links(vec![Link::new(1, 0), Link::new(2, 0)]).unwrap();
         let power = PowerAssignment::mean_with_margin(&p, inst.delta());
-        let a = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 5)
-            .unwrap();
-        let b = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 5)
-            .unwrap();
+        let a = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 5).unwrap();
+        let b = schedule_distributed(&p, &inst, &links, &power, &Default::default(), 5).unwrap();
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.slots_used, b.slots_used);
     }
@@ -374,7 +394,10 @@ mod tests {
         let inst = gen::uniform_square(20, 1.5, 3).unwrap();
         let links: LinkSet = (1..inst.len()).map(|u| Link::new(u, 0)).collect();
         let power = PowerAssignment::mean_with_margin(&p, inst.delta());
-        let cfg = ContentionConfig { max_pairs: 1, ..Default::default() };
+        let cfg = ContentionConfig {
+            max_pairs: 1,
+            ..Default::default()
+        };
         let e = schedule_distributed(&p, &inst, &links, &power, &cfg, 0);
         assert!(matches!(e, Err(CoreError::ConvergenceFailure { .. })));
     }

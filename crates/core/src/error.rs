@@ -73,11 +73,18 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::ConvergenceFailure { phase: "init", detail: "x".into() };
+        let e = CoreError::ConvergenceFailure {
+            phase: "init",
+            detail: "x".into(),
+        };
         assert!(!e.to_string().is_empty());
         assert!(e.source().is_none());
 
-        let e: CoreError = PhyError::InvalidParameter { name: "a", reason: "b" }.into();
+        let e: CoreError = PhyError::InvalidParameter {
+            name: "a",
+            reason: "b",
+        }
+        .into();
         assert!(e.source().is_some());
 
         let e: CoreError = LinkError::NoRoot.into();

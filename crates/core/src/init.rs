@@ -56,7 +56,12 @@ pub struct InitConfig {
 
 impl Default for InitConfig {
     fn default() -> Self {
-        InitConfig { p: 0.1, lambda1: 4.0, accept_shorter: true, extra_rounds_cap: 256 }
+        InitConfig {
+            p: 0.1,
+            lambda1: 4.0,
+            accept_shorter: true,
+            extra_rounds_cap: 256,
+        }
     }
 }
 
@@ -70,7 +75,12 @@ impl InitConfig {
         let alpha = params.alpha();
         let beta = params.beta();
         let p = 1.0 / (64.0 * (1.0 + 6.0 * beta * 2f64.powf(alpha) / (alpha - 2.0)));
-        InitConfig { p, lambda1: 80.0 / (p * p), accept_shorter: false, extra_rounds_cap: 0 }
+        InitConfig {
+            p,
+            lambda1: 80.0 / (p * p),
+            accept_shorter: false,
+            extra_rounds_cap: 0,
+        }
     }
 
     /// Validates the knobs.
@@ -188,7 +198,10 @@ impl Protocol for InitNode {
             self.pending_ack = None;
             self.is_broadcaster = rng.gen_bool(self.shared.p);
             if self.is_broadcaster {
-                Action::Transmit { power: self.shared.round_powers[round], msg: InitMsg::Broadcast }
+                Action::Transmit {
+                    power: self.shared.round_powers[round],
+                    msg: InitMsg::Broadcast,
+                }
             } else {
                 Action::Listen
             }
@@ -218,10 +231,17 @@ impl Protocol for InitNode {
         let pair = slot / 2;
         let round = self.shared.round_of_pair(pair);
         match (slot % 2, outcome) {
-            (0, SlotOutcome::Received(Reception { from, msg: InitMsg::Broadcast, distance, .. })) => {
+            (
+                0,
+                SlotOutcome::Received(Reception {
+                    from,
+                    msg: InitMsg::Broadcast,
+                    distance,
+                    ..
+                }),
+            ) => {
                 let (lo, hi) = self.shared.round_windows[round];
-                let in_window =
-                    distance < hi && (self.shared.accept_shorter || distance >= lo);
+                let in_window = distance < hi && (self.shared.accept_shorter || distance >= lo);
                 if in_window && rng.gen_bool(self.shared.p) {
                     // Optimistically store the link pair (paper: listener
                     // may store a stray link; cleanup happens later).
@@ -229,14 +249,19 @@ impl Protocol for InitNode {
                     self.optimistic_children.push((from, slot));
                 }
             }
-            (1, SlotOutcome::Received(Reception { from, msg: InitMsg::Ack { to }, .. })) => {
-                if self.is_broadcaster && to == node {
-                    // Connected: `from` (the acknowledger) is the parent.
-                    self.active = false;
-                    self.parent = Some(from);
-                    self.uplink_slot = Some(slot - 1);
-                    self.uplink_power = Some(self.shared.round_powers[round]);
-                }
+            (
+                1,
+                SlotOutcome::Received(Reception {
+                    from,
+                    msg: InitMsg::Ack { to },
+                    ..
+                }),
+            ) if self.is_broadcaster && to == node => {
+                // Connected: `from` (the acknowledger) is the parent.
+                self.active = false;
+                self.parent = Some(from);
+                self.uplink_slot = Some(slot - 1);
+                self.uplink_power = Some(self.shared.round_powers[round]);
             }
             _ => {}
         }
@@ -332,8 +357,7 @@ pub fn run_init_on(
             reason: "mask length must equal instance size",
         });
     }
-    let participants: Vec<NodeId> =
-        (0..instance.len()).filter(|&i| active_mask[i]).collect();
+    let participants: Vec<NodeId> = (0..instance.len()).filter(|&i| active_mask[i]).collect();
     if participants.is_empty() {
         return Err(CoreError::InvalidConfig {
             name: "active_mask",
@@ -435,7 +459,8 @@ pub fn run_init_on(
             );
             link_powers.insert(
                 link,
-                node.uplink_power.expect("connected nodes record their power"),
+                node.uplink_power
+                    .expect("connected nodes record their power"),
             );
         }
     }
@@ -444,8 +469,8 @@ pub fn run_init_on(
     let mut stray_records = 0;
     for (id, node) in engine.nodes().iter().enumerate() {
         for &(child, bslot) in &node.optimistic_children {
-            let confirmed = parents[child] == Some(id)
-                && link_slots.get(&Link::new(child, id)) == Some(&bslot);
+            let confirmed =
+                parents[child] == Some(id) && link_slots.get(&Link::new(child, id)) == Some(&bslot);
             if !confirmed {
                 stray_records += 1;
             }
@@ -503,7 +528,12 @@ pub fn run_init(
     }
     schedule.compact();
     let bitree = BiTree::new(tree.clone(), schedule.clone())?;
-    Ok(InitOutcome { tree, bitree, schedule, run })
+    Ok(InitOutcome {
+        tree,
+        bitree,
+        schedule,
+        run,
+    })
 }
 
 #[cfg(test)]
@@ -519,9 +549,24 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(InitConfig::default().validate().is_ok());
-        assert!(InitConfig { p: 0.0, ..Default::default() }.validate().is_err());
-        assert!(InitConfig { p: 0.6, ..Default::default() }.validate().is_err());
-        assert!(InitConfig { lambda1: 0.0, ..Default::default() }.validate().is_err());
+        assert!(InitConfig {
+            p: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(InitConfig {
+            p: 0.6,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(InitConfig {
+            lambda1: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -594,7 +639,10 @@ mod tests {
         let p = params();
         let inst = gen::exponential_chain(10, 2.0, 0).unwrap();
         let out = run_init(&p, &inst, &InitConfig::default(), 5).unwrap();
-        assert!(out.run.rounds_used > 1, "Δ ≫ 1 needs several length classes");
+        assert!(
+            out.run.rounds_used > 1,
+            "Δ ≫ 1 needs several length classes"
+        );
         assert_eq!(out.run.link_slots.len(), 9);
     }
 

@@ -54,6 +54,7 @@ pub struct JoinOutcome {
 ///   closer than distance 1 to any existing/new point (model
 ///   normalization), or if `new_points` is empty;
 /// - attachment errors from the selection loop.
+#[allow(clippy::too_many_arguments)]
 pub fn join_nodes(
     params: &SinrParams,
     original: &Instance,
@@ -108,8 +109,7 @@ pub fn join_nodes(
         }
     }
 
-    let done =
-        complete_and_pack(params, &instance, seeded, kept_powers, cfg, selector, seed)?;
+    let done = complete_and_pack(params, &instance, seeded, kept_powers, cfg, selector, seed)?;
     Ok(JoinOutcome {
         instance,
         tree: done.tree,
@@ -134,8 +134,7 @@ mod tests {
         let params = SinrParams::default();
         let inst = gen::uniform_square(n, 2.0, seed).unwrap();
         let mut sel = MeanSamplingSelector::default();
-        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed)
-            .unwrap();
+        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed).unwrap();
         (inst, out)
     }
 
@@ -176,13 +175,8 @@ mod tests {
         assert_eq!(joined.instance.len(), 34);
         assert_eq!(joined.attached, 4);
         assert_eq!(joined.tree.len(), 34);
-        feasibility::validate_schedule(
-            &params,
-            &joined.instance,
-            &joined.schedule,
-            &joined.power,
-        )
-        .unwrap();
+        feasibility::validate_schedule(&params, &joined.instance, &joined.schedule, &joined.power)
+            .unwrap();
         let (up, down) =
             audit_bitree(&params, &joined.instance, &joined.bitree, &joined.power).unwrap();
         assert!(up.all_delivered && down.all_reached);
@@ -196,8 +190,14 @@ mod tests {
         let newcomers = far_points(&inst, 2);
         let mut sel = MeanSamplingSelector::default();
         let joined = join_nodes(
-            &params, &inst, &parents, &powers, &newcomers,
-            &TvcConfig::default(), &mut sel, 9,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &newcomers,
+            &TvcConfig::default(),
+            &mut sel,
+            9,
         )
         .unwrap();
         for (u, old_parent) in parents.iter().enumerate() {
@@ -217,15 +217,27 @@ mod tests {
         let p0 = inst.position(0);
         let bad = vec![Point::new(p0.x + 0.25, p0.y)];
         let e = join_nodes(
-            &params, &inst, &parents, &powers, &bad,
-            &TvcConfig::default(), &mut sel, 0,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &bad,
+            &TvcConfig::default(),
+            &mut sel,
+            0,
         );
         assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
         // And an exact duplicate.
         let dup = vec![p0];
         let e = join_nodes(
-            &params, &inst, &parents, &powers, &dup,
-            &TvcConfig::default(), &mut sel, 0,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &dup,
+            &TvcConfig::default(),
+            &mut sel,
+            0,
         );
         assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
     }
@@ -237,8 +249,14 @@ mod tests {
         let (parents, powers) = pieces(&out);
         let mut sel = MeanSamplingSelector::default();
         let e = join_nodes(
-            &params, &inst, &parents, &powers, &[],
-            &TvcConfig::default(), &mut sel, 0,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &[],
+            &TvcConfig::default(),
+            &mut sel,
+            0,
         );
         assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
     }
@@ -250,20 +268,30 @@ mod tests {
         let (parents, powers) = pieces(&out);
         let mut sel = MeanSamplingSelector::default();
         let j1 = join_nodes(
-            &params, &inst, &parents, &powers, &far_points(&inst, 3),
-            &TvcConfig::default(), &mut sel, 1,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &far_points(&inst, 3),
+            &TvcConfig::default(),
+            &mut sel,
+            1,
         )
         .unwrap();
-        let parents2: Vec<Option<NodeId>> =
-            (0..j1.tree.len()).map(|u| j1.tree.parent(u)).collect();
+        let parents2: Vec<Option<NodeId>> = (0..j1.tree.len()).map(|u| j1.tree.parent(u)).collect();
         let powers2 = j1.power.as_explicit().unwrap().clone();
         let j2 = join_nodes(
-            &params, &j1.instance, &parents2, &powers2, &far_points(&j1.instance, 2),
-            &TvcConfig::default(), &mut sel, 2,
+            &params,
+            &j1.instance,
+            &parents2,
+            &powers2,
+            &far_points(&j1.instance, 2),
+            &TvcConfig::default(),
+            &mut sel,
+            2,
         )
         .unwrap();
         assert_eq!(j2.instance.len(), 21);
-        feasibility::validate_schedule(&params, &j2.instance, &j2.schedule, &j2.power)
-            .unwrap();
+        feasibility::validate_schedule(&params, &j2.instance, &j2.schedule, &j2.power).unwrap();
     }
 }

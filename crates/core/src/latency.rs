@@ -125,10 +125,7 @@ pub fn simulate_broadcast(
         for (i, &l) in links.iter().enumerate() {
             let receiver_busy = tx.iter().any(|&(u, _)| u == l.receiver);
             let sinr = calc.sinr(l, tx[i].1, &tx);
-            if has_token[l.sender]
-                && !receiver_busy
-                && sinr >= params.beta() * (1.0 - 1e-12)
-            {
+            if has_token[l.sender] && !receiver_busy && sinr >= params.beta() * (1.0 - 1e-12) {
                 granted.push(l.receiver);
             }
         }
@@ -138,7 +135,11 @@ pub fn simulate_broadcast(
     }
 
     let reached = has_token.iter().filter(|&&t| t).count();
-    Ok(BroadcastCheck { slots: slots.len(), reached, all_reached: reached == n })
+    Ok(BroadcastCheck {
+        slots: slots.len(),
+        reached,
+        all_reached: reached == n,
+    })
 }
 
 /// End-to-end latency audit of a bi-tree: replays both passes and

@@ -92,7 +92,11 @@ pub fn foschini_miljanic(
     }
     let v = links.links().to_vec();
     if v.is_empty() {
-        return Ok(PowerControlOutcome { powers: HashMap::new(), iters: 0, eta_slots: 0 });
+        return Ok(PowerControlOutcome {
+            powers: HashMap::new(),
+            iters: 0,
+            eta_slots: 0,
+        });
     }
 
     let target = cfg.margin * params.beta();
@@ -133,8 +137,7 @@ pub fn foschini_miljanic(
             }
         }
     }
-    let self_gain: Vec<f64> =
-        v.iter().map(|l| l.length(instance).powf(-alpha)).collect();
+    let self_gain: Vec<f64> = v.iter().map(|l| l.length(instance).powf(-alpha)).collect();
 
     let mut iters = 0;
     loop {
@@ -142,8 +145,7 @@ pub fn foschini_miljanic(
         let mut next = vec![0.0f64; n];
         let mut max_rel_change = 0.0f64;
         for i in 0..n {
-            let interference: f64 =
-                (0..n).map(|j| powers[j] * gain[i][j]).sum();
+            let interference: f64 = (0..n).map(|j| powers[j] * gain[i][j]).sum();
             next[i] = target * (noise + interference) / self_gain[i];
             let rel = (next[i] - powers[i]).abs() / powers[i].max(f64::MIN_POSITIVE);
             max_rel_change = max_rel_change.max(rel);
@@ -170,7 +172,11 @@ pub fn foschini_miljanic(
     }
 
     let map: HashMap<Link, f64> = v.into_iter().zip(powers).collect();
-    Ok(PowerControlOutcome { powers: map, iters, eta_slots: 2 * u64::from(iters) })
+    Ok(PowerControlOutcome {
+        powers: map,
+        iters,
+        eta_slots: 2 * u64::from(iters),
+    })
 }
 
 /// Finds powers making `links` feasible, dropping links when necessary.
@@ -192,22 +198,18 @@ pub fn make_feasible(
     let mut dropped = Vec::new();
     let mut eta_total = 0u64;
     loop {
-        match foschini_miljanic(params, instance, &current, cfg) {
-            Ok(out) => {
-                eta_total += out.eta_slots;
-                // Defensive re-validation through the public checker.
-                let pa = PowerAssignment::explicit(out.powers.clone())
-                    .expect("FM powers are positive");
-                if feasibility::is_feasible(params, instance, &current, &pa) {
-                    return MakeFeasibleOutcome {
-                        links: current,
-                        powers: out.powers,
-                        dropped,
-                        eta_slots: eta_total,
-                    };
-                }
+        if let Ok(out) = foschini_miljanic(params, instance, &current, cfg) {
+            eta_total += out.eta_slots;
+            // Defensive re-validation through the public checker.
+            let pa = PowerAssignment::explicit(out.powers.clone()).expect("FM powers are positive");
+            if feasibility::is_feasible(params, instance, &current, &pa) {
+                return MakeFeasibleOutcome {
+                    links: current,
+                    powers: out.powers,
+                    dropped,
+                    eta_slots: eta_total,
+                };
             }
-            Err(_) => {}
         }
         eta_total += 2 * u64::from(cfg.max_iters.min(64));
         // Drop the longest link and retry.
@@ -258,8 +260,7 @@ mod tests {
     fn empty_set_is_trivial() {
         let p = params();
         let inst = gen::line(2).unwrap();
-        let out =
-            foschini_miljanic(&p, &inst, &LinkSet::new(), &Default::default()).unwrap();
+        let out = foschini_miljanic(&p, &inst, &LinkSet::new(), &Default::default()).unwrap();
         assert_eq!(out.iters, 0);
         assert!(out.powers.is_empty());
     }
@@ -288,12 +289,8 @@ mod tests {
             Point::new(102.0, 40.0),
         ])
         .unwrap();
-        let links = LinkSet::from_links(vec![
-            Link::new(0, 1),
-            Link::new(2, 3),
-            Link::new(4, 5),
-        ])
-        .unwrap();
+        let links =
+            LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3), Link::new(4, 5)]).unwrap();
         let out = foschini_miljanic(&p, &inst, &links, &Default::default()).unwrap();
         let pa = PowerAssignment::explicit(out.powers).unwrap();
         assert!(feasibility::is_feasible(&p, &inst, &links, &pa));
@@ -327,8 +324,7 @@ mod tests {
             pts.push(Point::new(i as f64 * 1.1, 1.0));
         }
         let inst = sinr_geom::Instance::new(pts).unwrap();
-        let links: LinkSet =
-            (0..6).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
+        let links: LinkSet = (0..6).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
         let e = foschini_miljanic(&p, &inst, &links, &Default::default());
         assert!(e.is_err(), "crowded parallel links must be infeasible");
     }
@@ -342,8 +338,7 @@ mod tests {
             pts.push(Point::new(i as f64 * 1.1, 1.0));
         }
         let inst = sinr_geom::Instance::new(pts).unwrap();
-        let links: LinkSet =
-            (0..6).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
+        let links: LinkSet = (0..6).map(|i| Link::new(2 * i, 2 * i + 1)).collect();
         let out = make_feasible(&p, &inst, &links, &Default::default());
         assert!(!out.links.is_empty());
         assert!(!out.dropped.is_empty());
@@ -356,7 +351,10 @@ mod tests {
         let p = params();
         let inst = gen::line(2).unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
-        let bad = PowerControlConfig { margin: 0.5, ..Default::default() };
+        let bad = PowerControlConfig {
+            margin: 0.5,
+            ..Default::default()
+        };
         assert!(matches!(
             foschini_miljanic(&p, &inst, &links, &bad),
             Err(CoreError::InvalidConfig { .. })
@@ -374,7 +372,10 @@ mod tests {
         ])
         .unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)]).unwrap();
-        let cfg = PowerControlConfig { margin: 1.2, ..Default::default() };
+        let cfg = PowerControlConfig {
+            margin: 1.2,
+            ..Default::default()
+        };
         let out = foschini_miljanic(&p, &inst, &links, &cfg).unwrap();
         let pa = PowerAssignment::explicit(out.powers).unwrap();
         let report = feasibility::check(&p, &inst, &links, &pa);

@@ -115,8 +115,7 @@ pub fn repair_after_failures(
     }
 
     // The survivors as a standalone instance (distances unchanged).
-    let points: Vec<sinr_geom::Point> =
-        new_to_old.iter().map(|&o| original.position(o)).collect();
+    let points: Vec<sinr_geom::Point> = new_to_old.iter().map(|&o| original.position(o)).collect();
     let instance = Instance::new(points).map_err(|_| CoreError::InvalidConfig {
         name: "failed",
         reason: "survivor set produced an invalid instance",
@@ -126,7 +125,9 @@ pub fn repair_after_failures(
     let mut seeded: Vec<Option<NodeId>> = vec![None; instance.len()];
     let mut kept = LinkSet::new();
     for (old_u, parent) in old_parents.iter().enumerate() {
-        let (Some(new_u), Some(old_p)) = (old_to_new[old_u], parent) else { continue };
+        let (Some(new_u), Some(old_p)) = (old_to_new[old_u], parent) else {
+            continue;
+        };
         if let Some(new_p) = old_to_new[*old_p] {
             seeded[new_u] = Some(new_p);
             kept.insert(Link::new(new_u, new_p));
@@ -190,8 +191,7 @@ pub(crate) fn complete_and_pack(
     let power = PowerAssignment::explicit(powers)?;
 
     let tree = InTree::from_parents(ext.parents)?;
-    let (schedule, unschedulable) =
-        packing::pack_tree_ordered(params, instance, &tree, &power);
+    let (schedule, unschedulable) = packing::pack_tree_ordered(params, instance, &tree, &power);
     if let Some(&l) = unschedulable.first() {
         return Err(CoreError::Phy(sinr_phy::PhyError::PowerBelowNoiseFloor {
             link: l,
@@ -222,14 +222,11 @@ mod tests {
         let params = SinrParams::default();
         let inst = gen::uniform_square(n, 1.5, seed).unwrap();
         let mut sel = MeanSamplingSelector::default();
-        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed)
-            .unwrap();
+        let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, seed).unwrap();
         (inst, out)
     }
 
-    fn old_pieces(
-        out: &crate::tvc::TvcOutcome,
-    ) -> (Vec<Option<NodeId>>, HashMap<Link, f64>) {
+    fn old_pieces(out: &crate::tvc::TvcOutcome) -> (Vec<Option<NodeId>>, HashMap<Link, f64>) {
         let parents: Vec<Option<NodeId>> =
             (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
         let powers = out.power.as_explicit().unwrap().clone();
@@ -291,13 +288,8 @@ mod tests {
         assert_eq!(rep.tree.len(), 29);
         // Every old root-child became an orphan root.
         assert!(rep.orphaned_roots >= out.tree.children(out.tree.root()).len());
-        let (up, down) = crate::latency::audit_bitree(
-            &params,
-            &rep.instance,
-            &rep.bitree,
-            &rep.power,
-        )
-        .unwrap();
+        let (up, down) =
+            crate::latency::audit_bitree(&params, &rep.instance, &rep.bitree, &rep.power).unwrap();
         assert!(up.all_delivered && down.all_reached);
     }
 
@@ -333,15 +325,27 @@ mod tests {
         let all: Vec<NodeId> = (0..5).collect();
         assert!(matches!(
             repair_after_failures(
-                &params, &inst, &parents, &powers, &all,
-                &TvcConfig::default(), &mut sel, 0,
+                &params,
+                &inst,
+                &parents,
+                &powers,
+                &all,
+                &TvcConfig::default(),
+                &mut sel,
+                0,
             ),
             Err(CoreError::InvalidConfig { .. })
         ));
         assert!(matches!(
             repair_after_failures(
-                &params, &inst, &parents, &powers, &[9],
-                &TvcConfig::default(), &mut sel, 0,
+                &params,
+                &inst,
+                &parents,
+                &powers,
+                &[9],
+                &TvcConfig::default(),
+                &mut sel,
+                0,
             ),
             Err(CoreError::InvalidConfig { .. })
         ));
@@ -355,8 +359,14 @@ mod tests {
         let (parents, powers) = old_pieces(&out);
         let mut sel = MeanSamplingSelector::default();
         let rep1 = repair_after_failures(
-            &params, &inst, &parents, &powers, &[1, 2, 3],
-            &TvcConfig::default(), &mut sel, 4,
+            &params,
+            &inst,
+            &parents,
+            &powers,
+            &[1, 2, 3],
+            &TvcConfig::default(),
+            &mut sel,
+            4,
         )
         .unwrap();
 
@@ -364,8 +374,14 @@ mod tests {
             (0..rep1.tree.len()).map(|u| rep1.tree.parent(u)).collect();
         let powers2 = rep1.power.as_explicit().unwrap().clone();
         let rep2 = repair_after_failures(
-            &params, &rep1.instance, &parents2, &powers2, &[0, 5],
-            &TvcConfig::default(), &mut sel, 6,
+            &params,
+            &rep1.instance,
+            &parents2,
+            &powers2,
+            &[0, 5],
+            &TvcConfig::default(),
+            &mut sel,
+            6,
         )
         .unwrap();
         assert_eq!(rep2.tree.len(), 31);

@@ -83,20 +83,11 @@ mod tests {
         let inst = gen::uniform_square(30, 1.5, 21).unwrap();
         let init = run_init(&params, &inst, &InitConfig::default(), 4).unwrap();
         let links = init.tree.aggregation_links();
-        let out = reschedule_mean(
-            &params,
-            &inst,
-            &links,
-            &ContentionConfig::default(),
-            8,
-        )
-        .unwrap();
+        let out = reschedule_mean(&params, &inst, &links, &ContentionConfig::default(), 8).unwrap();
         assert_eq!(out.aggregation.links().len(), links.len());
         assert_eq!(out.dissemination.links().len(), links.len());
-        feasibility::validate_schedule(&params, &inst, &out.aggregation, &out.power)
-            .unwrap();
-        feasibility::validate_schedule(&params, &inst, &out.dissemination, &out.power)
-            .unwrap();
+        feasibility::validate_schedule(&params, &inst, &out.aggregation, &out.power).unwrap();
+        feasibility::validate_schedule(&params, &inst, &out.dissemination, &out.power).unwrap();
         assert!(out.combined_slots() > 0);
         assert!(out.slots_used >= 2 * out.combined_slots() as u64);
     }
@@ -109,9 +100,7 @@ mod tests {
         let inst = gen::exponential_chain(24, 1.8, 1).unwrap();
         let init = run_init(&params, &inst, &InitConfig::default(), 5).unwrap();
         let links = init.tree.aggregation_links();
-        let out =
-            reschedule_mean(&params, &inst, &links, &ContentionConfig::default(), 3)
-                .unwrap();
+        let out = reschedule_mean(&params, &inst, &links, &ContentionConfig::default(), 3).unwrap();
         assert!(
             out.aggregation.num_slots() <= init.schedule.num_slots() * 2,
             "rescheduled {} vs timestamps {}",

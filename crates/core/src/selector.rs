@@ -108,7 +108,10 @@ pub struct MeanSamplingConfig {
 
 impl Default for MeanSamplingConfig {
     fn default() -> Self {
-        MeanSamplingConfig { gamma1: 0.25, min_prob: 0.02 }
+        MeanSamplingConfig {
+            gamma1: 0.25,
+            min_prob: 0.02,
+        }
     }
 }
 
@@ -149,8 +152,7 @@ impl SubsetSelector for MeanSamplingSelector {
             });
         }
         let ups = upsilon(instance.len(), instance.delta());
-        let q = (1.0 / (4.0 * self.config.gamma1 * ups))
-            .clamp(self.config.min_prob.min(1.0), 1.0);
+        let q = (1.0 / (4.0 * self.config.gamma1 * ups)).clamp(self.config.min_prob.min(1.0), 1.0);
 
         let power = PowerAssignment::mean_with_margin(params, instance.delta());
         let calc = AffectanceCalc::new(params, instance);
@@ -161,8 +163,7 @@ impl SubsetSelector for MeanSamplingSelector {
             .iter()
             .map(|&l| Ok((l, power.power_of(l, instance, params)?)))
             .collect::<Result<_>>()?;
-        let tx_a: Vec<(NodeId, f64)> =
-            data_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
+        let tx_a: Vec<(NodeId, f64)> = data_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
         // Success = decodable, i.e. affectance ≤ 1 (§5 equivalence).
         let q_tilde = resolve_probe_slot(&calc, &tx_a, &data_probes, 1.0);
 
@@ -171,8 +172,7 @@ impl SubsetSelector for MeanSamplingSelector {
             .iter()
             .map(|&l| Ok((l.dual(), power.power_of(l.dual(), instance, params)?)))
             .collect::<Result<_>>()?;
-        let tx_b: Vec<(NodeId, f64)> =
-            ack_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
+        let tx_b: Vec<(NodeId, f64)> = ack_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
         let acked_duals = resolve_probe_slot(&calc, &tx_b, &ack_probes, 1.0);
 
         let chosen: LinkSet = acked_duals.iter().map(|d| d.dual()).collect();
@@ -183,7 +183,11 @@ impl SubsetSelector for MeanSamplingSelector {
             powers.insert(l, power.power_of(l, instance, params)?);
             powers.insert(l.dual(), power.power_of(l.dual(), instance, params)?);
         }
-        Ok(SelectorOutcome { chosen, powers, slots_used: 2 })
+        Ok(SelectorOutcome {
+            chosen,
+            powers,
+            slots_used: 2,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -242,7 +246,10 @@ pub struct DistrCapSelector {
 impl DistrCapSelector {
     /// Creates a selector with the given knobs.
     pub fn new(config: DistrCapConfig) -> Self {
-        DistrCapSelector { config, total_dropped: 0 }
+        DistrCapSelector {
+            config,
+            total_dropped: 0,
+        }
     }
 }
 
@@ -306,8 +313,11 @@ impl SubsetSelector for DistrCapSelector {
 
                 // Slot A: T' and sampled class members transmit with
                 // linear power; probes succeed at affectance ≤ τ/4.
-                let sampled: Vec<Link> =
-                    remaining.iter().copied().filter(|_| rng.gen_bool(cfg.p_sel)).collect();
+                let sampled: Vec<Link> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(cfg.p_sel))
+                    .collect();
                 if sampled.is_empty() {
                     continue;
                 }
@@ -367,8 +377,7 @@ impl SubsetSelector for DistrCapSelector {
         if !fm_dual.dropped.is_empty() {
             // A link whose dual cannot be powered leaves the selection;
             // the surviving forward subset stays feasible (monotone).
-            let dual_ok: std::collections::HashSet<Link> =
-                fm_dual.links.iter().collect();
+            let dual_ok: std::collections::HashSet<Link> = fm_dual.links.iter().collect();
             chosen.retain(|l| dual_ok.contains(&l.dual()));
         }
         let mut powers = HashMap::new();
@@ -488,14 +497,25 @@ mod tests {
         let candidates = mst_links(&inst);
         let mut rng = StdRng::seed_from_u64(0);
 
-        let mut bad_mean =
-            MeanSamplingSelector::new(MeanSamplingConfig { gamma1: 0.0, min_prob: 0.01 });
+        let mut bad_mean = MeanSamplingSelector::new(MeanSamplingConfig {
+            gamma1: 0.0,
+            min_prob: 0.01,
+        });
         assert!(bad_mean.select(&p, &inst, &candidates, &mut rng).is_err());
 
         for cfg in [
-            DistrCapConfig { tau: 0.0, ..Default::default() },
-            DistrCapConfig { gamma2: 1.0, ..Default::default() },
-            DistrCapConfig { p_sel: 0.0, ..Default::default() },
+            DistrCapConfig {
+                tau: 0.0,
+                ..Default::default()
+            },
+            DistrCapConfig {
+                gamma2: 1.0,
+                ..Default::default()
+            },
+            DistrCapConfig {
+                p_sel: 0.0,
+                ..Default::default()
+            },
         ] {
             let mut bad = DistrCapSelector::new(cfg);
             assert!(bad.select(&p, &inst, &candidates, &mut rng).is_err());

@@ -46,7 +46,11 @@ pub struct TvcConfig {
 
 impl Default for TvcConfig {
     fn default() -> Self {
-        TvcConfig { init: InitConfig::default(), degree_cap: 8, max_iterations: 400 }
+        TvcConfig {
+            init: InitConfig::default(),
+            degree_cap: 8,
+            max_iterations: 400,
+        }
     }
 }
 
@@ -170,8 +174,11 @@ fn run_selection_loop(
             .collect();
 
         // Step 4: select a feasible subset.
-        let SelectorOutcome { chosen, powers: slot_powers, slots_used } =
-            selector.select(params, instance, &capped, &mut rng)?;
+        let SelectorOutcome {
+            chosen,
+            powers: slot_powers,
+            slots_used,
+        } = selector.select(params, instance, &capped, &mut rng)?;
         runtime_slots += slots_used;
 
         trace.push(TvcIteration {
@@ -208,7 +215,14 @@ fn run_selection_loop(
         }
     }
 
-    Ok(LoopResult { parents, slot_of, powers, iterations: iter, runtime_slots, trace })
+    Ok(LoopResult {
+        parents,
+        slot_of,
+        powers,
+        iterations: iter,
+        runtime_slots,
+        trace,
+    })
 }
 
 /// Runs Algorithm 1 with the given selector.
@@ -393,7 +407,10 @@ mod tests {
     fn rejects_zero_degree_cap() {
         let p = params();
         let inst = gen::line(4).unwrap();
-        let cfg = TvcConfig { degree_cap: 0, ..Default::default() };
+        let cfg = TvcConfig {
+            degree_cap: 0,
+            ..Default::default()
+        };
         let mut sel = MeanSamplingSelector::default();
         assert!(matches!(
             tree_via_capacity(&p, &inst, &cfg, &mut sel, 0),
@@ -405,7 +422,10 @@ mod tests {
     fn iteration_budget_enforced() {
         let p = params();
         let inst = gen::uniform_square(30, 1.5, 5).unwrap();
-        let cfg = TvcConfig { max_iterations: 1, ..Default::default() };
+        let cfg = TvcConfig {
+            max_iterations: 1,
+            ..Default::default()
+        };
         let mut sel = MeanSamplingSelector::default();
         // One iteration cannot connect 30 nodes.
         assert!(matches!(

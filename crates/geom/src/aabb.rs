@@ -18,11 +18,8 @@ use crate::Point;
 /// assert_eq!(b.height(), 2.0);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(try_from = "(Point, Point)", into = "(Point, Point)")
-)]
+// Serde support lives in `crate::serde_impls` (feature `serde`), via
+// the `(Point, Point)` conversions below.
 pub struct Aabb {
     min: Point,
     max: Point,
@@ -70,7 +67,10 @@ impl Aabb {
         if !first.is_finite() {
             return None;
         }
-        let mut bb = Aabb { min: first, max: first };
+        let mut bb = Aabb {
+            min: first,
+            max: first,
+        };
         for p in it {
             if !p.is_finite() {
                 return None;

@@ -36,7 +36,10 @@ impl fmt::Display for GeomError {
         match self {
             GeomError::EmptyInstance => write!(f, "instance must contain at least one point"),
             GeomError::CoincidentPoints { first, second } => {
-                write!(f, "points {first} and {second} coincide; minimum distance must be positive")
+                write!(
+                    f,
+                    "points {first} and {second} coincide; minimum distance must be positive"
+                )
             }
             GeomError::NonFinitePoint { index } => {
                 write!(f, "point {index} has a non-finite coordinate")
@@ -58,9 +61,15 @@ mod tests {
     fn display_is_nonempty() {
         let errors = [
             GeomError::EmptyInstance,
-            GeomError::CoincidentPoints { first: 0, second: 1 },
+            GeomError::CoincidentPoints {
+                first: 0,
+                second: 1,
+            },
             GeomError::NonFinitePoint { index: 3 },
-            GeomError::InvalidParameter { name: "n", reason: "must be positive" },
+            GeomError::InvalidParameter {
+                name: "n",
+                reason: "must be positive",
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

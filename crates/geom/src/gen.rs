@@ -64,7 +64,9 @@ pub fn uniform_square(n: usize, spread: f64, seed: u64) -> Result<Instance> {
     let side = spread * (n as f64).sqrt();
     build_with_retry(seed, |rng| {
         let d = Uniform::new_inclusive(0.0, side);
-        (0..n).map(|_| Point::new(d.sample(rng), d.sample(rng))).collect()
+        (0..n)
+            .map(|_| Point::new(d.sample(rng), d.sample(rng)))
+            .collect()
     })
 }
 
@@ -111,8 +113,16 @@ pub fn grid_lattice(rows: usize, cols: usize, jitter: f64, seed: u64) -> Result<
         let mut pts = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
-                let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let jx = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
+                let jy = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
                 pts.push(Point::new(c as f64 + jx, r as f64 + jy));
             }
         }
@@ -155,9 +165,8 @@ pub fn clustered(
             for _ in 0..per_cluster {
                 // Sum of two uniforms approximates a centered Gaussian
                 // without needing a normal-distribution dependency.
-                let off = |rng: &mut StdRng| {
-                    cluster_radius * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0)
-                };
+                let off =
+                    |rng: &mut StdRng| cluster_radius * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
                 pts.push(Point::new(center.x + off(rng), center.y + off(rng)));
             }
         }

@@ -97,7 +97,7 @@ impl GridIndex {
     /// matches)` — a huge radius degrades gracefully to a full scan of
     /// the existing cells rather than of the query rectangle.
     pub fn for_each_within<F: FnMut(NodeId)>(&self, center: Point, radius: f64, mut f: F) {
-        if !(radius >= 0.0) || self.cells.is_empty() {
+        if radius.is_nan() || radius < 0.0 || self.cells.is_empty() {
             return;
         }
         let r2 = radius * radius;

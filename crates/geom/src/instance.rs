@@ -34,11 +34,9 @@ pub type NodeId = usize;
 /// # Ok::<(), sinr_geom::GeomError>(())
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(try_from = "Vec<Point>", into = "Vec<Point>")
-)]
+// Serde support lives in `crate::serde_impls` (feature `serde`), via
+// the `Vec<Point>` conversions below: deserialization re-validates the
+// normalization invariants.
 pub struct Instance {
     points: Vec<Point>,
     min_distance: f64,
@@ -94,7 +92,11 @@ impl Instance {
             // Single point: conventions for the degenerate instance.
             None => (1.0, 1.0),
         };
-        Ok(Instance { points, min_distance, delta })
+        Ok(Instance {
+            points,
+            min_distance,
+            delta,
+        })
     }
 
     /// Creates an instance rescaled so that the minimum pairwise distance
@@ -245,7 +247,11 @@ fn extreme_distances(points: &[Point]) -> Option<Extremes> {
             max = max.max(d);
         }
     }
-    Some(Extremes { min: min.sqrt(), max: max.sqrt(), min_pair })
+    Some(Extremes {
+        min: min.sqrt(),
+        max: max.sqrt(),
+        min_pair,
+    })
 }
 
 #[cfg(test)]
@@ -275,7 +281,13 @@ mod tests {
     #[test]
     fn rejects_coincident() {
         let e = Instance::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
-        assert_eq!(e, Err(GeomError::CoincidentPoints { first: 0, second: 1 }));
+        assert_eq!(
+            e,
+            Err(GeomError::CoincidentPoints {
+                first: 0,
+                second: 1
+            })
+        );
     }
 
     #[test]

@@ -38,6 +38,8 @@ mod grid;
 mod instance;
 pub mod mst;
 mod point;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
 pub use aabb::Aabb;
 pub use error::GeomError;

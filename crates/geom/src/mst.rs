@@ -36,8 +36,8 @@ pub fn euclidean_mst(instance: &Instance) -> Vec<MstEdge> {
     let mut edges = Vec::with_capacity(n - 1);
 
     in_tree[0] = true;
-    for v in 1..n {
-        best_dist[v] = instance.distance(0, v);
+    for (v, d) in best_dist.iter_mut().enumerate().skip(1) {
+        *d = instance.distance(0, v);
     }
 
     for _ in 1..n {
@@ -49,7 +49,10 @@ pub fn euclidean_mst(instance: &Instance) -> Vec<MstEdge> {
                 u = v;
             }
         }
-        debug_assert!(u != usize::MAX, "graph is complete; a candidate always exists");
+        debug_assert!(
+            u != usize::MAX,
+            "graph is complete; a candidate always exists"
+        );
         in_tree[u] = true;
         edges.push((best_from[u], u));
         for v in 0..n {
@@ -180,6 +183,7 @@ mod tests {
             assert_eq!(parent[root], None);
             assert_eq!(parent.iter().filter(|p| p.is_none()).count(), 1);
             // Every node reaches the root.
+            #[allow(clippy::needless_range_loop)]
             for mut u in 0..inst.len() {
                 let mut hops = 0;
                 while let Some(p) = parent[u] {

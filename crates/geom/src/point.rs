@@ -19,7 +19,7 @@ use std::ops::{Add, Mul, Sub};
 /// assert_eq!(a.distance(b), 5.0);
 /// ```
 #[derive(Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Serde support lives in `crate::serde_impls` (feature `serde`).
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -65,7 +65,10 @@ impl Point {
     /// extrapolates.
     #[inline]
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// Midpoint between `self` and `other`.

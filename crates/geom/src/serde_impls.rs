@@ -1,0 +1,67 @@
+//! Serde support for the geometry types (feature `serde`).
+//!
+//! Written as explicit impls rather than derives so the offline serde
+//! shim needs no proc macro; the representations match what
+//! `#[serde(try_from = ..., into = ...)]` derives would produce, and
+//! deserialization re-runs the constructors, so invalid payloads (for
+//! example coincident points) are rejected rather than smuggled in.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::{Aabb, Instance, Point};
+
+impl Serialize for Point {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("x".to_string(), self.x.to_value()),
+            ("y".to_string(), self.y.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Point {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(fields) => {
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| Error::custom(format!("Point: missing field `{name}`")))
+                };
+                Ok(Point::new(
+                    f64::from_value(field("x")?)?,
+                    f64::from_value(field("y")?)?,
+                ))
+            }
+            other => Err(Error::custom(format!("Point: expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Aabb {
+    fn to_value(&self) -> Value {
+        <(Point, Point)>::from(*self).to_value()
+    }
+}
+
+impl Deserialize for Aabb {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let corners = <(Point, Point)>::from_value(value)?;
+        Aabb::try_from(corners).map_err(Error::custom)
+    }
+}
+
+impl Serialize for Instance {
+    fn to_value(&self) -> Value {
+        Vec::<Point>::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for Instance {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let points = Vec::<Point>::from_value(value)?;
+        Instance::try_from(points).map_err(Error::custom)
+    }
+}

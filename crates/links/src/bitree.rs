@@ -60,7 +60,10 @@ impl BiTree {
                         .slot_of(Link::new(c, u))
                         .expect("coverage validated above");
                     if sc >= su {
-                        return Err(LinkError::OrderingViolation { child: u, descendant: c });
+                        return Err(LinkError::OrderingViolation {
+                            child: u,
+                            descendant: c,
+                        });
                     }
                 }
             }
@@ -186,8 +189,7 @@ mod tests {
 
     /// 0 ← 1 ← {2, 3}; 0 ← 4; slots: leaves first.
     fn sample() -> BiTree {
-        let tree =
-            InTree::from_parents(vec![None, Some(0), Some(1), Some(1), Some(0)]).unwrap();
+        let tree = InTree::from_parents(vec![None, Some(0), Some(1), Some(1), Some(0)]).unwrap();
         let schedule = Schedule::from_pairs(vec![
             (Link::new(2, 1), 0),
             (Link::new(3, 1), 1),
@@ -220,25 +222,22 @@ mod tests {
     fn rejects_ordering_violation() {
         let tree = InTree::from_parents(vec![None, Some(0), Some(1)]).unwrap();
         // Parent link fires before child link: invalid aggregation order.
-        let schedule = Schedule::from_pairs(vec![
-            (Link::new(2, 1), 1),
-            (Link::new(1, 0), 0),
-        ])
-        .unwrap();
+        let schedule =
+            Schedule::from_pairs(vec![(Link::new(2, 1), 1), (Link::new(1, 0), 0)]).unwrap();
         assert_eq!(
             BiTree::new(tree, schedule),
-            Err(LinkError::OrderingViolation { child: 1, descendant: 2 })
+            Err(LinkError::OrderingViolation {
+                child: 1,
+                descendant: 2
+            })
         );
     }
 
     #[test]
     fn rejects_equal_slot_parent_child() {
         let tree = InTree::from_parents(vec![None, Some(0), Some(1)]).unwrap();
-        let schedule = Schedule::from_pairs(vec![
-            (Link::new(2, 1), 0),
-            (Link::new(1, 0), 0),
-        ])
-        .unwrap();
+        let schedule =
+            Schedule::from_pairs(vec![(Link::new(2, 1), 0), (Link::new(1, 0), 0)]).unwrap();
         assert!(BiTree::new(tree, schedule).is_err());
     }
 

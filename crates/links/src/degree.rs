@@ -9,7 +9,7 @@ use crate::LinkSet;
 
 /// Summary statistics of the node degrees of a link set.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Serde support lives in `crate::serde_impls` (feature `serde`).
 pub struct DegreeStats {
     /// Number of nodes incident to at least one link.
     pub nodes: usize,
@@ -29,7 +29,12 @@ impl DegreeStats {
     pub fn of(links: &LinkSet) -> DegreeStats {
         let degrees = links.degrees();
         if degrees.is_empty() {
-            return DegreeStats { nodes: 0, max: 0, mean: 0.0, histogram: vec![0] };
+            return DegreeStats {
+                nodes: 0,
+                max: 0,
+                mean: 0.0,
+                histogram: vec![0],
+            };
         }
         let max = degrees.values().copied().max().unwrap_or(0);
         let sum: usize = degrees.values().sum();
@@ -84,8 +89,7 @@ mod tests {
     #[test]
     fn star_statistics() {
         // Node 0 has degree 4, leaves have degree 1.
-        let links =
-            LinkSet::from_links((1..=4).map(|v| Link::new(v, 0))).unwrap();
+        let links = LinkSet::from_links((1..=4).map(|v| Link::new(v, 0))).unwrap();
         let s = DegreeStats::of(&links);
         assert_eq!(s.nodes, 5);
         assert_eq!(s.max, 4);
@@ -96,12 +100,8 @@ mod tests {
 
     #[test]
     fn tail_is_monotone_decreasing() {
-        let links = LinkSet::from_links(vec![
-            Link::new(1, 0),
-            Link::new(2, 0),
-            Link::new(3, 2),
-        ])
-        .unwrap();
+        let links =
+            LinkSet::from_links(vec![Link::new(1, 0), Link::new(2, 0), Link::new(3, 2)]).unwrap();
         let s = DegreeStats::of(&links);
         assert_eq!(s.tail(0), 1.0);
         for d in 0..5 {

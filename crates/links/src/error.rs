@@ -88,11 +88,19 @@ mod tests {
         let errs: Vec<LinkError> = vec![
             LinkError::SelfLoop { node: 1 },
             LinkError::NoRoot,
-            LinkError::MultipleRoots { first: 0, second: 2 },
+            LinkError::MultipleRoots {
+                first: 0,
+                second: 2,
+            },
             LinkError::CycleDetected { node: 4 },
             LinkError::NodeOutOfRange { node: 9, len: 3 },
-            LinkError::ScheduleMismatch { detail: "missing link".into() },
-            LinkError::OrderingViolation { child: 1, descendant: 2 },
+            LinkError::ScheduleMismatch {
+                detail: "missing link".into(),
+            },
+            LinkError::OrderingViolation {
+                child: 1,
+                descendant: 2,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -54,9 +54,9 @@ pub fn are_q_independent(instance: &Instance, a: Link, b: Link, q: f64) -> bool 
 pub fn partition_q_independent(instance: &Instance, links: &LinkSet, q: f64) -> Vec<LinkSet> {
     let mut classes: Vec<LinkSet> = Vec::new();
     for l in links.sorted_by_length(instance) {
-        let slot = classes.iter().position(|class| {
-            class.iter().all(|m| are_q_independent(instance, l, m, q))
-        });
+        let slot = classes
+            .iter()
+            .position(|class| class.iter().all(|m| are_q_independent(instance, l, m, q)));
         match slot {
             Some(i) => {
                 classes[i].insert(l);
@@ -79,8 +79,8 @@ pub fn independence_level(instance: &Instance, links: &LinkSet) -> f64 {
     for i in 0..v.len() {
         for j in (i + 1)..v.len() {
             let (a, b) = (v[i], v[j]);
-            let cross = instance.distance(a.sender, b.receiver)
-                * instance.distance(a.receiver, b.sender);
+            let cross =
+                instance.distance(a.sender, b.receiver) * instance.distance(a.receiver, b.sender);
             let lengths = a.length(instance) * b.length(instance);
             if lengths > 0.0 {
                 best = best.min((cross / lengths).sqrt());
@@ -147,8 +147,7 @@ mod tests {
             pts.push(Point::new(3.0 * i as f64 + 1.0, 0.0));
         }
         let inst = Instance::new(pts).unwrap();
-        let links =
-            LinkSet::from_links((0..10).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let links = LinkSet::from_links((0..10).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
         let classes = partition_q_independent(&inst, &links, 1.5);
         let total: usize = classes.iter().map(LinkSet::len).sum();
         assert_eq!(total, links.len());
@@ -171,8 +170,7 @@ mod tests {
             pts.push(Point::new(1000.0 * i as f64 + 1.0, 0.0));
         }
         let inst = Instance::new(pts).unwrap();
-        let links =
-            LinkSet::from_links((0..6).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let links = LinkSet::from_links((0..6).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
         let classes = partition_q_independent(&inst, &links, 2.0);
         assert_eq!(classes.len(), 1);
     }

@@ -36,6 +36,8 @@ pub mod independence;
 mod link;
 mod linkset;
 mod schedule;
+#[cfg(feature = "serde")]
+mod serde_impls;
 pub mod sparsity;
 pub mod svg;
 mod tree;

@@ -23,7 +23,7 @@ use crate::{LinkError, Result};
 /// assert!(l.shares_node(Link::new(7, 9)));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Serde support lives in `crate::serde_impls` (feature `serde`).
 pub struct Link {
     /// The transmitting node.
     pub sender: NodeId,
@@ -61,7 +61,10 @@ impl Link {
     /// The dual link `(v, u)` of `(u, v)` (the acknowledgment direction).
     #[inline]
     pub fn dual(self) -> Link {
-        Link { sender: self.receiver, receiver: self.sender }
+        Link {
+            sender: self.receiver,
+            receiver: self.sender,
+        }
     }
 
     /// Euclidean length of the link in `instance`.
@@ -159,7 +162,7 @@ mod tests {
         assert_eq!(long.length(&inst), 5.0);
         assert_eq!(short.length_class(&inst), 1);
         assert_eq!(long.length_class(&inst), 3); // 5 ∈ [4, 8)
-        // Dual has the same length.
+                                                 // Dual has the same length.
         assert_eq!(long.dual().length(&inst), 5.0);
     }
 

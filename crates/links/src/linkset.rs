@@ -25,11 +25,8 @@ use crate::{Link, LinkError, Result};
 /// assert_eq!(set.len(), 1);
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(try_from = "Vec<Link>", into = "Vec<Link>")
-)]
+// Serde support lives in `crate::serde_impls` (feature `serde`), via
+// the `Vec<Link>` conversions below.
 pub struct LinkSet {
     links: Vec<Link>,
     seen: BTreeSet<Link>,
@@ -199,12 +196,18 @@ impl LinkSet {
 
     /// Longest link length, or 0 for an empty set.
     pub fn max_length(&self, instance: &Instance) -> f64 {
-        self.links.iter().map(|l| l.length(instance)).fold(0.0, f64::max)
+        self.links
+            .iter()
+            .map(|l| l.length(instance))
+            .fold(0.0, f64::max)
     }
 
     /// Shortest link length, or +∞ for an empty set.
     pub fn min_length(&self, instance: &Instance) -> f64 {
-        self.links.iter().map(|l| l.length(instance)).fold(f64::INFINITY, f64::min)
+        self.links
+            .iter()
+            .map(|l| l.length(instance))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Validates that every endpoint is a node of `instance`.
@@ -216,7 +219,10 @@ impl LinkSet {
         for l in &self.links {
             for node in l.endpoints() {
                 if node >= instance.len() {
-                    return Err(LinkError::NodeOutOfRange { node, len: instance.len() });
+                    return Err(LinkError::NodeOutOfRange {
+                        node,
+                        len: instance.len(),
+                    });
                 }
             }
         }
@@ -303,8 +309,8 @@ mod tests {
 
     #[test]
     fn degrees_count_both_roles() {
-        let s = LinkSet::from_links(vec![Link::new(0, 1), Link::new(1, 2), Link::new(3, 1)])
-            .unwrap();
+        let s =
+            LinkSet::from_links(vec![Link::new(0, 1), Link::new(1, 2), Link::new(3, 1)]).unwrap();
         assert_eq!(s.degree_of(1), 3);
         assert_eq!(s.degree_of(0), 1);
         assert_eq!(s.degree_of(9), 0);
@@ -332,8 +338,8 @@ mod tests {
     #[test]
     fn sorted_by_length_ascending() {
         let i = inst();
-        let s = LinkSet::from_links(vec![Link::new(0, 3), Link::new(0, 1), Link::new(1, 2)])
-            .unwrap();
+        let s =
+            LinkSet::from_links(vec![Link::new(0, 3), Link::new(0, 1), Link::new(1, 2)]).unwrap();
         let sorted = s.sorted_by_length(&i);
         let lens: Vec<f64> = sorted.iter().map(|l| l.length(&i)).collect();
         assert!(lens.windows(2).all(|w| w[0] <= w[1]));

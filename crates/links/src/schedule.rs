@@ -26,7 +26,8 @@ use crate::{Link, LinkError, LinkSet, Result};
 /// assert_eq!(s.slot_of(Link::new(1, 4)), Some(1));
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+// Serde support lives in `crate::serde_impls` (feature `serde`), as a
+// `(link, slot)` pair list through `from_pairs`.
 pub struct Schedule {
     /// Slot index per link; slots may be sparse until normalized.
     assignment: BTreeMap<Link, usize>,

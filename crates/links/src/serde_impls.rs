@@ -1,0 +1,120 @@
+//! Serde support for the link/tree/schedule types (feature `serde`).
+//!
+//! Explicit impls rather than derives (the offline serde shim has no
+//! proc macro); representations match what the commented-out
+//! `#[serde(try_from = ..., into = ...)]` derives would produce, and
+//! deserialization re-runs the validating constructors.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::degree::DegreeStats;
+use crate::{InTree, Link, LinkSet, Schedule};
+use sinr_geom::NodeId;
+
+impl Serialize for Link {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("sender".to_string(), self.sender.to_value()),
+            ("receiver".to_string(), self.receiver.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Link {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(fields) => {
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| Error::custom(format!("Link: missing field `{name}`")))
+                };
+                Link::try_new(
+                    usize::from_value(field("sender")?)?,
+                    usize::from_value(field("receiver")?)?,
+                )
+                .map_err(Error::custom)
+            }
+            other => Err(Error::custom(format!("Link: expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for LinkSet {
+    fn to_value(&self) -> Value {
+        Vec::<Link>::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for LinkSet {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let links = Vec::<Link>::from_value(value)?;
+        LinkSet::try_from(links).map_err(Error::custom)
+    }
+}
+
+impl Serialize for InTree {
+    fn to_value(&self) -> Value {
+        Vec::<Option<NodeId>>::from(self.clone()).to_value()
+    }
+}
+
+impl Deserialize for InTree {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let parents = Vec::<Option<NodeId>>::from_value(value)?;
+        InTree::try_from(parents).map_err(Error::custom)
+    }
+}
+
+impl Serialize for Schedule {
+    fn to_value(&self) -> Value {
+        self.iter().collect::<Vec<(Link, usize)>>().to_value()
+    }
+}
+
+impl Deserialize for Schedule {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs = Vec::<(Link, usize)>::from_value(value)?;
+        Schedule::from_pairs(pairs).map_err(Error::custom)
+    }
+}
+
+impl Serialize for DegreeStats {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("max".to_string(), self.max.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("histogram".to_string(), self.histogram.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DegreeStats {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(fields) => {
+                let field = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| {
+                            Error::custom(format!("DegreeStats: missing field `{name}`"))
+                        })
+                };
+                Ok(DegreeStats {
+                    nodes: usize::from_value(field("nodes")?)?,
+                    max: usize::from_value(field("max")?)?,
+                    mean: f64::from_value(field("mean")?)?,
+                    histogram: Vec::<usize>::from_value(field("histogram")?)?,
+                })
+            }
+            other => Err(Error::custom(format!(
+                "DegreeStats: expected map, got {other:?}"
+            ))),
+        }
+    }
+}

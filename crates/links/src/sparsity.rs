@@ -75,7 +75,10 @@ fn precompute(instance: &Instance, links: &LinkSet) -> (Vec<f64>, Vec<(Endpoint,
 /// members while the ball gains area; the per-scale maximum over
 /// endpoint-centered balls is therefore attained at radii of this form.
 fn critical_radii(lengths: &[f64]) -> Vec<f64> {
-    let mut radii: Vec<f64> = lengths.iter().map(|&d| d / SPARSITY_LENGTH_FACTOR).collect();
+    let mut radii: Vec<f64> = lengths
+        .iter()
+        .map(|&d| d / SPARSITY_LENGTH_FACTOR)
+        .collect();
     radii.sort_by(|a, b| a.partial_cmp(b).expect("finite lengths"));
     radii.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     radii
@@ -164,8 +167,7 @@ mod tests {
             pts.push(Point::new(arm * theta.cos(), arm * theta.sin()));
         }
         let inst = Instance::new(pts).unwrap();
-        let links =
-            LinkSet::from_links((0..k).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let links = LinkSet::from_links((0..k).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
         (inst, links)
     }
 
@@ -178,8 +180,7 @@ mod tests {
 
     #[test]
     fn single_link_has_sparsity_one() {
-        let inst =
-            Instance::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+        let inst = Instance::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
         let links = LinkSet::from_links(vec![Link::new(0, 1)]).unwrap();
         assert_eq!(sparsity_lower_bound(&inst, &links), 1);
         assert_eq!(sparsity_upper_bound(&inst, &links), 1);
@@ -204,8 +205,7 @@ mod tests {
             pts.push(Point::new(100.0 * i as f64 + 1.0, 0.0));
         }
         let inst = Instance::new(pts).unwrap();
-        let links =
-            LinkSet::from_links((0..8).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
+        let links = LinkSet::from_links((0..8).map(|i| Link::new(2 * i, 2 * i + 1))).unwrap();
         assert_eq!(sparsity_lower_bound(&inst, &links), 1);
         assert_eq!(sparsity_upper_bound(&inst, &links), 1);
     }
@@ -217,7 +217,9 @@ mod tests {
             // Random link set: each node to (i+7) mod n.
             let n = inst.len();
             let links = LinkSet::from_links(
-                (0..n).filter(|&i| i != (i + 7) % n).map(|i| Link::new(i, (i + 7) % n)),
+                (0..n)
+                    .filter(|&i| i != (i + 7) % n)
+                    .map(|i| Link::new(i, (i + 7) % n)),
             )
             .unwrap();
             let lo = sparsity_lower_bound(&inst, &links);
@@ -236,9 +238,7 @@ mod tests {
                 subset.insert(l);
             }
         }
-        assert!(
-            sparsity_lower_bound(&inst, &subset) <= sparsity_lower_bound(&inst, &links)
-        );
+        assert!(sparsity_lower_bound(&inst, &subset) <= sparsity_lower_bound(&inst, &links));
     }
 
     #[test]

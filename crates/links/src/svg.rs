@@ -26,14 +26,19 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 800.0, margin: 24.0, node_radius: 3.5, node_labels: false }
+        SvgOptions {
+            width: 800.0,
+            margin: 24.0,
+            node_radius: 3.5,
+            node_labels: false,
+        }
     }
 }
 
 /// A qualitative palette for slot coloring (12 distinguishable hues).
 const PALETTE: [&str; 12] = [
-    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
-    "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
 ];
 
 /// The color assigned to a slot index.
@@ -171,13 +176,9 @@ mod tests {
     #[test]
     fn render_links_colored_by_slot() {
         let inst = gen::line(4).unwrap();
-        let links =
-            LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)]).unwrap();
-        let schedule = Schedule::from_pairs(vec![
-            (Link::new(0, 1), 0),
-            (Link::new(2, 3), 1),
-        ])
-        .unwrap();
+        let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(2, 3)]).unwrap();
+        let schedule =
+            Schedule::from_pairs(vec![(Link::new(0, 1), 0), (Link::new(2, 3), 1)]).unwrap();
         let doc = render(&inst, Some(&links), Some(&schedule), &SvgOptions::default());
         assert_eq!(doc.matches("<line").count(), 2);
         assert!(doc.contains(slot_color(0)));
@@ -199,7 +200,10 @@ mod tests {
             &inst,
             None,
             None,
-            &SvgOptions { node_labels: true, ..Default::default() },
+            &SvgOptions {
+                node_labels: true,
+                ..Default::default()
+            },
         );
         let without = render(&inst, None, None, &SvgOptions::default());
         assert!(with.contains("<text"));

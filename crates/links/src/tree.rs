@@ -25,11 +25,9 @@ use crate::{Link, LinkError, LinkSet, Result};
 /// # Ok::<(), sinr_links::LinkError>(())
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(try_from = "Vec<Option<NodeId>>", into = "Vec<Option<NodeId>>")
-)]
+// Serde support lives in `crate::serde_impls` (feature `serde`), via
+// the parent-array conversions below: deserialization re-validates
+// rootedness and acyclicity.
 pub struct InTree {
     parent: Vec<Option<NodeId>>,
     children: Vec<Vec<NodeId>>,
@@ -75,9 +73,7 @@ impl InTree {
             match p {
                 None => match root {
                     None => root = Some(u),
-                    Some(first) => {
-                        return Err(LinkError::MultipleRoots { first, second: u })
-                    }
+                    Some(first) => return Err(LinkError::MultipleRoots { first, second: u }),
                 },
                 Some(v) => {
                     if *v >= n {
@@ -114,7 +110,12 @@ impl InTree {
             return Err(LinkError::CycleDetected { node: u });
         }
 
-        Ok(InTree { parent, children, depth, root })
+        Ok(InTree {
+            parent,
+            children,
+            depth,
+            root,
+        })
     }
 
     /// Number of nodes.
@@ -262,7 +263,9 @@ mod tests {
 
     fn chain(n: usize) -> InTree {
         // n-1 ← ... ← 1 ← 0 reversed: parent[i] = i-1, root = 0.
-        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         InTree::from_parents(parents).unwrap()
     }
 
@@ -276,7 +279,13 @@ mod tests {
     #[test]
     fn rejects_multiple_roots() {
         let r = InTree::from_parents(vec![None, None]);
-        assert_eq!(r, Err(LinkError::MultipleRoots { first: 0, second: 1 }));
+        assert_eq!(
+            r,
+            Err(LinkError::MultipleRoots {
+                first: 0,
+                second: 1
+            })
+        );
     }
 
     #[test]

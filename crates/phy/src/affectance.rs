@@ -84,13 +84,7 @@ impl<'a> AffectanceCalc<'a> {
     ///
     /// Propagates [`PhyError::PowerBelowNoiseFloor`] from the noise
     /// factor.
-    pub fn of_sender(
-        &self,
-        w: NodeId,
-        w_power: f64,
-        link: Link,
-        link_power: f64,
-    ) -> Result<f64> {
+    pub fn of_sender(&self, w: NodeId, w_power: f64, link: Link, link_power: f64) -> Result<f64> {
         if w == link.sender {
             return Ok(0.0);
         }
@@ -100,13 +94,7 @@ impl<'a> AffectanceCalc<'a> {
 
     /// Noiseless affectance (`c` replaced by `β`): the distance-only
     /// form used in the amenability function of Appendix B.
-    pub fn of_sender_noiseless(
-        &self,
-        w: NodeId,
-        w_power: f64,
-        link: Link,
-        link_power: f64,
-    ) -> f64 {
+    pub fn of_sender_noiseless(&self, w: NodeId, w_power: f64, link: Link, link_power: f64) -> f64 {
         if w == link.sender {
             return 0.0;
         }
@@ -148,12 +136,7 @@ impl<'a> AffectanceCalc<'a> {
     /// # Errors
     ///
     /// Propagates [`PhyError::PowerBelowNoiseFloor`].
-    pub fn sum_on(
-        &self,
-        senders: &[(NodeId, f64)],
-        link: Link,
-        link_power: f64,
-    ) -> Result<f64> {
+    pub fn sum_on(&self, senders: &[(NodeId, f64)], link: Link, link_power: f64) -> Result<f64> {
         let c = self.noise_factor(link, link_power)?;
         let mut total = 0.0;
         for &(w, pw) in senders {
@@ -193,12 +176,7 @@ impl<'a> AffectanceCalc<'a> {
     ///
     /// Does not know about half-duplex: callers (the simulator and the
     /// feasibility checker) must handle a transmitting receiver.
-    pub fn sinr(
-        &self,
-        link: Link,
-        link_power: f64,
-        interferers: &[(NodeId, f64)],
-    ) -> f64 {
+    pub fn sinr(&self, link: Link, link_power: f64, interferers: &[(NodeId, f64)]) -> f64 {
         let d = link.length(self.instance);
         let signal = link_power * self.params.path_gain(d);
         let mut interference = 0.0;
@@ -234,12 +212,8 @@ impl<'a> AffectanceCalc<'a> {
         // a^U_{ℓ'}(ℓ): uniform power (both 1).
         let term_u = self.of_sender_noiseless(ell_prime.sender, 1.0, ell, 1.0);
         // a^L_ℓ(ℓ'): linear power (P = len^α).
-        let term_l = self.of_sender_noiseless(
-            ell.sender,
-            len.powf(alpha),
-            ell_prime,
-            len_p.powf(alpha),
-        );
+        let term_l =
+            self.of_sender_noiseless(ell.sender, len.powf(alpha), ell_prime, len_p.powf(alpha));
         term_u + term_l
     }
 
@@ -371,7 +345,7 @@ mod tests {
         let short = Link::new(0, 1); // length 1
         let long = Link::new(2, 3); // length 1, but use a truly longer one:
         let longer = Link::new(1, 3); // length 10
-        // f is zero when the first argument is the longer link…
+                                      // f is zero when the first argument is the longer link…
         assert_eq!(calc.amenability_f(longer, short), 0.0);
         // …and positive (cross-affectance) when ordered short → longer.
         assert!(calc.amenability_f(short, longer) > 0.0);

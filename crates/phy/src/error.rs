@@ -49,15 +49,25 @@ impl fmt::Display for PhyError {
             PhyError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            PhyError::PowerBelowNoiseFloor { link, power, required } => write!(
+            PhyError::PowerBelowNoiseFloor {
+                link,
+                power,
+                required,
+            } => write!(
                 f,
                 "link {link:?} power {power} cannot overcome noise (needs > {required})"
             ),
             PhyError::MissingPower { link } => {
-                write!(f, "explicit power assignment has no entry for link {link:?}")
+                write!(
+                    f,
+                    "explicit power assignment has no entry for link {link:?}"
+                )
             }
             PhyError::InfeasibleSlot { slot, link, sinr } => {
-                write!(f, "slot {slot} infeasible: link {link:?} achieves SINR {sinr}")
+                write!(
+                    f,
+                    "slot {slot} infeasible: link {link:?} achieves SINR {sinr}"
+                )
             }
         }
     }
@@ -72,14 +82,23 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            PhyError::InvalidParameter { name: "alpha", reason: "must exceed 2" },
+            PhyError::InvalidParameter {
+                name: "alpha",
+                reason: "must exceed 2",
+            },
             PhyError::PowerBelowNoiseFloor {
                 link: Link::new(0, 1),
                 power: 1.0,
                 required: 2.0,
             },
-            PhyError::MissingPower { link: Link::new(0, 1) },
-            PhyError::InfeasibleSlot { slot: 3, link: Link::new(0, 1), sinr: 0.5 },
+            PhyError::MissingPower {
+                link: Link::new(0, 1),
+            },
+            PhyError::InfeasibleSlot {
+                slot: 3,
+                link: Link::new(0, 1),
+                sinr: 0.5,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -89,7 +89,10 @@ pub fn check(
     power: &PowerAssignment,
 ) -> FeasibilityReport {
     let calc = AffectanceCalc::new(params, instance);
-    let mut report = FeasibilityReport { checked: links.len(), ..Default::default() };
+    let mut report = FeasibilityReport {
+        checked: links.len(),
+        ..Default::default()
+    };
 
     let mut senders: Vec<NodeId> = Vec::with_capacity(links.len());
     let mut tx: Vec<(NodeId, f64)> = Vec::with_capacity(links.len());
@@ -120,7 +123,7 @@ pub fn check(
     for (i, l) in links.iter().enumerate() {
         let p_l = tx[i].1;
 
-        if senders.iter().any(|&s| s == l.receiver) {
+        if senders.contains(&l.receiver) {
             report.violations.push(Violation {
                 link: l,
                 sinr: 0.0,
@@ -148,7 +151,11 @@ pub fn check(
         let sinr = calc.sinr(l, p_l, &tx);
         report.min_sinr = Some(report.min_sinr.map_or(sinr, |m: f64| m.min(sinr)));
         if sinr < params.beta() * (1.0 - 1e-12) {
-            report.violations.push(Violation { link: l, sinr, kind: ViolationKind::LowSinr });
+            report.violations.push(Violation {
+                link: l,
+                sinr,
+                kind: ViolationKind::LowSinr,
+            });
         }
     }
     report
@@ -178,7 +185,11 @@ pub fn validate_schedule(
     for (slot, links) in schedule.slots().iter().enumerate() {
         let report = check(params, instance, links, power);
         if let Some(v) = report.violations.first() {
-            return Err(PhyError::InfeasibleSlot { slot, link: v.link, sinr: v.sinr });
+            return Err(PhyError::InfeasibleSlot {
+                slot,
+                link: v.link,
+                sinr: v.sinr,
+            });
         }
     }
     Ok(())
@@ -258,7 +269,10 @@ mod tests {
         let links = LinkSet::from_links(vec![Link::new(0, 1), Link::new(0, 2)]).unwrap();
         let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
         let report = check(&p, &inst, &links, &power);
-        assert!(report.violations.iter().all(|v| v.kind == ViolationKind::DuplicateSender));
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.kind == ViolationKind::DuplicateSender));
         assert_eq!(report.violations.len(), 2);
     }
 
@@ -297,18 +311,10 @@ mod tests {
         let inst = line_instance(&[0.0, 1.0, 1.5, 2.5]);
         let power = PowerAssignment::uniform_with_margin(&p, 1.0);
         // Conflicting links in different slots: fine.
-        let good = Schedule::from_pairs(vec![
-            (Link::new(0, 1), 0),
-            (Link::new(3, 2), 1),
-        ])
-        .unwrap();
+        let good = Schedule::from_pairs(vec![(Link::new(0, 1), 0), (Link::new(3, 2), 1)]).unwrap();
         assert!(validate_schedule(&p, &inst, &good, &power).is_ok());
         // Same slot: infeasible.
-        let bad = Schedule::from_pairs(vec![
-            (Link::new(0, 1), 0),
-            (Link::new(3, 2), 0),
-        ])
-        .unwrap();
+        let bad = Schedule::from_pairs(vec![(Link::new(0, 1), 0), (Link::new(3, 2), 0)]).unwrap();
         let err = validate_schedule(&p, &inst, &bad, &power).unwrap_err();
         assert!(matches!(err, PhyError::InfeasibleSlot { slot: 0, .. }));
     }

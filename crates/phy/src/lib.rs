@@ -43,6 +43,8 @@ pub mod feasibility;
 pub mod packing;
 mod params;
 mod power;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
 pub use error::PhyError;
 pub use params::SinrParams;
@@ -59,7 +61,11 @@ pub type Result<T> = std::result::Result<T, PhyError>;
 /// keeps sampling probabilities `1/Θ(Υ)` well-defined for tiny
 /// instances.
 pub fn upsilon(n: usize, delta: f64) -> f64 {
-    let loglog_delta = if delta > 2.0 { delta.log2().log2().max(1.0) } else { 1.0 };
+    let loglog_delta = if delta > 2.0 {
+        delta.log2().log2().max(1.0)
+    } else {
+        1.0
+    };
     let log_n = if n > 2 { (n as f64).log2() } else { 1.0 };
     loglog_delta + log_n
 }

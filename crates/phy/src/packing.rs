@@ -55,10 +55,16 @@ pub fn first_fit(
 /// Packs a converge-cast tree's aggregation links in leaf-to-root order
 /// with per-node slot floors, producing a schedule that satisfies the
 /// bi-tree ordering property (every link strictly after all links of
-/// its sender's subtree) with every slot feasible.
+/// its sender's subtree) with every slot feasible **in both
+/// directions**: the aggregation links as given, and their duals, which
+/// share the slot grouping through `BiTree::dissemination_schedule`
+/// (Definition 1). Checking only the forward direction here is exactly
+/// the bug that made repaired/joined bi-trees fail their broadcast
+/// audit on most seeds.
 ///
-/// The returned schedule is compacted. Unschedulable links are reported
-/// (always empty for margin powers).
+/// The returned schedule is compacted. Unschedulable links — infeasible
+/// alone in either direction — are reported (always empty for margin
+/// powers).
 pub fn pack_tree_ordered(
     params: &SinrParams,
     instance: &Instance,
@@ -72,13 +78,18 @@ pub fn pack_tree_ordered(
         .filter_map(|u| tree.parent(u).map(|p| Link::new(u, p)))
         .collect();
 
+    let bidirectional_feasible = |set: &LinkSet| {
+        feasibility::is_feasible(params, instance, set, power)
+            && feasibility::is_feasible(params, instance, &set.dual(), power)
+    };
+
     // Pack one link at a time so receiver floors update as we go.
     let mut slots: Vec<LinkSet> = Vec::new();
     let mut schedule = Schedule::new();
     let mut unschedulable = Vec::new();
     'links: for link in ordered {
         let alone: LinkSet = std::iter::once(link).collect();
-        if !feasibility::is_feasible(params, instance, &alone, power) {
+        if !bidirectional_feasible(&alone) {
             unschedulable.push(link);
             continue;
         }
@@ -89,7 +100,7 @@ pub fn pack_tree_ordered(
             }
             let mut candidate = slots[s].clone();
             candidate.insert(link);
-            if feasibility::is_feasible(params, instance, &candidate, power) {
+            if bidirectional_feasible(&candidate) {
                 slots[s] = candidate;
                 schedule.assign(link, s);
                 floor[link.receiver] = floor[link.receiver].max(s + 1);

@@ -29,11 +29,9 @@ use crate::{PhyError, Result};
 /// # Ok::<(), sinr_phy::PhyError>(())
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(try_from = "(f64, f64, f64, f64)", into = "(f64, f64, f64, f64)")
-)]
+// Serde support lives in `crate::serde_impls` (feature `serde`), via
+// the `(α, β, N, ε)` tuple conversions below: deserialization
+// re-validates the parameter domains.
 pub struct SinrParams {
     alpha: f64,
     beta: f64,
@@ -90,7 +88,12 @@ impl SinrParams {
                 reason: "affectance clip must be finite and positive",
             });
         }
-        Ok(SinrParams { alpha, beta, noise, epsilon })
+        Ok(SinrParams {
+            alpha,
+            beta,
+            noise,
+            epsilon,
+        })
     }
 
     /// Path-loss exponent `α`.
@@ -149,7 +152,12 @@ impl SinrParams {
 impl Default for SinrParams {
     /// The workspace defaults: `α = 3`, `β = 2`, `N = 1`, `ε = 0.1`.
     fn default() -> Self {
-        SinrParams { alpha: 3.0, beta: 2.0, noise: 1.0, epsilon: 0.1 }
+        SinrParams {
+            alpha: 3.0,
+            beta: 2.0,
+            noise: 1.0,
+            epsilon: 0.1,
+        }
     }
 }
 

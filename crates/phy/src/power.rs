@@ -51,20 +51,38 @@ enum Inner {
 impl PowerAssignment {
     /// Uniform power `U`: every sender uses `power`.
     pub fn uniform(power: f64) -> Self {
-        assert!(power > 0.0 && power.is_finite(), "power must be positive, got {power}");
-        PowerAssignment { inner: Inner::Oblivious { tau: 0.0, scale: power } }
+        assert!(
+            power > 0.0 && power.is_finite(),
+            "power must be positive, got {power}"
+        );
+        PowerAssignment {
+            inner: Inner::Oblivious {
+                tau: 0.0,
+                scale: power,
+            },
+        }
     }
 
     /// Mean power `M`: `scale · ℓ^{α/2}`.
     pub fn mean(scale: f64) -> Self {
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
-        PowerAssignment { inner: Inner::Oblivious { tau: 0.5, scale } }
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive, got {scale}"
+        );
+        PowerAssignment {
+            inner: Inner::Oblivious { tau: 0.5, scale },
+        }
     }
 
     /// Linear power `L`: `scale · ℓ^α`.
     pub fn linear(scale: f64) -> Self {
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
-        PowerAssignment { inner: Inner::Oblivious { tau: 1.0, scale } }
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive, got {scale}"
+        );
+        PowerAssignment {
+            inner: Inner::Oblivious { tau: 1.0, scale },
+        }
     }
 
     /// General oblivious power `scale · ℓ^{τα}` with `τ ∈ [0, 1]`.
@@ -73,9 +91,17 @@ impl PowerAssignment {
     ///
     /// Panics if `tau ∉ [0, 1]` or `scale` is not positive and finite.
     pub fn oblivious(tau: f64, scale: f64) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1], got {tau}");
-        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive, got {scale}");
-        PowerAssignment { inner: Inner::Oblivious { tau, scale } }
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "tau must lie in [0, 1], got {tau}"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive, got {scale}"
+        );
+        PowerAssignment {
+            inner: Inner::Oblivious { tau, scale },
+        }
     }
 
     /// Uniform power sized so every link up to length `max_len`
@@ -115,7 +141,9 @@ impl PowerAssignment {
                 });
             }
         }
-        Ok(PowerAssignment { inner: Inner::Explicit(powers) })
+        Ok(PowerAssignment {
+            inner: Inner::Explicit(powers),
+        })
     }
 
     /// Whether this is an oblivious (length-function) assignment.
@@ -134,9 +162,10 @@ impl PowerAssignment {
             Inner::Oblivious { tau, scale } => {
                 Ok(scale * link.length(instance).powf(tau * params.alpha()))
             }
-            Inner::Explicit(map) => {
-                map.get(&link).copied().ok_or(PhyError::MissingPower { link })
-            }
+            Inner::Explicit(map) => map
+                .get(&link)
+                .copied()
+                .ok_or(PhyError::MissingPower { link }),
         }
     }
 
@@ -186,7 +215,8 @@ mod tests {
         let linear = PowerAssignment::linear(1.0);
         assert_eq!(uniform.power_of(long, &i, &params).unwrap(), 5.0);
         assert!((mean.power_of(long, &i, &params).unwrap() - 8.0).abs() < 1e-9); // 4^1.5
-        assert!((linear.power_of(long, &i, &params).unwrap() - 64.0).abs() < 1e-9); // 4^3
+        assert!((linear.power_of(long, &i, &params).unwrap() - 64.0).abs() < 1e-9);
+        // 4^3
     }
 
     #[test]
@@ -221,7 +251,9 @@ mod tests {
         assert_eq!(pa.power_of(Link::new(0, 1), &i, &params).unwrap(), 7.0);
         assert_eq!(
             pa.power_of(Link::new(0, 2), &i, &params),
-            Err(PhyError::MissingPower { link: Link::new(0, 2) })
+            Err(PhyError::MissingPower {
+                link: Link::new(0, 2)
+            })
         );
     }
 
@@ -244,9 +276,13 @@ mod tests {
         let params = SinrParams::default();
         let i = inst();
         let l = Link::new(0, 2);
-        let u = PowerAssignment::uniform(1.0).power_of(l, &i, &params).unwrap();
+        let u = PowerAssignment::uniform(1.0)
+            .power_of(l, &i, &params)
+            .unwrap();
         let m = PowerAssignment::mean(1.0).power_of(l, &i, &params).unwrap();
-        let lin = PowerAssignment::linear(1.0).power_of(l, &i, &params).unwrap();
+        let lin = PowerAssignment::linear(1.0)
+            .power_of(l, &i, &params)
+            .unwrap();
         assert!((m * m - u * lin).abs() < 1e-9);
     }
 }

@@ -1,0 +1,23 @@
+//! Serde support for the physical-layer types (feature `serde`).
+//!
+//! Explicit impls rather than derives (the offline serde shim has no
+//! proc macro): `SinrParams` round-trips through its `(α, β, N, ε)`
+//! tuple conversions, so deserialization re-validates the parameter
+//! domains (`α > 2`, `β ≥ 1`, `N ≥ 0`, `ε > 0`).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::SinrParams;
+
+impl Serialize for SinrParams {
+    fn to_value(&self) -> Value {
+        <(f64, f64, f64, f64)>::from(*self).to_value()
+    }
+}
+
+impl Deserialize for SinrParams {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let quad = <(f64, f64, f64, f64)>::from_value(value)?;
+        SinrParams::try_from(quad).map_err(Error::custom)
+    }
+}

@@ -76,8 +76,17 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let n = instance.len();
         let mut seeder = StdRng::seed_from_u64(seed);
         let nodes = (0..n).map(&mut make_node).collect();
-        let rngs = (0..n).map(|_| StdRng::seed_from_u64(seeder.gen())).collect();
-        Engine { params, instance, nodes, rngs, slot: 0, stats: EngineStats::default() }
+        let rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(seeder.gen()))
+            .collect();
+        Engine {
+            params,
+            instance,
+            nodes,
+            rngs,
+            slot: 0,
+            stats: EngineStats::default(),
+        }
     }
 
     /// The next slot index to execute.
@@ -156,33 +165,31 @@ impl<'a, P: Protocol> Engine<'a, P> {
             let outcome = match action {
                 Action::Transmit { .. } => SlotOutcome::Transmitted,
                 Action::Sleep => SlotOutcome::Slept,
-                Action::Listen => {
-                    match self.decode_at(id, &transmitters, &calc) {
-                        Some((from, power, sinr)) => {
-                            let link = Link::new(from, id);
-                            let affectance = feasibility::measured_affectance(
-                                self.params,
-                                self.instance,
-                                link,
-                                power,
-                                &transmitters,
-                            )
-                            .unwrap_or(f64::NAN);
-                            let msg = match &actions[from] {
-                                Action::Transmit { msg, .. } => msg.clone(),
-                                _ => unreachable!("decoded node is a transmitter"),
-                            };
-                            SlotOutcome::Received(Reception {
-                                from,
-                                msg,
-                                distance: self.instance.distance(from, id),
-                                sinr,
-                                affectance,
-                            })
-                        }
-                        None => SlotOutcome::Idle,
+                Action::Listen => match self.decode_at(id, &transmitters, &calc) {
+                    Some((from, power, sinr)) => {
+                        let link = Link::new(from, id);
+                        let affectance = feasibility::measured_affectance(
+                            self.params,
+                            self.instance,
+                            link,
+                            power,
+                            &transmitters,
+                        )
+                        .unwrap_or(f64::NAN);
+                        let msg = match &actions[from] {
+                            Action::Transmit { msg, .. } => msg.clone(),
+                            _ => unreachable!("decoded node is a transmitter"),
+                        };
+                        SlotOutcome::Received(Reception {
+                            from,
+                            msg,
+                            distance: self.instance.distance(from, id),
+                            sinr,
+                            affectance,
+                        })
                     }
-                }
+                    None => SlotOutcome::Idle,
+                },
             };
             outcomes.push(outcome);
         }
@@ -217,9 +224,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
         for &(u, pu) in transmitters {
             debug_assert_ne!(u, v, "listeners never appear among transmitters");
             let sinr = calc.sinr(Link::new(u, v), pu, transmitters);
-            if sinr >= self.params.beta()
-                && best.map_or(true, |(_, _, bs)| sinr > bs)
-            {
+            if sinr >= self.params.beta() && best.map_or(true, |(_, _, bs)| sinr > bs) {
                 best = Some((u, pu, sinr));
             }
         }
@@ -258,7 +263,10 @@ mod tests {
     impl Protocol for AlwaysTx {
         type Msg = ();
         fn begin_slot(&mut self, _: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
-            Action::Transmit { power: self.0, msg: () }
+            Action::Transmit {
+                power: self.0,
+                msg: (),
+            }
         }
         fn end_slot(&mut self, _: NodeId, _: u64, _: SlotOutcome<()>, _: &mut StdRng) {}
     }
@@ -275,7 +283,10 @@ mod tests {
         type Msg = u64;
         fn begin_slot(&mut self, node: NodeId, slot: u64, _: &mut StdRng) -> Action<u64> {
             if node == self.tx {
-                Action::Transmit { power: self.power, msg: slot }
+                Action::Transmit {
+                    power: self.power,
+                    msg: slot,
+                }
             } else {
                 Action::Listen
             }
@@ -293,8 +304,17 @@ mod tests {
         let params = SinrParams::default();
         let inst = gen::line(5).unwrap();
         let power = params.min_power_for_length(inst.delta()) * 10.0;
-        let mut engine =
-            Engine::new(&params, &inst, |_| OneTx { tx: 0, power, decoded: 0, last_sinr: 0.0 }, 1);
+        let mut engine = Engine::new(
+            &params,
+            &inst,
+            |_| OneTx {
+                tx: 0,
+                power,
+                decoded: 0,
+                last_sinr: 0.0,
+            },
+            1,
+        );
         let report = engine.step();
         assert_eq!(report.transmissions, 1);
         assert_eq!(report.receptions, 4);
@@ -337,7 +357,10 @@ mod tests {
                 if node == 2 {
                     Action::Listen
                 } else {
-                    Action::Transmit { power: 1000.0, msg: () }
+                    Action::Transmit {
+                        power: 1000.0,
+                        msg: (),
+                    }
                 }
             }
             fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
@@ -387,7 +410,10 @@ mod tests {
             type Msg = ();
             fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
                 if rng.gen_bool(0.5) {
-                    Action::Transmit { power: 500.0, msg: () }
+                    Action::Transmit {
+                        power: 500.0,
+                        msg: (),
+                    }
                 } else {
                     Action::Listen
                 }
@@ -402,7 +428,10 @@ mod tests {
         let run = |seed| {
             let mut e = Engine::new(&params, &inst, |_| Coin { decodes: 0 }, seed);
             e.run(20);
-            (e.stats(), e.nodes().iter().map(|n| n.decodes).collect::<Vec<_>>())
+            (
+                e.stats(),
+                e.nodes().iter().map(|n| n.decodes).collect::<Vec<_>>(),
+            )
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).1, run(10).1);
@@ -413,10 +442,18 @@ mod tests {
         let params = SinrParams::default();
         let inst = gen::line(4).unwrap();
         let power = params.min_power_for_length(inst.delta()) * 10.0;
-        let mut engine =
-            Engine::new(&params, &inst, |_| OneTx { tx: 0, power, decoded: 0, last_sinr: 0.0 }, 1);
-        let executed =
-            engine.run_until(100, |nodes| nodes.iter().skip(1).all(|n| n.decoded >= 3));
+        let mut engine = Engine::new(
+            &params,
+            &inst,
+            |_| OneTx {
+                tx: 0,
+                power,
+                decoded: 0,
+                last_sinr: 0.0,
+            },
+            1,
+        );
+        let executed = engine.run_until(100, |nodes| nodes.iter().skip(1).all(|n| n.decoded >= 3));
         assert_eq!(executed, 3);
         assert_eq!(engine.slot(), 3);
     }
@@ -433,7 +470,10 @@ mod tests {
             type Msg = ();
             fn begin_slot(&mut self, node: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
                 if node == 0 {
-                    Action::Transmit { power: 1e4, msg: () }
+                    Action::Transmit {
+                        power: 1e4,
+                        msg: (),
+                    }
                 } else {
                     Action::Listen
                 }
@@ -446,7 +486,10 @@ mod tests {
         }
         let mut engine = Engine::new(&params, &inst, |_| Probe::default(), 0);
         engine.step();
-        let r = engine.nodes()[1].rec.clone().expect("node 1 decodes node 0");
+        let r = engine.nodes()[1]
+            .rec
+            .clone()
+            .expect("node 1 decodes node 0");
         assert_eq!(r.from, 0);
         assert_eq!(r.distance, 1.0);
         // Sole transmitter: zero interference, zero affectance.

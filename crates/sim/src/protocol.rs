@@ -93,7 +93,13 @@ mod tests {
 
     #[test]
     fn outcome_carries_reception() {
-        let r = Reception { from: 1, msg: "x", distance: 2.0, sinr: 5.0, affectance: 0.2 };
+        let r = Reception {
+            from: 1,
+            msg: "x",
+            distance: 2.0,
+            sinr: 5.0,
+            affectance: 0.2,
+        };
         let o = SlotOutcome::Received(r.clone());
         match o {
             SlotOutcome::Received(got) => assert_eq!(got, r),

@@ -21,7 +21,10 @@ impl Protocol for RandomTalker {
     type Msg = u64;
     fn begin_slot(&mut self, node: NodeId, slot: u64, rng: &mut StdRng) -> Action<u64> {
         if rng.gen_bool(self.p) {
-            Action::Transmit { power: self.power, msg: slot * 1000 + node as u64 }
+            Action::Transmit {
+                power: self.power,
+                msg: slot * 1000 + node as u64,
+            }
         } else {
             Action::Listen
         }

@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build the initial backbone.
     let mut selector = MeanSamplingSelector::default();
-    let built =
-        tree_via_capacity(&params, &instance, &TvcConfig::default(), &mut selector, 8)?;
+    let built = tree_via_capacity(&params, &instance, &TvcConfig::default(), &mut selector, 8)?;
     println!(
         "initial backbone: {} nodes, {} slots, root {}",
         instance.len(),
@@ -41,13 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} nodes fail{}",
         failed.len(),
-        if root_died { " — including the root!" } else { "" }
+        if root_died {
+            " — including the root!"
+        } else {
+            ""
+        }
     );
 
     // Repair: survivors keep their links; orphaned subtree roots re-run
     // the selection loop; the merged tree is re-packed.
-    let old_parents: Vec<Option<usize>> =
-        (0..built.tree.len()).map(|u| built.tree.parent(u)).collect();
+    let old_parents: Vec<Option<usize>> = (0..built.tree.len())
+        .map(|u| built.tree.parent(u))
+        .collect();
     let old_powers = built.power.as_explicit().expect("explicit powers").clone();
     let repaired = repair_after_failures(
         &params,
@@ -71,8 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Prove the repaired network still works, end to end.
-    let (up, down) =
-        audit_bitree(&params, &repaired.instance, &repaired.bitree, &repaired.power)?;
+    let (up, down) = audit_bitree(
+        &params,
+        &repaired.instance,
+        &repaired.bitree,
+        &repaired.power,
+    )?;
     println!(
         "audit: convergecast {} slots, broadcast reached {}/{} ✓",
         up.slots,

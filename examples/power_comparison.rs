@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = centroid_root(&instance);
     println!("centralized MST bi-tree (first-fit, ordering-aware):");
     for (name, power) in [
-        ("uniform", PowerAssignment::uniform_with_margin(&params, instance.delta())),
-        ("mean", PowerAssignment::mean_with_margin(&params, instance.delta())),
+        (
+            "uniform",
+            PowerAssignment::uniform_with_margin(&params, instance.delta()),
+        ),
+        (
+            "mean",
+            PowerAssignment::mean_with_margin(&params, instance.delta()),
+        ),
         ("linear", PowerAssignment::linear_with_margin(&params)),
     ] {
         let base = mst_bitree(&params, &instance, root, &power);
@@ -45,8 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("\nplain first-fit scheduling of the MST links (no ordering):");
     for (name, power) in [
-        ("uniform", PowerAssignment::uniform_with_margin(&params, instance.delta())),
-        ("mean", PowerAssignment::mean_with_margin(&params, instance.delta())),
+        (
+            "uniform",
+            PowerAssignment::uniform_with_margin(&params, instance.delta()),
+        ),
+        (
+            "mean",
+            PowerAssignment::mean_with_margin(&params, instance.delta()),
+        ),
         ("linear", PowerAssignment::linear_with_margin(&params)),
     ] {
         let (schedule, bad) = first_fit_schedule(
@@ -63,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The distributed pipelines.
     println!("\ndistributed pipelines (this paper):");
-    for strategy in [Strategy::InitOnly, Strategy::MeanReschedule, Strategy::TvcMean, Strategy::TvcArbitrary] {
+    for strategy in [
+        Strategy::InitOnly,
+        Strategy::MeanReschedule,
+        Strategy::TvcMean,
+        Strategy::TvcArbitrary,
+    ] {
         let r = connect(&params, &instance, strategy, 3)?;
         println!(
             "  {:<16} {:>4} slots   (runtime {} slots)",

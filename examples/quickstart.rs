@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The promise of Theorem 21: O(log n) slots.
     let log_n = (instance.len() as f64).log2();
-    println!("slots / log n:     {:.2}", result.schedule_len as f64 / log_n);
+    println!(
+        "slots / log n:     {:.2}",
+        result.schedule_len as f64 / log_n
+    );
 
     // Every slot of both directions is SINR-feasible; verify.
     feasibility::validate_schedule(

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.schedule_len() as f64 / (ups * (instance.len() as f64).log2()),
         ups
     );
-    println!("convergence time:  {} slots of distributed protocol", out.runtime_slots);
+    println!(
+        "convergence time:  {} slots of distributed protocol",
+        out.runtime_slots
+    );
 
     // Replay the aggregation and dissemination passes over the channel:
     // every sensor's reading reaches the sink in one schedule pass.

@@ -22,7 +22,11 @@ fn families(seed: u64) -> Vec<(&'static str, sinr_connect_suite::geom::Instance)
 fn assert_spanning(n: usize, links: &sinr_connect_suite::links::LinkSet) {
     let mut parents = vec![None; n];
     for l in links.iter() {
-        assert!(parents[l.sender].is_none(), "node {} has two uplinks", l.sender);
+        assert!(
+            parents[l.sender].is_none(),
+            "node {} has two uplinks",
+            l.sender
+        );
         parents[l.sender] = Some(l.receiver);
     }
     let tree = InTree::from_parents(parents).expect("links must form a rooted in-tree");
@@ -44,13 +48,8 @@ fn every_strategy_on_every_family() {
             assert_spanning(inst.len(), &r.tree_links);
             feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power)
                 .unwrap_or_else(|e| panic!("{name}/{strategy} aggregation: {e}"));
-            feasibility::validate_schedule(
-                &params,
-                &inst,
-                &r.dissemination_schedule,
-                &r.power,
-            )
-            .unwrap_or_else(|e| panic!("{name}/{strategy} dissemination: {e}"));
+            feasibility::validate_schedule(&params, &inst, &r.dissemination_schedule, &r.power)
+                .unwrap_or_else(|e| panic!("{name}/{strategy} dissemination: {e}"));
         }
     }
 }
@@ -102,9 +101,7 @@ fn nonuniform_sinr_parameters_work() {
     let params = SinrParams::new(4.0, 1.5, 2.0, 0.1).unwrap();
     let inst = gen::uniform_square(30, 1.5, 3).unwrap();
     for strategy in [Strategy::InitOnly, Strategy::TvcArbitrary] {
-        let r = connect(&params, &inst, strategy, 8)
-            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
-        feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power)
-            .unwrap();
+        let r = connect(&params, &inst, strategy, 8).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        feasibility::validate_schedule(&params, &inst, &r.aggregation_schedule, &r.power).unwrap();
     }
 }

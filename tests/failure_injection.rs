@@ -4,13 +4,9 @@
 
 use std::collections::HashMap;
 
-use sinr_connect_suite::connectivity::contention::{
-    schedule_distributed, ContentionConfig,
-};
+use sinr_connect_suite::connectivity::contention::{schedule_distributed, ContentionConfig};
 use sinr_connect_suite::connectivity::init::{run_init, run_init_on, InitConfig};
-use sinr_connect_suite::connectivity::power_control::{
-    foschini_miljanic, PowerControlConfig,
-};
+use sinr_connect_suite::connectivity::power_control::{foschini_miljanic, PowerControlConfig};
 use sinr_connect_suite::connectivity::repair::repair_after_failures;
 use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
 use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
@@ -21,7 +17,10 @@ use sinr_connect_suite::phy::{feasibility, PowerAssignment, SinrParams};
 
 #[test]
 fn geometry_rejects_degenerate_inputs() {
-    assert!(matches!(Instance::new(vec![]), Err(GeomError::EmptyInstance)));
+    assert!(matches!(
+        Instance::new(vec![]),
+        Err(GeomError::EmptyInstance)
+    ));
     assert!(matches!(
         Instance::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]),
         Err(GeomError::CoincidentPoints { .. })
@@ -37,10 +36,22 @@ fn init_rejects_hostile_configs() {
     let params = SinrParams::default();
     let inst = gen::line(4).unwrap();
     for cfg in [
-        InitConfig { p: 0.0, ..Default::default() },
-        InitConfig { p: 0.9, ..Default::default() },
-        InitConfig { lambda1: -1.0, ..Default::default() },
-        InitConfig { lambda1: f64::NAN, ..Default::default() },
+        InitConfig {
+            p: 0.0,
+            ..Default::default()
+        },
+        InitConfig {
+            p: 0.9,
+            ..Default::default()
+        },
+        InitConfig {
+            lambda1: -1.0,
+            ..Default::default()
+        },
+        InitConfig {
+            lambda1: f64::NAN,
+            ..Default::default()
+        },
     ] {
         assert!(matches!(
             run_init(&params, &inst, &cfg, 0),
@@ -73,7 +84,10 @@ fn init_starved_of_rounds_reports_failure() {
             Err(other) => panic!("unexpected error kind: {other}"),
         }
     }
-    assert!(failures > 0, "starved config should fail at least once in 8 runs");
+    assert!(
+        failures > 0,
+        "starved config should fail at least once in 8 runs"
+    );
 }
 
 #[test]
@@ -92,7 +106,14 @@ fn contention_detects_impossible_links() {
     let links = LinkSet::from_links(vec![Link::new(0, 2)]).unwrap();
     let weak = PowerAssignment::uniform(params.noise_floor_power(2.0) * 0.5);
     assert!(matches!(
-        schedule_distributed(&params, &inst, &links, &weak, &ContentionConfig::default(), 0),
+        schedule_distributed(
+            &params,
+            &inst,
+            &links,
+            &weak,
+            &ContentionConfig::default(),
+            0
+        ),
         Err(CoreError::Phy(_))
     ));
 }
@@ -110,9 +131,7 @@ fn power_control_rejects_structural_conflicts() {
         vec![Link::new(0, 1), Link::new(0, 2)],
     ] {
         let set = LinkSet::from_links(links).unwrap();
-        assert!(
-            foschini_miljanic(&params, &inst, &set, &PowerControlConfig::default()).is_err()
-        );
+        assert!(foschini_miljanic(&params, &inst, &set, &PowerControlConfig::default()).is_err());
     }
 }
 
@@ -143,8 +162,7 @@ fn repair_handles_cascading_failures_until_one_node() {
     let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 2).unwrap();
 
     let mut instance = inst;
-    let mut parents: Vec<Option<usize>> =
-        (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
+    let mut parents: Vec<Option<usize>> = (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
     let mut powers: HashMap<Link, f64> = out.power.as_explicit().unwrap().clone();
 
     // Kill node 0 repeatedly until two nodes remain.
@@ -161,8 +179,7 @@ fn repair_handles_cascading_failures_until_one_node() {
         )
         .unwrap();
         assert_eq!(rep.instance.len(), instance.len() - 1);
-        feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power)
-            .unwrap();
+        feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power).unwrap();
         parents = (0..rep.tree.len()).map(|u| rep.tree.parent(u)).collect();
         powers = rep.power.as_explicit().unwrap().clone();
         instance = rep.instance;

@@ -63,7 +63,9 @@ fn reschedule_insensitive_to_delta() {
     let runtime = |inst: &sinr_connect_suite::geom::Instance| -> f64 {
         (0..3u64)
             .map(|s| {
-                connect(&params, inst, Strategy::InitOnly, s).unwrap().runtime_slots as f64
+                connect(&params, inst, Strategy::InitOnly, s)
+                    .unwrap()
+                    .runtime_slots as f64
             })
             .sum::<f64>()
             / 3.0
@@ -87,9 +89,7 @@ fn reschedule_insensitive_to_delta() {
 #[test]
 fn distributed_contention_within_log_factor_of_centralized() {
     // [9]: the distributed scheduler is an O(log n) approximation.
-    use sinr_connect_suite::connectivity::contention::{
-        schedule_distributed, ContentionConfig,
-    };
+    use sinr_connect_suite::connectivity::contention::{schedule_distributed, ContentionConfig};
     let params = SinrParams::default();
     let inst = gen::uniform_square(60, 1.5, 13).unwrap();
     let links: sinr_connect_suite::links::LinkSet =
@@ -150,13 +150,9 @@ fn bitree_latency_promises_hold() {
     let inst = gen::uniform_square(64, 1.5, 17).unwrap();
     let r = connect(&params, &inst, Strategy::TvcArbitrary, 6).unwrap();
     let bitree = r.bitree.expect("bi-tree strategy");
-    let (up, down) = sinr_connect_suite::connectivity::latency::audit_bitree(
-        &params,
-        &inst,
-        &bitree,
-        &r.power,
-    )
-    .unwrap();
+    let (up, down) =
+        sinr_connect_suite::connectivity::latency::audit_bitree(&params, &inst, &bitree, &r.power)
+            .unwrap();
     assert_eq!(up.slots, r.schedule_len);
     assert_eq!(down.slots, r.schedule_len);
     for u in [0usize, 5, 20] {
