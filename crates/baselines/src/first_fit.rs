@@ -9,7 +9,8 @@
 
 use sinr_geom::Instance;
 use sinr_links::{Link, LinkSet, Schedule};
-use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+use sinr_phy::feasibility::{self, SlotAuditor};
+use sinr_phy::{PowerAssignment, SinrParams};
 
 /// The order in which first-fit processes links.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,7 +72,10 @@ pub fn first_fit_schedule(
         FirstFitOrder::AsGiven => links.links().to_vec(),
     };
 
-    let mut slots: Vec<LinkSet> = Vec::new();
+    // Incremental per-slot auditors: probing a placement is `O(slot)`
+    // and bit-identical to rebuilding the slot set through
+    // `feasibility::check` (the auditor's determinism contract).
+    let mut slots: Vec<SlotAuditor<'_>> = Vec::new();
     let mut schedule = Schedule::new();
     let mut unschedulable = Vec::new();
 
@@ -82,16 +86,16 @@ pub fn first_fit_schedule(
             unschedulable.push(link);
             continue;
         }
+        let pw = power
+            .power_of(link, instance, params)
+            .expect("alone-feasible link has a power entry");
         let start = min_slot(link);
         let mut s = start;
         loop {
             while slots.len() <= s {
-                slots.push(LinkSet::new());
+                slots.push(SlotAuditor::new(params, instance));
             }
-            let mut candidate = slots[s].clone();
-            candidate.insert(link);
-            if feasibility::is_feasible(params, instance, &candidate, power) {
-                slots[s] = candidate;
+            if slots[s].try_push(link, pw) {
                 schedule.assign(link, s);
                 continue 'links;
             }

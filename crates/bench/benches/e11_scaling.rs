@@ -1,0 +1,56 @@
+//! E11 bench — per-slot engine cost, naive vs grid-indexed
+//! interference, on the slot-soup contention workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sinr_bench::workloads::Family;
+use sinr_geom::NodeId;
+use sinr_phy::SinrParams;
+use sinr_sim::{Action, Engine, EngineBackend, Protocol, SlotOutcome};
+
+#[derive(Debug)]
+struct Soup {
+    power: f64,
+}
+
+impl Protocol for Soup {
+    type Msg = ();
+    fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+        if rng.gen_bool(0.1) {
+            Action::Transmit {
+                power: self.power,
+                msg: (),
+            }
+        } else {
+            Action::Listen
+        }
+    }
+    fn end_slot(&mut self, _: NodeId, _: u64, _: SlotOutcome<()>, _: &mut StdRng) {}
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let params = SinrParams::default();
+    let mut group = c.benchmark_group("e11_engine_slot");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let inst = Family::UniformSquare.instance(n, 5);
+        // Power sized to the typical spacing so decodes occur; the
+        // spacing of a normalized uniform square scales as Δ/√(2n).
+        let spacing = inst.delta() / (2.0 * n as f64).sqrt();
+        let power = params.min_power_for_length(1.5 * spacing) * 4.0;
+        for backend in [EngineBackend::Naive, EngineBackend::Grid] {
+            // The naive engine at n = 2048 costs ~1s per slot; keep the
+            // criterion grid at 1024 and let experiment E11 cover 2048.
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &inst, |b, inst| {
+                let mut engine =
+                    Engine::with_backend(&params, inst, |_| Soup { power }, 7, backend);
+                b.iter(|| engine.step());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -5,13 +5,13 @@
 //! ```text
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
-//!     [--export target/connect]
+//!     [--engine naive|grid] [--export target/connect]
 //! ```
 
 use std::path::PathBuf;
 
 use sinr_bench::workloads::Family;
-use sinr_connectivity::{connect, Strategy};
+use sinr_connectivity::{connect_with, EngineBackend, Strategy};
 use sinr_phy::{feasibility, SinrParams};
 
 struct Args {
@@ -19,6 +19,7 @@ struct Args {
     n: usize,
     strategy: Strategy,
     seed: u64,
+    engine: EngineBackend,
     export: Option<PathBuf>,
 }
 
@@ -27,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
     let mut n = 64usize;
     let mut strategy = Strategy::TvcArbitrary;
     let mut seed = 0u64;
+    let mut engine = EngineBackend::default();
     let mut export = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +68,10 @@ fn parse_args() -> Result<Args, String> {
                 seed = val(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
                 i += 2;
             }
+            "--engine" => {
+                engine = val(i)?.parse()?;
+                i += 2;
+            }
             "--export" => {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
@@ -74,7 +80,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
-                            tvc-arbitrary --seed <u64> [--export <dir>]"
+                            tvc-arbitrary --seed <u64> [--engine naive|grid] \
+                            [--export <dir>]"
                         .into(),
                 );
             }
@@ -86,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         n,
         strategy,
         seed,
+        engine,
         export,
     })
 }
@@ -102,14 +110,15 @@ fn main() {
     let params = SinrParams::default();
     let instance = args.family.instance(args.n, args.seed);
     println!(
-        "instance: family={} n={} Δ={:.2} classes={}",
+        "instance: family={} n={} Δ={:.2} classes={} engine={}",
         args.family.label(),
         instance.len(),
         instance.delta(),
-        instance.num_length_classes()
+        instance.num_length_classes(),
+        args.engine.label()
     );
 
-    let result = match connect(&params, &instance, args.strategy, args.seed) {
+    let result = match connect_with(&params, &instance, args.strategy, args.seed, args.engine) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("connectivity failed: {e}");

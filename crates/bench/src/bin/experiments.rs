@@ -5,28 +5,60 @@
 //! cargo run --release -p sinr-bench --bin experiments            # all
 //! cargo run --release -p sinr-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p sinr-bench --bin experiments -- --quick # CI-sized
+//! cargo run --release -p sinr-bench --bin experiments -- --engine naive e11
 //! ```
 
 use std::path::PathBuf;
 
 use sinr_bench::experiments::ALL;
-use sinr_bench::ExpOptions;
+use sinr_bench::{EngineBackend, ExpOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xC0FFEE);
-    let wanted: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
-        .collect();
+    let mut quick = false;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut backend = EngineBackend::default();
+    let mut wanted: Vec<&String> = Vec::new();
 
-    let opts = ExpOptions { quick, seed };
+    // One-pass parse so flag *values* are consumed (a bare `naive` in
+    // experiment position is an error, not a silently dropped token).
+    let mut i = 0;
+    let bail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--seed" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --seed".into()));
+                seed = v.parse().unwrap_or_else(|e| bail(format!("--seed: {e}")));
+                i += 2;
+            }
+            "--engine" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --engine".into()));
+                backend = v.parse().unwrap_or_else(|e| bail(e));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => bail(format!("unknown flag `{flag}`")),
+            _ => {
+                wanted.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let opts = ExpOptions {
+        quick,
+        seed,
+        backend,
+    };
     let out_dir = PathBuf::from("target/experiments");
 
     let mut ran = 0;

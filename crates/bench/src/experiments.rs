@@ -4,6 +4,7 @@
 //! `EXPERIMENTS.md` for recorded results.
 
 pub mod e10_ablations;
+pub mod e11_scaling;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -37,7 +38,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 10] = [
+pub const ALL: [Experiment; 11] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -88,6 +89,11 @@ pub const ALL: [Experiment; 10] = [
         what: "ablations of DESIGN.md §5 knobs",
         run: e10_ablations::run,
     },
+    Experiment {
+        id: "e11",
+        what: "engine scaling: naive vs grid-indexed interference",
+        run: e11_scaling::run,
+    },
 ];
 
 #[cfg(test)]
@@ -102,6 +108,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ALL.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[9], "e10");
+        assert_eq!(ids[10], "e11");
     }
 }

@@ -39,7 +39,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
             let cfg = InitConfig {
                 p,
-                ..Default::default()
+                ..opts.init_config()
             };
             match run_init(&params, &inst, &cfg, opts.seed.wrapping_add(1000 + t)) {
                 Ok(out) => (out.run.slots_used as f64, 0.0),
@@ -74,7 +74,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 // Keep the budget modest so failures surface rather than
                 // being papered over by extra rounds.
                 extra_rounds_cap: 8,
-                ..Default::default()
+                ..opts.init_config()
             };
             match run_init(&params, &inst, &cfg, opts.seed.wrapping_add(2000 + t)) {
                 Ok(out) => (1.0, out.run.slots_used as f64),
@@ -177,6 +177,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 10,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 4);

@@ -1,0 +1,209 @@
+//! E11 — engine scaling sweep: naive vs grid-indexed interference.
+//!
+//! Measures wall-clock per simulated slot for the two [`Engine`]
+//! backends on a fixed contention workload ("slot soup": every node
+//! transmits with probability 0.1 at a power sized to the instance's
+//! nearest-neighbor spacing, otherwise listens), at n up to 2048 on the
+//! uniform and clustered families. The naive path is `O(listeners ×
+//! transmitters²)` per slot; the indexed path certifies most decode
+//! decisions from the near field (see DESIGN.md §7).
+//!
+//! Every timed pair also replays the run on both backends with the same
+//! seed and compares the slot reports — the table's `parity` column is
+//! a live bit-identical check, not an assumption.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sinr_geom::{GridIndex, Instance, NodeId};
+use sinr_phy::SinrParams;
+use sinr_sim::{Action, Engine, EngineBackend, Protocol, SlotOutcome, SlotReport};
+
+use crate::table::{f2, Table};
+use crate::workloads::Family;
+use crate::ExpOptions;
+
+/// The benchmark protocol: a memoryless contention soup.
+#[derive(Debug)]
+struct Soup {
+    power: f64,
+    decodes: u64,
+}
+
+impl Protocol for Soup {
+    type Msg = ();
+    fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+        if rng.gen_bool(0.1) {
+            Action::Transmit {
+                power: self.power,
+                msg: (),
+            }
+        } else {
+            Action::Listen
+        }
+    }
+    fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+        if matches!(o, SlotOutcome::Received(_)) {
+            self.decodes += 1;
+        }
+    }
+}
+
+/// Mean nearest-neighbor distance, for sizing the soup power the way
+/// the real protocols size their round powers.
+fn mean_nn_distance(inst: &Instance) -> f64 {
+    let cell = (inst.delta() / (inst.len() as f64).sqrt()).max(1.0);
+    let grid = GridIndex::build(inst, cell);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for u in 0..inst.len() {
+        if let Some((_, d)) = grid.nearest_neighbor(u) {
+            total += d;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+struct RunStats {
+    micros_per_slot: f64,
+    reports: Vec<SlotReport>,
+    decodes: u64,
+}
+
+fn run_engine(
+    params: &SinrParams,
+    inst: &Instance,
+    power: f64,
+    slots: u64,
+    seed: u64,
+    backend: EngineBackend,
+) -> RunStats {
+    let mut engine =
+        Engine::with_backend(params, inst, |_| Soup { power, decodes: 0 }, seed, backend);
+    let start = Instant::now();
+    let reports: Vec<SlotReport> = (0..slots).map(|_| engine.step()).collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    RunStats {
+        micros_per_slot: elapsed * 1e6 / slots as f64,
+        reports,
+        decodes: engine.nodes().iter().map(|n| n.decodes).sum(),
+    }
+}
+
+/// Sizes and per-size slot budgets (the naive engine's per-slot cost
+/// grows super-quadratically, so big sizes get few slots).
+fn ladder(quick: bool) -> &'static [(usize, u64)] {
+    if quick {
+        &[(128, 24), (256, 12), (512, 6)]
+    } else {
+        &[(128, 48), (256, 24), (512, 12), (1024, 6), (2048, 3)]
+    }
+}
+
+/// Runs E11, reporting per-slot cost, speedup, crossover and parity.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let params = SinrParams::default();
+
+    let mut t = Table::new(
+        "E11: per-slot engine cost, naive vs grid-indexed interference",
+        "indexed decode certifies from the near field: speedup grows with n (≥5× at n=1024)",
+        &[
+            "family",
+            "n",
+            "tx/slot",
+            "naive µs/slot",
+            "grid µs/slot",
+            "speedup",
+            "parity",
+        ],
+    );
+    let mut crossover = Table::new(
+        "E11b: crossover",
+        "smallest swept n where the indexed engine wins outright",
+        &["family", "crossover n", "speedup@max n"],
+    );
+
+    for family in [Family::UniformSquare, Family::Clustered] {
+        let mut cross: Option<usize> = None;
+        let mut last_speedup = 0.0;
+        for &(n, slots) in ladder(opts.quick) {
+            let inst = family.instance(n, opts.seed.wrapping_add(n as u64));
+            let power = params.min_power_for_length(1.5 * mean_nn_distance(&inst)) * 4.0;
+            let seed = opts.seed.wrapping_add(1100 + n as u64);
+
+            let naive = run_engine(&params, &inst, power, slots, seed, EngineBackend::Naive);
+            let grid = run_engine(&params, &inst, power, slots, seed, EngineBackend::Grid);
+
+            let parity = naive.reports == grid.reports && naive.decodes == grid.decodes;
+            // The parity column is a *gate*, not an observation: the CI
+            // smoke step relies on this run failing loudly, so a
+            // mismatch must not end as green text in a log table.
+            assert!(
+                parity,
+                "E11 parity MISMATCH: naive and grid engines diverged on {} n={n} \
+                 (naive decodes {}, grid decodes {})",
+                family.label(),
+                naive.decodes,
+                grid.decodes
+            );
+            let speedup = naive.micros_per_slot / grid.micros_per_slot.max(1e-9);
+            // Crossover = smallest n after which the indexed engine wins
+            // at every larger swept size (revoked on any regression).
+            if speedup > 1.0 {
+                cross.get_or_insert(n);
+            } else {
+                cross = None;
+            }
+            last_speedup = speedup;
+            let tx_mean = naive.reports.iter().map(|r| r.transmissions).sum::<usize>() as f64
+                / slots.max(1) as f64;
+            t.push_row(vec![
+                family.label().to_string(),
+                n.to_string(),
+                f2(tx_mean),
+                f2(naive.micros_per_slot),
+                f2(grid.micros_per_slot),
+                f2(speedup),
+                if parity {
+                    "ok".into()
+                } else {
+                    "MISMATCH".into()
+                },
+            ]);
+        }
+        crossover.push_row(vec![
+            family.label().to_string(),
+            cross.map_or_else(|| "-".into(), |n| n.to_string()),
+            f2(last_speedup),
+        ]);
+    }
+
+    vec![t, crossover]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables_with_parity() {
+        let opts = ExpOptions {
+            quick: true,
+            seed: 11,
+            ..Default::default()
+        };
+        let tables = run(&opts);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 2 * ladder(true).len());
+        for row in &tables[0].rows {
+            assert_eq!(row[6], "ok", "backends diverged: {row:?}");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! if the bound's shape holds. Table E1b fixes `n` and sweeps `Δ`
 //! through exponential chains; slots should grow linearly in `log Δ`.
 
-use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::init::run_init;
 use sinr_phy::SinrParams;
 
 use crate::table::{f2, Table};
@@ -15,7 +15,7 @@ use crate::{mean, parallel_map, ExpOptions};
 /// Runs E1 and returns tables E1a and E1b.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
-    let cfg = InitConfig::default();
+    let cfg = opts.init_config();
 
     // ---- E1a: slots vs n ------------------------------------------
     let mut t1 = Table::new(
@@ -96,6 +96,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 1,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);

@@ -6,7 +6,7 @@
 //! theorem's bound at the configured `p` (the bound is loose — the
 //! shape to check is *exponential decay*).
 
-use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::init::run_init;
 use sinr_links::degree::DegreeStats;
 use sinr_phy::SinrParams;
 
@@ -17,7 +17,7 @@ use crate::{mean, parallel_map, ExpOptions};
 /// Runs E2 and returns tables E2a and E2b.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
-    let cfg = InitConfig::default();
+    let cfg = opts.init_config();
 
     let mut t1 = Table::new(
         "E2a: Init tree degrees vs n",
@@ -85,6 +85,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 2,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);

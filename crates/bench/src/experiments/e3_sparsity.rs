@@ -2,7 +2,7 @@
 //! degree-capped subtree `T(M)` is `O(1)`-sparse while keeping a
 //! constant fraction of the links.
 
-use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::init::run_init;
 use sinr_links::{sparsity, LinkSet};
 use sinr_phy::SinrParams;
 
@@ -14,7 +14,7 @@ use crate::{mean, parallel_map, ExpOptions};
 /// default ρ = 8 and an aggressive ρ = 4 that actually prunes).
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
-    let cfg = InitConfig::default();
+    let cfg = opts.init_config();
 
     let mut t = Table::new(
         "E3: sparsity of the Init tree and its degree-capped subtree",
@@ -83,6 +83,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 3,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);

@@ -5,7 +5,7 @@
 
 use sinr_baselines::first_fit::{first_fit_schedule, FirstFitOrder};
 use sinr_connectivity::contention::ContentionConfig;
-use sinr_connectivity::init::{run_init, InitConfig};
+use sinr_connectivity::init::run_init;
 use sinr_connectivity::reschedule::reschedule_mean;
 use sinr_phy::{PowerAssignment, SinrParams};
 
@@ -18,14 +18,17 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
 
     let measure = |inst: &sinr_geom::Instance, seed: u64| -> (f64, f64, f64, f64) {
-        let init = run_init(&params, inst, &InitConfig::default(), seed).expect("init converges");
+        let init = run_init(&params, inst, &opts.init_config(), seed).expect("init converges");
         let links = init.tree.aggregation_links();
         let timestamps = init.schedule.num_slots() as f64;
         let re = reschedule_mean(
             &params,
             inst,
             &links,
-            &ContentionConfig::default(),
+            &ContentionConfig {
+                backend: opts.backend,
+                ..Default::default()
+            },
             seed.wrapping_add(17),
         )
         .expect("contention converges");
@@ -106,6 +109,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 4,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);

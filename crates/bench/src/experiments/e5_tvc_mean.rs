@@ -37,7 +37,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 let out = tree_via_capacity(
                     &params,
                     &inst,
-                    &TvcConfig::default(),
+                    &TvcConfig {
+                        init: opts.init_config(),
+                        ..Default::default()
+                    },
                     &mut sel,
                     opts.seed.wrapping_add(500 + t_off),
                 )
@@ -76,6 +79,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 5,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);

@@ -7,7 +7,7 @@
 
 use sinr_baselines::length_class::length_class_schedule;
 use sinr_baselines::mst::{centroid_root, mst_bitree};
-use sinr_connectivity::{connect, Strategy};
+use sinr_connectivity::{connect_with, Strategy};
 use sinr_phy::{PowerAssignment, SinrParams};
 
 use crate::table::{f2, Table};
@@ -31,11 +31,12 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let jobs: Vec<u64> = (0..opts.trials()).collect();
         let rows = parallel_map(jobs, |t_off| {
             let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
-            let r = connect(
+            let r = connect_with(
                 &params,
                 &inst,
                 strategy,
                 opts.seed.wrapping_add(700 + t_off),
+                opts.backend,
             )
             .expect("strategy converges");
             (r.schedule_len as f64, r.runtime_slots as f64)
@@ -110,6 +111,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 7,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);

@@ -41,7 +41,10 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let out = tree_via_capacity(
                 &params,
                 &inst,
-                &TvcConfig::default(),
+                &TvcConfig {
+                    init: opts.init_config(),
+                    ..Default::default()
+                },
                 &mut sel,
                 opts.seed.wrapping_add(800 + t_off),
             )
@@ -88,6 +91,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 8,
+            ..Default::default()
         };
         let tables = run(&opts);
         for row in &tables[0].rows {

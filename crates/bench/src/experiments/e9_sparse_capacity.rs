@@ -112,6 +112,7 @@ mod tests {
         let opts = ExpOptions {
             quick: true,
             seed: 9,
+            ..Default::default()
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);

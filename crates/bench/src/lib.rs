@@ -17,6 +17,8 @@
 //! | [`experiments::e7_comparison`] | §4: distributed matches centralized |
 //! | [`experiments::e8_latency`] | Def 1: converge-cast/broadcast/pairwise latency |
 //! | [`experiments::e9_sparse_capacity`] | Thm 9 / Eqn 5 machinery |
+//! | [`experiments::e10_ablations`] | DESIGN.md §5 knob ablations |
+//! | [`experiments::e11_scaling`] | DESIGN.md §7: naive vs grid engine scaling |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
@@ -30,6 +32,9 @@ pub mod experiments;
 pub mod table;
 pub mod workloads;
 
+use sinr_connectivity::init::InitConfig;
+pub use sinr_connectivity::EngineBackend;
+
 /// Shared experiment options.
 #[derive(Clone, Copy, Debug)]
 pub struct ExpOptions {
@@ -37,6 +42,10 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Base RNG seed; sweeps derive per-run seeds from it.
     pub seed: u64,
+    /// Simulation-engine backend for every simulated pipeline
+    /// (`--engine naive|grid` on the runners; the backends are
+    /// bit-identical, so this only changes wall-clock).
+    pub backend: EngineBackend,
 }
 
 impl Default for ExpOptions {
@@ -44,16 +53,17 @@ impl Default for ExpOptions {
         ExpOptions {
             quick: false,
             seed: 0xC0FFEE,
+            backend: EngineBackend::default(),
         }
     }
 }
 
 impl ExpOptions {
-    /// The instance sizes to sweep. The full ladder tops out at 256:
-    /// the simulator's per-slot cost is `O(n²)` and the TVC pipelines
-    /// run hundreds of simulated `Init` slots per iteration, so 512+
-    /// rows cost minutes each without changing any trend — bump this
-    /// locally when hunting asymptotics on bigger hardware.
+    /// The instance sizes to sweep. The historical ladder topped out at
+    /// 256 when the simulator's per-slot cost was `O(n²)`; with the
+    /// grid-indexed engine (experiment E11) larger sweeps are viable,
+    /// but the experiment suite keeps the recorded ladder so tables
+    /// stay comparable — E11 itself sweeps to 2048.
     pub fn sizes(&self) -> &'static [usize] {
         if self.quick {
             &[32, 64, 128]
@@ -68,6 +78,14 @@ impl ExpOptions {
             2
         } else {
             3
+        }
+    }
+
+    /// An [`InitConfig`] honoring the selected engine backend.
+    pub fn init_config(&self) -> InitConfig {
+        InitConfig {
+            backend: self.backend,
+            ..Default::default()
         }
     }
 }
@@ -146,7 +164,8 @@ mod tests {
         assert!(
             ExpOptions {
                 quick: true,
-                seed: 0
+                seed: 0,
+                ..Default::default()
             }
             .sizes()
             .len()

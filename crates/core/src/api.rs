@@ -3,6 +3,7 @@
 use sinr_geom::Instance;
 use sinr_links::{BiTree, LinkSet, Schedule};
 use sinr_phy::{PowerAssignment, SinrParams};
+use sinr_sim::EngineBackend;
 
 use crate::contention::ContentionConfig;
 use crate::init::{run_init, InitConfig};
@@ -110,9 +111,30 @@ pub fn connect(
     strategy: Strategy,
     seed: u64,
 ) -> Result<ConnectivityResult> {
+    connect_with(params, instance, strategy, seed, EngineBackend::default())
+}
+
+/// [`connect`] with an explicit simulation-engine backend.
+///
+/// The two backends are bit-identical in every observable output (the
+/// determinism parity gate in `tests/determinism.rs` enforces it);
+/// `Naive` exists so regressions and benchmarks can reproduce the
+/// all-pairs reference from the command line (`connect --engine
+/// naive`).
+pub fn connect_with(
+    params: &SinrParams,
+    instance: &Instance,
+    strategy: Strategy,
+    seed: u64,
+    backend: EngineBackend,
+) -> Result<ConnectivityResult> {
+    let init_cfg = InitConfig {
+        backend,
+        ..Default::default()
+    };
     match strategy {
         Strategy::InitOnly => {
-            let out = run_init(params, instance, &InitConfig::default(), seed)?;
+            let out = run_init(params, instance, &init_cfg, seed)?;
             let dissemination = out.bitree.dissemination_schedule();
             let schedule_len = out.schedule.num_slots();
             Ok(ConnectivityResult {
@@ -127,13 +149,16 @@ pub fn connect(
             })
         }
         Strategy::MeanReschedule => {
-            let init = run_init(params, instance, &InitConfig::default(), seed)?;
+            let init = run_init(params, instance, &init_cfg, seed)?;
             let links = init.tree.aggregation_links();
             let re = reschedule_mean(
                 params,
                 instance,
                 &links,
-                &ContentionConfig::default(),
+                &ContentionConfig {
+                    backend,
+                    ..Default::default()
+                },
                 seed.wrapping_add(0x51ed),
             )?;
             Ok(ConnectivityResult {
@@ -149,7 +174,11 @@ pub fn connect(
         }
         Strategy::TvcMean => {
             let mut sel = MeanSamplingSelector::default();
-            let out = tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
+            let cfg = TvcConfig {
+                init: init_cfg,
+                ..Default::default()
+            };
+            let out = tree_via_capacity(params, instance, &cfg, &mut sel, seed)?;
             Ok(ConnectivityResult {
                 strategy,
                 tree_links: out.tree.aggregation_links(),
@@ -163,7 +192,11 @@ pub fn connect(
         }
         Strategy::TvcArbitrary => {
             let mut sel = DistrCapSelector::default();
-            let out = tree_via_capacity(params, instance, &TvcConfig::default(), &mut sel, seed)?;
+            let cfg = TvcConfig {
+                init: init_cfg,
+                ..Default::default()
+            };
+            let out = tree_via_capacity(params, instance, &cfg, &mut sel, seed)?;
             Ok(ConnectivityResult {
                 strategy,
                 tree_links: out.tree.aggregation_links(),

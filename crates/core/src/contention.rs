@@ -32,7 +32,7 @@ use rand::Rng;
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{Link, LinkSet, Schedule};
 use sinr_phy::{PowerAssignment, SinrParams};
-use sinr_sim::{Action, Engine, Protocol, Reception, SlotOutcome};
+use sinr_sim::{Action, Engine, EngineBackend, Protocol, Reception, SlotOutcome};
 
 use crate::{CoreError, Result};
 
@@ -45,6 +45,10 @@ pub struct ContentionConfig {
     pub sweep_len: Option<u32>,
     /// Safety cap on slot-pairs before giving up.
     pub max_pairs: u64,
+    /// Channel-resolution backend of the simulation engine (the two
+    /// backends are bit-identical; `Naive` exists for parity testing
+    /// and benchmarks).
+    pub backend: EngineBackend,
 }
 
 impl Default for ContentionConfig {
@@ -52,6 +56,7 @@ impl Default for ContentionConfig {
         ContentionConfig {
             sweep_len: None,
             max_pairs: 200_000,
+            backend: EngineBackend::default(),
         }
     }
 }
@@ -242,7 +247,7 @@ pub fn schedule_distributed(
         .unwrap_or_else(|| (instance.len().max(2) as f64).log2().ceil() as u32 + 1)
         .max(1);
 
-    let mut engine = Engine::new(
+    let mut engine = Engine::with_backend(
         params,
         instance,
         |id| {
@@ -259,6 +264,7 @@ pub fn schedule_distributed(
             }
         },
         seed,
+        cfg.backend,
     );
 
     engine.run_until(2 * cfg.max_pairs, |nodes| {

@@ -37,7 +37,7 @@ use rand::Rng;
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{BiTree, InTree, Link, Schedule};
 use sinr_phy::{PowerAssignment, SinrParams};
-use sinr_sim::{Action, Engine, Protocol, Reception, SlotOutcome};
+use sinr_sim::{Action, Engine, EngineBackend, Protocol, Reception, SlotOutcome};
 
 use crate::{CoreError, Result};
 
@@ -52,6 +52,10 @@ pub struct InitConfig {
     pub accept_shorter: bool,
     /// Extra repetitions of the top length class before giving up.
     pub extra_rounds_cap: u32,
+    /// Channel-resolution backend of the simulation engine (the two
+    /// backends are bit-identical; `Naive` exists for parity testing
+    /// and benchmarks).
+    pub backend: EngineBackend,
 }
 
 impl Default for InitConfig {
@@ -61,6 +65,7 @@ impl Default for InitConfig {
             lambda1: 4.0,
             accept_shorter: true,
             extra_rounds_cap: 256,
+            backend: EngineBackend::default(),
         }
     }
 }
@@ -80,6 +85,7 @@ impl InitConfig {
             lambda1: 80.0 / (p * p),
             accept_shorter: false,
             extra_rounds_cap: 0,
+            backend: EngineBackend::default(),
         }
     }
 
@@ -411,11 +417,12 @@ pub fn run_init_on(
         round_windows,
     });
 
-    let mut engine = Engine::new(
+    let mut engine = Engine::with_backend(
         params,
         instance,
         |id| InitNode::new(Arc::clone(&shared), active_mask[id]),
         seed,
+        cfg.backend,
     );
     let max_slots = 2 * ppr * total_rounds as u64;
     engine.run_until(max_slots, |nodes| {

@@ -46,8 +46,9 @@ pub mod reschedule;
 pub mod selector;
 pub mod tvc;
 
-pub use api::{connect, ConnectivityResult, Strategy};
+pub use api::{connect, connect_with, ConnectivityResult, Strategy};
 pub use error::CoreError;
+pub use sinr_sim::EngineBackend;
 
 /// Convenience result alias for fallible connectivity operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

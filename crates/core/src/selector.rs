@@ -26,7 +26,7 @@ use rand::Rng;
 
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{Link, LinkSet};
-use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::field::InterferenceField;
 use sinr_phy::{upsilon, PowerAssignment, SinrParams};
 
 use crate::power_control::{make_feasible, PowerControlConfig};
@@ -73,21 +73,33 @@ pub trait SubsetSelector: std::fmt::Debug {
 ///
 /// A probe fails if its receiver is itself transmitting (half-duplex) or
 /// its measured affectance exceeds `threshold`.
+///
+/// The affectance-threshold decisions go through the spatially-indexed
+/// [`InterferenceField`] (DESIGN.md §7): certified answers short-cut
+/// the all-transmitters sum; threshold-grazing probes fall back to the
+/// exact naive-order sum, so decisions are bit-identical to summing
+/// directly.
 fn resolve_probe_slot(
-    calc: &AffectanceCalc<'_>,
+    params: &SinrParams,
+    instance: &Instance,
     transmitters: &[(NodeId, f64)],
     probes: &[(Link, f64)],
     threshold: f64,
 ) -> Vec<Link> {
     let tx_nodes: HashSet<NodeId> = transmitters.iter().map(|&(u, _)| u).collect();
+    let field = InterferenceField::build(params, instance, transmitters);
     let mut ok = Vec::new();
     for &(link, power) in probes {
         if tx_nodes.contains(&link.receiver) {
             continue;
         }
-        match calc.sum_on(transmitters, link, power) {
-            Ok(aff) if aff <= threshold => ok.push(link),
-            _ => {}
+        let admitted = match field.sum_on_at_most(link, power, threshold) {
+            Ok(Some(decision)) => decision,
+            Ok(None) => matches!(field.sum_on_exact(link, power), Ok(aff) if aff <= threshold),
+            Err(_) => false,
+        };
+        if admitted {
+            ok.push(link);
         }
     }
     ok
@@ -155,7 +167,6 @@ impl SubsetSelector for MeanSamplingSelector {
         let q = (1.0 / (4.0 * self.config.gamma1 * ups)).clamp(self.config.min_prob.min(1.0), 1.0);
 
         let power = PowerAssignment::mean_with_margin(params, instance.delta());
-        let calc = AffectanceCalc::new(params, instance);
 
         // Data slot: sampled senders transmit under mean power.
         let sampled: Vec<Link> = candidates.iter().filter(|_| rng.gen_bool(q)).collect();
@@ -165,7 +176,7 @@ impl SubsetSelector for MeanSamplingSelector {
             .collect::<Result<_>>()?;
         let tx_a: Vec<(NodeId, f64)> = data_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
         // Success = decodable, i.e. affectance ≤ 1 (§5 equivalence).
-        let q_tilde = resolve_probe_slot(&calc, &tx_a, &data_probes, 1.0);
+        let q_tilde = resolve_probe_slot(params, instance, &tx_a, &data_probes, 1.0);
 
         // Ack slot: receivers of the successful links answer over duals.
         let ack_probes: Vec<(Link, f64)> = q_tilde
@@ -173,7 +184,7 @@ impl SubsetSelector for MeanSamplingSelector {
             .map(|&l| Ok((l.dual(), power.power_of(l.dual(), instance, params)?)))
             .collect::<Result<_>>()?;
         let tx_b: Vec<(NodeId, f64)> = ack_probes.iter().map(|&(l, p)| (l.sender, p)).collect();
-        let acked_duals = resolve_probe_slot(&calc, &tx_b, &ack_probes, 1.0);
+        let acked_duals = resolve_probe_slot(params, instance, &tx_b, &ack_probes, 1.0);
 
         let chosen: LinkSet = acked_duals.iter().map(|d| d.dual()).collect();
         // Both directions succeeded simultaneously under mean power (data
@@ -288,7 +299,6 @@ impl SubsetSelector for DistrCapSelector {
             });
         }
 
-        let calc = AffectanceCalc::new(params, instance);
         let linear = PowerAssignment::linear_with_margin(params);
         let lin_power = |l: Link| linear.power_of(l, instance, params);
 
@@ -330,7 +340,7 @@ impl SubsetSelector for DistrCapSelector {
                     .map(|&l| Ok((l, lin_power(l)?)))
                     .collect::<Result<_>>()?;
                 tx_a.extend(probes_a.iter().map(|&(l, p)| (l.sender, p)));
-                let q_tilde = resolve_probe_slot(&calc, &tx_a, &probes_a, cfg.tau / 4.0);
+                let q_tilde = resolve_probe_slot(params, instance, &tx_a, &probes_a, cfg.tau / 4.0);
 
                 // Slot B: duals of T' and (sub-sampled) duals of Q̃, at
                 // the tightened threshold γ₂τ/4.
@@ -351,8 +361,13 @@ impl SubsetSelector for DistrCapSelector {
                     .map(|&l| Ok((l.dual(), lin_power(l.dual())?)))
                     .collect::<Result<_>>()?;
                 tx_b.extend(probes_b.iter().map(|&(l, p)| (l.sender, p)));
-                let ok_duals =
-                    resolve_probe_slot(&calc, &tx_b, &probes_b, cfg.gamma2 * cfg.tau / 4.0);
+                let ok_duals = resolve_probe_slot(
+                    params,
+                    instance,
+                    &tx_b,
+                    &probes_b,
+                    cfg.gamma2 * cfg.tau / 4.0,
+                );
 
                 for d in ok_duals {
                     let l = d.dual();
@@ -415,6 +430,50 @@ mod tests {
             .enumerate()
             .filter_map(|(u, p)| p.map(|v| Link::new(u, v)))
             .collect()
+    }
+
+    /// The selectors' probe slots run on the interference field on
+    /// *both* engine backends, so the end-to-end naive/grid parity gate
+    /// cannot see a certification regression here. This test is that
+    /// guard: the field-based probe resolution must match the all-pairs
+    /// reference (`AffectanceCalc::sum_on` against the threshold)
+    /// probe-for-probe on realistic slots.
+    #[test]
+    fn probe_slot_matches_all_pairs_reference() {
+        use sinr_phy::affectance::AffectanceCalc;
+        let p = params();
+        let mut checked = 0;
+        for seed in 0..5u64 {
+            let inst = gen::uniform_square(70, 1.5, seed).unwrap();
+            let candidates = mst_links(&inst);
+            let power = PowerAssignment::mean_with_margin(&p, inst.delta());
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1ec7);
+            let probes: Vec<(Link, f64)> = candidates
+                .iter()
+                .filter(|_| rng.gen_bool(0.5))
+                .map(|l| (l, power.power_of(l, &inst, &p).unwrap()))
+                .collect();
+            let tx: Vec<(NodeId, f64)> = probes.iter().map(|&(l, pw)| (l.sender, pw)).collect();
+            let calc = AffectanceCalc::new(&p, &inst);
+            let tx_nodes: HashSet<NodeId> = tx.iter().map(|&(u, _)| u).collect();
+            for threshold in [0.2, 1.0] {
+                let fast = resolve_probe_slot(&p, &inst, &tx, &probes, threshold);
+                let mut reference = Vec::new();
+                for &(link, pw) in &probes {
+                    if tx_nodes.contains(&link.receiver) {
+                        continue;
+                    }
+                    if let Ok(aff) = calc.sum_on(&tx, link, pw) {
+                        if aff <= threshold {
+                            reference.push(link);
+                        }
+                    }
+                }
+                assert_eq!(fast, reference, "seed {seed} τ={threshold}");
+                checked += reference.len();
+            }
+        }
+        assert!(checked > 10, "reference admitted too little: {checked}");
     }
 
     #[test]

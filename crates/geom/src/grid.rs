@@ -1,8 +1,21 @@
-//! A uniform-grid spatial index over an instance's nodes.
+//! Uniform-grid spatial indexes.
+//!
+//! Two structures live here:
+//!
+//! - [`GridIndex`] — an immutable index over *all* nodes of an
+//!   [`Instance`], for range queries and nearest-neighbor searches;
+//! - [`WeightedCellGrid`] — a mutable bucket grid over an arbitrary
+//!   subset of nodes with a per-cell aggregate weight, the substrate of
+//!   the interference field in `sinr-phy` (cell-aggregate transmit
+//!   power, ring-ordered cell enumeration for certified far-field
+//!   bounds).
 
 use std::collections::HashMap;
 
 use crate::{Instance, NodeId, Point};
+
+/// Integer key of a grid cell: `(⌊x/cell⌋, ⌊y/cell⌋)`.
+pub type CellKey = (i64, i64);
 
 /// A uniform grid over the nodes of an [`Instance`], supporting fast
 /// range (ball) queries.
@@ -84,6 +97,12 @@ impl GridIndex {
     }
 
     /// All nodes within the closed ball of `radius` around `center`.
+    ///
+    /// Allocates a fresh `Vec` per call, so it is intended for tests and
+    /// one-shot diagnostics only; library code on a hot path (anything
+    /// calling from inside a per-node or per-slot loop) must use
+    /// [`for_each_within`](GridIndex::for_each_within) or
+    /// [`for_each_cell_within`](GridIndex::for_each_cell_within) instead.
     pub fn nodes_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
         let mut out = Vec::new();
         self.for_each_within(center, radius, |id| out.push(id));
@@ -97,10 +116,34 @@ impl GridIndex {
     /// matches)` — a huge radius degrades gracefully to a full scan of
     /// the existing cells rather than of the query rectangle.
     pub fn for_each_within<F: FnMut(NodeId)>(&self, center: Point, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        self.for_each_cell_within(center, radius, |_, bucket| {
+            for &id in bucket {
+                if self.positions[id].distance_sq(center) <= r2 {
+                    f(id);
+                }
+            }
+        });
+    }
+
+    /// Calls `f` once per occupied cell whose key rectangle intersects
+    /// the axis-aligned bounding box of the query ball, passing the cell
+    /// key and its bucket.
+    ///
+    /// This is the cell-aggregate primitive: the bucket may contain
+    /// nodes slightly *outside* the ball (corner cells), but every node
+    /// *inside* the ball is guaranteed to be in some visited bucket.
+    /// Callers doing exact work must filter by distance themselves;
+    /// callers deriving bounds may use the bucket wholesale.
+    pub fn for_each_cell_within<F: FnMut(CellKey, &[NodeId])>(
+        &self,
+        center: Point,
+        radius: f64,
+        mut f: F,
+    ) {
         if radius.is_nan() || radius < 0.0 || self.cells.is_empty() {
             return;
         }
-        let r2 = radius * radius;
         let (qx0, qy0) = Self::key(Point::new(center.x - radius, center.y - radius), self.cell);
         let (qx1, qy1) = Self::key(Point::new(center.x + radius, center.y + radius), self.cell);
         let (cx0, cy0) = (qx0.max(self.key_min.0), qy0.max(self.key_min.1));
@@ -108,11 +151,7 @@ impl GridIndex {
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    for &id in bucket {
-                        if self.positions[id].distance_sq(center) <= r2 {
-                            f(id);
-                        }
-                    }
+                    f((cx, cy), bucket);
                 }
             }
         }
@@ -165,6 +204,252 @@ impl GridIndex {
         let bb = crate::Aabb::from_points(self.positions.iter().copied())
             .expect("index holds at least one point");
         bb.diagonal().max(self.cell)
+    }
+}
+
+/// One bucket of a [`WeightedCellGrid`]: members with their positions
+/// and weights, plus the cached aggregate weight.
+#[derive(Clone, Debug, Default)]
+pub struct CellBucket {
+    members: Vec<(NodeId, Point, f64)>,
+    weight: f64,
+}
+
+impl CellBucket {
+    /// The `(node, position, weight)` members of this cell.
+    #[inline]
+    pub fn members(&self) -> &[(NodeId, Point, f64)] {
+        &self.members
+    }
+
+    /// The aggregate weight of the cell (sum of member weights).
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn recompute(&mut self) {
+        self.weight = self.members.iter().map(|&(_, _, w)| w).sum();
+    }
+}
+
+/// A mutable bucket grid over weighted points, with per-cell aggregate
+/// weights and ring-ordered cell enumeration.
+///
+/// This is the spatial substrate of `sinr-phy`'s interference field: a
+/// slot's transmitters are inserted with their transmit power as the
+/// weight; per-cell aggregates then bound the far-field interference of
+/// every cell not yet enumerated (`remaining weight × gain(min
+/// distance)`), which is what lets the field certify SINR decisions
+/// from a near-field prefix.
+///
+/// Cell-key bounds grow monotonically: removals never shrink the
+/// scanned rectangle (a stale superset only costs empty probes, never
+/// correctness).
+#[derive(Clone, Debug)]
+pub struct WeightedCellGrid {
+    cell: f64,
+    cells: HashMap<CellKey, CellBucket>,
+    len: usize,
+    total_weight: f64,
+    key_min: CellKey,
+    key_max: CellKey,
+}
+
+impl WeightedCellGrid {
+    /// Creates an empty grid with square cells of side `cell_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        WeightedCellGrid {
+            cell: cell_size,
+            cells: HashMap::new(),
+            len: 0,
+            total_weight: 0.0,
+            key_min: (i64::MAX, i64::MAX),
+            key_max: (i64::MIN, i64::MIN),
+        }
+    }
+
+    /// Cell side length.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of members currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty cells.
+    #[inline]
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of all member weights. Insertions accumulate (addition of
+    /// non-negative weights only); removals re-aggregate from scratch
+    /// (never by subtraction, which would not round-trip the float).
+    /// Either way it carries only summation rounding — callers using it
+    /// as a bound must still apply their own guard factor.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The cell key containing point `p`.
+    #[inline]
+    pub fn key_of(&self, p: Point) -> CellKey {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    fn recompute_total(&mut self) {
+        self.total_weight = self.cells.values().map(CellBucket::weight).sum();
+    }
+
+    /// Inserts a member. `O(1)`: aggregates accumulate by addition, so
+    /// a bulk build over a slot's transmitters stays linear.
+    pub fn insert(&mut self, id: NodeId, p: Point, weight: f64) {
+        let k = self.key_of(p);
+        self.key_min = (self.key_min.0.min(k.0), self.key_min.1.min(k.1));
+        self.key_max = (self.key_max.0.max(k.0), self.key_max.1.max(k.1));
+        let bucket = self.cells.entry(k).or_default();
+        bucket.members.push((id, p, weight));
+        bucket.weight += weight;
+        self.len += 1;
+        self.total_weight += weight;
+    }
+
+    /// Removes the most recently inserted member with this id at this
+    /// position; returns whether one was found.
+    pub fn remove(&mut self, id: NodeId, p: Point) -> bool {
+        let k = self.key_of(p);
+        let Some(bucket) = self.cells.get_mut(&k) else {
+            return false;
+        };
+        let Some(pos) = bucket.members.iter().rposition(|&(m, _, _)| m == id) else {
+            return false;
+        };
+        bucket.members.remove(pos);
+        if bucket.members.is_empty() {
+            self.cells.remove(&k);
+        } else {
+            bucket.recompute();
+        }
+        self.len -= 1;
+        self.recompute_total();
+        true
+    }
+
+    /// Calls `f` for every member of every cell whose rectangle
+    /// intersects the bounding box of the ball around `center` — a
+    /// superset of the members within `radius`; callers needing the
+    /// exact ball must filter by distance themselves.
+    pub fn for_each_member_near<F: FnMut(NodeId, Point, f64)>(
+        &self,
+        center: Point,
+        radius: f64,
+        mut f: F,
+    ) {
+        if radius.is_nan() || radius < 0.0 || self.cells.is_empty() {
+            return;
+        }
+        let lo = self.key_of(Point::new(center.x - radius, center.y - radius));
+        let hi = self.key_of(Point::new(center.x + radius, center.y + radius));
+        let (cx0, cy0) = (lo.0.max(self.key_min.0), lo.1.max(self.key_min.1));
+        let (cx1, cy1) = (hi.0.min(self.key_max.0), hi.1.min(self.key_max.1));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &(id, p, w) in &bucket.members {
+                        f(id, p, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every occupied cell at Chebyshev ring `ring` around the
+    /// cell containing `center` (ring 0 is the center cell itself),
+    /// clamped to the occupied-key rectangle. Returns the number of
+    /// occupied cells visited.
+    ///
+    /// Together with [`max_ring_from`](WeightedCellGrid::max_ring_from)
+    /// this enumerates every occupied cell exactly once, in
+    /// nondecreasing order of a *distance lower bound*: once ring `r`
+    /// has been visited, every unvisited member lies at distance
+    /// `> (r · cell)` from any point inside the center cell — the
+    /// certified far-field cutoff the interference field relies on.
+    pub fn for_each_ring_cell<F: FnMut(&CellBucket)>(
+        &self,
+        center: Point,
+        ring: i64,
+        mut f: F,
+    ) -> usize {
+        if self.cells.is_empty() || ring < 0 {
+            return 0;
+        }
+        let (cx, cy) = self.key_of(center);
+        let mut visited = 0;
+        let visit = |cells: &HashMap<CellKey, CellBucket>, k: CellKey, f: &mut F| {
+            if k.0 < self.key_min.0
+                || k.0 > self.key_max.0
+                || k.1 < self.key_min.1
+                || k.1 > self.key_max.1
+            {
+                return 0;
+            }
+            if let Some(bucket) = cells.get(&k) {
+                f(bucket);
+                1
+            } else {
+                0
+            }
+        };
+        if ring == 0 {
+            return visit(&self.cells, (cx, cy), &mut f);
+        }
+        // Top and bottom rows of the ring square, full width.
+        for x in (cx - ring)..=(cx + ring) {
+            visited += visit(&self.cells, (x, cy - ring), &mut f);
+            visited += visit(&self.cells, (x, cy + ring), &mut f);
+        }
+        // Left and right columns, excluding the corners already done.
+        for y in (cy - ring + 1)..=(cy + ring - 1) {
+            visited += visit(&self.cells, (cx - ring, y), &mut f);
+            visited += visit(&self.cells, (cx + ring, y), &mut f);
+        }
+        visited
+    }
+
+    /// The largest ring index around `center` that can contain an
+    /// occupied cell (Chebyshev distance from the center key to the
+    /// farthest corner of the occupied-key rectangle).
+    pub fn max_ring_from(&self, center: Point) -> i64 {
+        if self.cells.is_empty() {
+            return -1;
+        }
+        let (cx, cy) = self.key_of(center);
+        let dx = (cx - self.key_min.0).abs().max((self.key_max.0 - cx).abs());
+        let dy = (cy - self.key_min.1).abs().max((self.key_max.1 - cy).abs());
+        dx.max(dy)
     }
 }
 
@@ -238,5 +523,92 @@ mod tests {
         let grid = GridIndex::build(&inst, 5.0);
         let c = inst.position(5);
         assert_eq!(grid.count_within(c, 7.5), grid.nodes_within(c, 7.5).len());
+    }
+
+    #[test]
+    fn cell_iteration_covers_ball() {
+        let inst = gen::uniform_square(150, 1.5, 4).unwrap();
+        let grid = GridIndex::build(&inst, 2.5);
+        let center = inst.position(3);
+        for radius in [0.5, 3.0, 12.0] {
+            let mut via_cells = Vec::new();
+            grid.for_each_cell_within(center, radius, |_, bucket| {
+                via_cells.extend(
+                    bucket
+                        .iter()
+                        .copied()
+                        .filter(|&id| inst.position(id).distance(center) <= radius),
+                );
+            });
+            via_cells.sort_unstable();
+            let mut brute = inst.nodes_in_ball(center, radius);
+            brute.sort_unstable();
+            assert_eq!(via_cells, brute, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn weighted_grid_aggregates_and_removal() {
+        let mut g = WeightedCellGrid::new(1.0);
+        assert!(g.is_empty());
+        g.insert(0, Point::new(0.5, 0.5), 2.0);
+        g.insert(1, Point::new(0.6, 0.4), 3.0);
+        g.insert(2, Point::new(5.5, 0.5), 7.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.occupied_cells(), 2);
+        assert!((g.total_weight() - 12.0).abs() < 1e-12);
+
+        assert!(g.remove(1, Point::new(0.6, 0.4)));
+        assert!(!g.remove(1, Point::new(0.6, 0.4)), "already gone");
+        assert_eq!(g.len(), 2);
+        assert!((g.total_weight() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_grid_near_is_superset_of_ball() {
+        let inst = gen::uniform_square(100, 1.5, 11).unwrap();
+        let mut g = WeightedCellGrid::new(2.0);
+        for (id, p) in inst.iter() {
+            g.insert(id, p, 1.0);
+        }
+        let center = inst.position(0);
+        for radius in [1.0, 4.0, 9.0] {
+            let mut near = Vec::new();
+            g.for_each_member_near(center, radius, |id, _, _| near.push(id));
+            for id in inst.nodes_in_ball(center, radius) {
+                assert!(near.contains(&id), "node {id} within {radius} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_enumeration_visits_every_cell_once_with_distance_bound() {
+        let inst = gen::uniform_square(120, 1.5, 6).unwrap();
+        let cell = 1.7;
+        let mut g = WeightedCellGrid::new(cell);
+        for (id, p) in inst.iter() {
+            g.insert(id, p, 1.0);
+        }
+        let center = inst.position(7);
+        let mut seen = 0usize;
+        let mut member_total = 0usize;
+        for ring in 0..=g.max_ring_from(center) {
+            let mut ring_members = Vec::new();
+            seen += g.for_each_ring_cell(center, ring, |bucket| {
+                ring_members.extend(bucket.members().iter().copied());
+            });
+            member_total += ring_members.len();
+            // The certified bound: members first reachable at ring r+1 or
+            // later are farther than (r · cell) from the center point.
+            for &(_, p, _) in &ring_members {
+                assert!(
+                    p.distance(center) >= ((ring - 1).max(0) as f64) * cell - 1e-12,
+                    "ring {ring} member too close: {}",
+                    p.distance(center)
+                );
+            }
+        }
+        assert_eq!(seen, g.occupied_cells());
+        assert_eq!(member_total, g.len());
     }
 }

@@ -10,6 +10,9 @@
 //!   paper's normalization (minimum pairwise distance 1) and the derived
 //!   quantities `Δ` (max distance) and `log₂ Δ` (number of length classes);
 //! - [`GridIndex`] — a uniform-grid spatial index for range queries;
+//! - [`WeightedCellGrid`] — a mutable bucket grid with per-cell
+//!   aggregate weights and ring enumeration (the substrate of the
+//!   interference field in `sinr-phy`);
 //! - [`gen`] — seeded instance generators (uniform, clustered, grid,
 //!   exponential chain for large `Δ`, line, annulus);
 //! - [`mst`] — Euclidean minimum spanning trees (used by the centralized
@@ -43,7 +46,7 @@ mod serde_impls;
 
 pub use aabb::Aabb;
 pub use error::GeomError;
-pub use grid::GridIndex;
+pub use grid::{CellBucket, CellKey, GridIndex, WeightedCellGrid};
 pub use instance::{Instance, NodeId};
 pub use point::Point;
 

@@ -101,7 +101,7 @@ impl<'a> AffectanceCalc<'a> {
         self.thresholded_term(self.params.beta(), w, w_power, link, link_power)
     }
 
-    fn thresholded_term(
+    pub(crate) fn thresholded_term(
         &self,
         c: f64,
         w: NodeId,

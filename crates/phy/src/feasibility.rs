@@ -10,6 +10,8 @@
 //! - **single transmission** — a node cannot be the sender of two links
 //!   in one slot (it has one radio).
 
+use std::collections::HashMap;
+
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{Link, LinkSet, Schedule};
 
@@ -195,6 +197,178 @@ pub fn validate_schedule(
     Ok(())
 }
 
+/// An incremental per-slot feasibility auditor: the engine behind the
+/// packers ([`crate::packing`], `sinr-baselines::first_fit`).
+///
+/// The naive packers re-ran [`check`] on a cloned link set for every
+/// candidate placement, rebuilding every receiver's interference sum
+/// from scratch — `O(k²)` per probe for a slot of `k` links. The
+/// auditor instead caches, per resident link, the running interference
+/// sum at its receiver; pushing a sender adds one term to each cached
+/// sum (`O(k)`), and a rejected push restores the saved prefix sums
+/// (never subtracts, so floats stay exact).
+///
+/// **Determinism contract** (DESIGN.md §7): the cached sums are built
+/// by appending terms in link-insertion order, which is exactly the
+/// left-to-right order [`AffectanceCalc::sinr`] uses inside [`check`]
+/// (each link's own sender is skipped in both). Every decision
+/// [`SlotAuditor::is_feasible`] returns is therefore bit-identical to
+/// `check(..).is_feasible()` on the same link sequence — enforced by
+/// the `auditor_matches_check_to_the_bit` test below.
+#[derive(Clone, Debug)]
+pub struct SlotAuditor<'a> {
+    params: &'a SinrParams,
+    instance: &'a Instance,
+    links: Vec<Link>,
+    /// Per-link transmit power (resolved by the caller).
+    powers: Vec<f64>,
+    /// Per-link received signal `P·gain(len)` (precomputed at push).
+    signals: Vec<f64>,
+    /// Per-link noise floor (precomputed at push).
+    floors: Vec<f64>,
+    /// Per-link cached interference at the receiver, in canonical
+    /// summation order.
+    interference: Vec<f64>,
+    /// Multiset of resident senders, so the structural predicates
+    /// (half-duplex, duplicate sender) are `O(1)` per link instead of a
+    /// rescan of the slot.
+    sender_counts: HashMap<NodeId, u32>,
+    /// Snapshots for [`pop`](SlotAuditor::pop): the interference prefix
+    /// as it was before each push.
+    undo: Vec<Vec<f64>>,
+    /// Retired snapshot buffers, reused so the push→reject→pop cycle of
+    /// a packing probe allocates nothing after warm-up.
+    spare: Vec<Vec<f64>>,
+}
+
+impl<'a> SlotAuditor<'a> {
+    /// Creates an empty auditor for one slot.
+    pub fn new(params: &'a SinrParams, instance: &'a Instance) -> Self {
+        SlotAuditor {
+            params,
+            instance,
+            links: Vec::new(),
+            powers: Vec::new(),
+            signals: Vec::new(),
+            floors: Vec::new(),
+            interference: Vec::new(),
+            sender_counts: HashMap::new(),
+            undo: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Number of links currently in the slot.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the slot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The resident links, in insertion order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Adds `link` transmitting with `power` to the slot, updating all
+    /// cached sums incrementally (`O(len)`).
+    pub fn push(&mut self, link: Link, power: f64) {
+        let mut snapshot = self.spare.pop().unwrap_or_default();
+        snapshot.clear();
+        snapshot.extend_from_slice(&self.interference);
+        self.undo.push(snapshot);
+        let len = link.length(self.instance);
+        // New sender's term lands on every resident receiver…
+        for (i, l) in self.links.iter().enumerate() {
+            if link.sender != l.sender {
+                let d = self.instance.distance(link.sender, l.receiver);
+                self.interference[i] += power * self.params.path_gain(d);
+            }
+        }
+        // …and the new link accumulates every resident sender's term,
+        // left to right, exactly as the naive sum would.
+        let mut acc = 0.0;
+        for (l, &p) in self.links.iter().zip(&self.powers) {
+            if l.sender != link.sender {
+                let d = self.instance.distance(l.sender, link.receiver);
+                acc += p * self.params.path_gain(d);
+            }
+        }
+        self.links.push(link);
+        self.powers.push(power);
+        self.signals.push(power * self.params.path_gain(len));
+        self.floors.push(self.params.noise_floor_power(len));
+        self.interference.push(acc);
+        *self.sender_counts.entry(link.sender).or_insert(0) += 1;
+    }
+
+    /// Removes the most recently pushed link, restoring the cached sums
+    /// to their exact pre-push bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn pop(&mut self) {
+        let snapshot = self.undo.pop().expect("pop on empty SlotAuditor");
+        let link = self.links.pop().expect("undo stack matches links");
+        self.powers.pop();
+        self.signals.pop();
+        self.floors.pop();
+        let retired = std::mem::replace(&mut self.interference, snapshot);
+        self.spare.push(retired);
+        let count = self
+            .sender_counts
+            .get_mut(&link.sender)
+            .expect("popped sender is counted");
+        *count -= 1;
+        if *count == 0 {
+            self.sender_counts.remove(&link.sender);
+        }
+    }
+
+    /// Whether the resident set is feasible — bit-identical to
+    /// `check(params, instance, &set, power).is_feasible()` for the
+    /// same links in the same order under the same powers.
+    pub fn is_feasible(&self) -> bool {
+        // Structural rules first, as `check` does: half-duplex,
+        // duplicate senders, noise floor — `O(1)` per link via the
+        // maintained sender multiset, keeping the whole probe `O(k)`.
+        for (i, l) in self.links.iter().enumerate() {
+            if self.sender_counts.get(&l.receiver).copied().unwrap_or(0) > 0 {
+                return false;
+            }
+            if self.sender_counts.get(&l.sender).copied().unwrap_or(0) > 1 {
+                return false;
+            }
+            if self.powers[i] <= self.floors[i] {
+                return false;
+            }
+        }
+        for (i, _) in self.links.iter().enumerate() {
+            let sinr = self.signals[i] / (self.params.noise() + self.interference[i]);
+            if sinr < self.params.beta() * (1.0 - 1e-12) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convenience probe: push, test, and pop on failure. Returns the
+    /// decision; on `true` the link stays resident.
+    pub fn try_push(&mut self, link: Link, power: f64) -> bool {
+        self.push(link, power);
+        if self.is_feasible() {
+            true
+        } else {
+            self.pop();
+            false
+        }
+    }
+}
+
 /// The *measured* affectance a receiver observes for a successful
 /// reception: the total thresholded affectance of the other transmitters
 /// on the link. This implements the measurement assumption of §8.2
@@ -332,6 +506,87 @@ mod tests {
             let single = LinkSet::from_links(vec![l]).unwrap();
             assert!(is_feasible(&p, &inst, &single, &power));
         }
+    }
+
+    /// The auditor's decision equals `check(..).is_feasible()` on the
+    /// same link sequence, for random push/pop sequences over random
+    /// geometry — the packers rely on this being exact.
+    #[test]
+    fn auditor_matches_check_to_the_bit() {
+        use sinr_geom::gen;
+        let p = params();
+        for seed in 0..6u64 {
+            let inst = gen::uniform_square(40, 1.5, seed).unwrap();
+            let power = PowerAssignment::mean_with_margin(&p, inst.delta());
+            // Candidate links: everyone's nearest-neighbor uplink.
+            let candidates: Vec<Link> = (0..inst.len())
+                .map(|u| {
+                    let v = (0..inst.len())
+                        .filter(|&v| v != u)
+                        .min_by(|&a, &b| {
+                            inst.distance(a, u)
+                                .partial_cmp(&inst.distance(b, u))
+                                .unwrap()
+                        })
+                        .unwrap();
+                    Link::new(u, v)
+                })
+                .collect();
+
+            let mut auditor = SlotAuditor::new(&p, &inst);
+            let mut resident: Vec<Link> = Vec::new();
+            for &link in &candidates {
+                let pw = power.power_of(link, &inst, &p).unwrap();
+                // Reference decision on the would-be set, in identical order.
+                let mut probe = resident.clone();
+                probe.push(link);
+                let set = LinkSet::from_links(probe).unwrap();
+                let naive = check(&p, &inst, &set, &power).is_feasible();
+                assert_eq!(
+                    auditor.try_push(link, pw),
+                    naive,
+                    "seed {seed}: auditor diverged from check on {link:?}"
+                );
+                if naive {
+                    resident.push(link);
+                }
+            }
+            assert_eq!(auditor.links(), resident.as_slice());
+            assert!(!auditor.is_empty(), "seed {seed}: nothing ever packed");
+
+            // Pop everything; each prefix must still agree with check.
+            while !auditor.is_empty() {
+                auditor.pop();
+                let set = LinkSet::from_links(auditor.links().to_vec()).unwrap();
+                assert_eq!(
+                    auditor.is_feasible(),
+                    set.is_empty() || check(&p, &inst, &set, &power).is_feasible()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auditor_rejects_structural_violations() {
+        let p = params();
+        let inst = line_instance(&[0.0, 1.0, 2.0]);
+        let power = PowerAssignment::uniform_with_margin(&p, inst.delta());
+        let pw = |l: Link| power.power_of(l, &inst, &p).unwrap();
+
+        // Half-duplex: 0→1 with 1→2.
+        let mut a = SlotAuditor::new(&p, &inst);
+        assert!(a.try_push(Link::new(0, 1), pw(Link::new(0, 1))));
+        assert!(!a.try_push(Link::new(1, 2), pw(Link::new(1, 2))));
+        assert_eq!(a.len(), 1);
+
+        // Duplicate sender: 0→1 with 0→2.
+        let mut b = SlotAuditor::new(&p, &inst);
+        assert!(b.try_push(Link::new(0, 1), pw(Link::new(0, 1))));
+        assert!(!b.try_push(Link::new(0, 2), pw(Link::new(0, 2))));
+
+        // Below the noise floor.
+        let mut c = SlotAuditor::new(&p, &inst);
+        assert!(!c.try_push(Link::new(0, 2), p.noise_floor_power(2.0) * 0.5));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   including the noise factor `c(u, v)`, with the exact equivalence
 //!   `a_S(ℓ) ≤ 1 ⟺ SINR ≥ β` (tested property);
 //! - [`feasibility`] — per-slot feasibility of link sets, including the
-//!   half-duplex rule, and whole-schedule validation;
+//!   half-duplex rule, whole-schedule validation, and the incremental
+//!   [`feasibility::SlotAuditor`] used by the packers;
+//! - [`field`] — the spatially-indexed interference field: certified
+//!   thresholded queries over a grid-bucketed transmitter set,
+//!   bit-identical to the naive all-pairs path (DESIGN.md §7);
 //! - [`upsilon`] — the oblivious-power cost ratio
 //!   `Υ = O(log log Δ + log n)`.
 //!
@@ -40,6 +44,7 @@
 pub mod affectance;
 mod error;
 pub mod feasibility;
+pub mod field;
 pub mod packing;
 mod params;
 mod power;

@@ -9,10 +9,16 @@
 use sinr_geom::Instance;
 use sinr_links::{InTree, Link, LinkSet, Schedule};
 
-use crate::{feasibility, PowerAssignment, SinrParams};
+use crate::feasibility::{self, SlotAuditor};
+use crate::{PowerAssignment, SinrParams};
 
 /// Packs `links` (in the given order) greedily: each link goes to the
 /// earliest slot `≥ min_slot(link)` whose occupancy stays feasible.
+///
+/// Slot occupancy is probed through the incremental
+/// [`SlotAuditor`], whose decisions are bit-identical to re-running
+/// [`feasibility::check`] on the rebuilt set, at `O(slot)` instead of
+/// `O(slot²)` per probe.
 ///
 /// Returns the schedule and the links that cannot be scheduled even
 /// alone (below the noise floor or missing a power entry) — reported
@@ -24,7 +30,7 @@ pub fn first_fit(
     power: &PowerAssignment,
     mut min_slot: impl FnMut(Link) -> usize,
 ) -> (Schedule, Vec<Link>) {
-    let mut slots: Vec<LinkSet> = Vec::new();
+    let mut slots: Vec<SlotAuditor<'_>> = Vec::new();
     let mut schedule = Schedule::new();
     let mut unschedulable = Vec::new();
 
@@ -34,15 +40,15 @@ pub fn first_fit(
             unschedulable.push(link);
             continue;
         }
+        let pw = power
+            .power_of(link, instance, params)
+            .expect("alone-feasible link has a power entry");
         let mut s = min_slot(link);
         loop {
             while slots.len() <= s {
-                slots.push(LinkSet::new());
+                slots.push(SlotAuditor::new(params, instance));
             }
-            let mut candidate = slots[s].clone();
-            candidate.insert(link);
-            if feasibility::is_feasible(params, instance, &candidate, power) {
-                slots[s] = candidate;
+            if slots[s].try_push(link, pw) {
                 schedule.assign(link, s);
                 continue 'links;
             }
@@ -83,8 +89,12 @@ pub fn pack_tree_ordered(
             && feasibility::is_feasible(params, instance, &set.dual(), power)
     };
 
-    // Pack one link at a time so receiver floors update as we go.
-    let mut slots: Vec<LinkSet> = Vec::new();
+    // Pack one link at a time so receiver floors update as we go. Each
+    // slot keeps two incremental auditors — the aggregation direction
+    // and its dual — probed in lockstep, which reproduces the old
+    // clone-and-recheck `bidirectional_feasible` decision bit for bit
+    // at `O(slot)` per probe.
+    let mut slots: Vec<(SlotAuditor<'_>, SlotAuditor<'_>)> = Vec::new();
     let mut schedule = Schedule::new();
     let mut unschedulable = Vec::new();
     'links: for link in ordered {
@@ -93,18 +103,28 @@ pub fn pack_tree_ordered(
             unschedulable.push(link);
             continue;
         }
+        let pw_fwd = power
+            .power_of(link, instance, params)
+            .expect("alone-feasible link has a power entry");
+        let pw_dual = power
+            .power_of(link.dual(), instance, params)
+            .expect("alone-feasible dual has a power entry");
         let mut s = floor[link.sender];
         loop {
             while slots.len() <= s {
-                slots.push(LinkSet::new());
+                slots.push((
+                    SlotAuditor::new(params, instance),
+                    SlotAuditor::new(params, instance),
+                ));
             }
-            let mut candidate = slots[s].clone();
-            candidate.insert(link);
-            if bidirectional_feasible(&candidate) {
-                slots[s] = candidate;
-                schedule.assign(link, s);
-                floor[link.receiver] = floor[link.receiver].max(s + 1);
-                continue 'links;
+            let (fwd, dual) = &mut slots[s];
+            if fwd.try_push(link, pw_fwd) {
+                if dual.try_push(link.dual(), pw_dual) {
+                    schedule.assign(link, s);
+                    floor[link.receiver] = floor[link.receiver].max(s + 1);
+                    continue 'links;
+                }
+                fwd.pop();
             }
             s += 1;
         }

@@ -5,10 +5,52 @@ use rand::{Rng, SeedableRng};
 
 use sinr_geom::{Instance, NodeId};
 use sinr_links::Link;
-use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::field::{decode_best_exact, FieldScratch, InterferenceField};
 use sinr_phy::{feasibility, SinrParams};
 
 use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
+
+/// How the engine resolves the channel each slot.
+///
+/// Both backends produce **bit-identical** slot outcomes — decode
+/// decisions, decoded senders, and the reported SINR/affectance floats
+/// — because the grid backend only takes a shortcut when the decision
+/// is certified and always reports values from the canonical
+/// naive-order sums (see `sinr_phy::field` and DESIGN.md §7). The
+/// naive backend exists as the reference for parity testing and
+/// benchmarking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineBackend {
+    /// All-pairs channel resolution: `O(listeners × transmitters²)`
+    /// per slot.
+    Naive,
+    /// Spatially-indexed resolution through one
+    /// [`InterferenceField`] built per slot.
+    #[default]
+    Grid,
+}
+
+impl EngineBackend {
+    /// Short label (`naive` / `grid`) for CLIs and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineBackend::Naive => "naive",
+            EngineBackend::Grid => "grid",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(EngineBackend::Naive),
+            "grid" => Ok(EngineBackend::Grid),
+            other => Err(format!("unknown engine backend `{other}` (naive|grid)")),
+        }
+    }
+}
 
 /// Summary of one simulated slot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,6 +94,8 @@ pub struct Engine<'a, P: Protocol> {
     rngs: Vec<StdRng>,
     slot: u64,
     stats: EngineStats,
+    backend: EngineBackend,
+    scratch: FieldScratch,
 }
 
 impl<'a, P: Protocol + std::fmt::Debug> std::fmt::Debug for Engine<'a, P> {
@@ -67,11 +111,25 @@ impl<'a, P: Protocol + std::fmt::Debug> std::fmt::Debug for Engine<'a, P> {
 impl<'a, P: Protocol> Engine<'a, P> {
     /// Creates an engine with one protocol state per node, built by
     /// `make_node`, and per-node RNG streams derived from `seed`.
+    ///
+    /// Uses the default [`EngineBackend::Grid`] channel resolution; use
+    /// [`with_backend`](Engine::with_backend) to select explicitly.
     pub fn new(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        make_node: impl FnMut(NodeId) -> P,
+        seed: u64,
+    ) -> Self {
+        Self::with_backend(params, instance, make_node, seed, EngineBackend::default())
+    }
+
+    /// [`new`](Engine::new) with an explicit channel-resolution backend.
+    pub fn with_backend(
         params: &'a SinrParams,
         instance: &'a Instance,
         mut make_node: impl FnMut(NodeId) -> P,
         seed: u64,
+        backend: EngineBackend,
     ) -> Self {
         let n = instance.len();
         let mut seeder = StdRng::seed_from_u64(seed);
@@ -86,7 +144,15 @@ impl<'a, P: Protocol> Engine<'a, P> {
             rngs,
             slot: 0,
             stats: EngineStats::default(),
+            backend,
+            scratch: FieldScratch::default(),
         }
+    }
+
+    /// The channel-resolution backend in use.
+    #[inline]
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
     }
 
     /// The next slot index to execute.
@@ -143,7 +209,11 @@ impl<'a, P: Protocol> Engine<'a, P> {
             actions.push(a);
         }
 
-        // Phase 2: resolve the channel.
+        // Phase 2: resolve the channel. The grid backend batches the
+        // slot's whole transmitter set into one interference field and
+        // resolves every listener against it (with reusable scratch, so
+        // nothing is allocated per receiver); decisions and reported
+        // values are bit-identical to the naive path.
         let transmitters: Vec<(NodeId, f64)> = actions
             .iter()
             .enumerate()
@@ -152,7 +222,15 @@ impl<'a, P: Protocol> Engine<'a, P> {
                 _ => None,
             })
             .collect();
-        let calc = AffectanceCalc::new(self.params, self.instance);
+        let field = match self.backend {
+            EngineBackend::Grid if !transmitters.is_empty() => Some(InterferenceField::build(
+                self.params,
+                self.instance,
+                &transmitters,
+            )),
+            _ => None,
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         let mut report = SlotReport {
             slot,
@@ -162,10 +240,14 @@ impl<'a, P: Protocol> Engine<'a, P> {
 
         let mut outcomes: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(n);
         for (id, action) in actions.iter().enumerate() {
+            let decode = |v: NodeId, scratch: &mut FieldScratch| match &field {
+                Some(f) => f.decode_best_with(v, scratch),
+                None => decode_best_exact(self.params, self.instance, v, &transmitters),
+            };
             let outcome = match action {
                 Action::Transmit { .. } => SlotOutcome::Transmitted,
                 Action::Sleep => SlotOutcome::Slept,
-                Action::Listen => match self.decode_at(id, &transmitters, &calc) {
+                Action::Listen => match decode(id, &mut scratch) {
                     Some((from, power, sinr)) => {
                         let link = Link::new(from, id);
                         let affectance = feasibility::measured_affectance(
@@ -193,6 +275,8 @@ impl<'a, P: Protocol> Engine<'a, P> {
             };
             outcomes.push(outcome);
         }
+        drop(field);
+        self.scratch = scratch;
 
         // Phase 3: report outcomes.
         for (id, outcome) in outcomes.into_iter().enumerate() {
@@ -209,26 +293,6 @@ impl<'a, P: Protocol> Engine<'a, P> {
         self.stats.transmissions += report.transmissions as u64;
         self.stats.receptions += report.receptions as u64;
         report
-    }
-
-    /// Which transmitter, if any, listener `v` decodes: the best-SINR
-    /// transmitter provided it reaches `β`. Returns `(sender, sender
-    /// power, sinr)`.
-    fn decode_at(
-        &self,
-        v: NodeId,
-        transmitters: &[(NodeId, f64)],
-        calc: &AffectanceCalc<'_>,
-    ) -> Option<(NodeId, f64, f64)> {
-        let mut best: Option<(NodeId, f64, f64)> = None;
-        for &(u, pu) in transmitters {
-            debug_assert_ne!(u, v, "listeners never appear among transmitters");
-            let sinr = calc.sinr(Link::new(u, v), pu, transmitters);
-            if sinr >= self.params.beta() && best.map_or(true, |(_, _, bs)| sinr > bs) {
-                best = Some((u, pu, sinr));
-            }
-        }
-        best
     }
 
     /// Runs `slots` slots unconditionally.
@@ -394,6 +458,62 @@ mod tests {
         assert_eq!(report.transmissions, 0);
         assert_eq!(report.receptions, 0);
         assert_eq!(report.idle_listeners, 0);
+    }
+
+    /// The two backends are observably identical: same reports, same
+    /// protocol states, same Reception floats to the bit.
+    #[test]
+    fn backends_are_bit_identical() {
+        let params = SinrParams::default();
+
+        /// `(slot, from, distance bits, sinr bits, affectance bits)`.
+        type ReceptionRecord = (u64, NodeId, u64, u64, u64);
+
+        #[derive(Debug, Default)]
+        struct Recorder {
+            receptions: Vec<ReceptionRecord>,
+        }
+        impl Protocol for Recorder {
+            type Msg = ();
+            fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if rng.gen_bool(0.25) {
+                    Action::Transmit {
+                        power: 600.0,
+                        msg: (),
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, slot: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.receptions.push((
+                        slot,
+                        r.from,
+                        r.distance.to_bits(),
+                        r.sinr.to_bits(),
+                        r.affectance.to_bits(),
+                    ));
+                }
+            }
+        }
+
+        for seed in [1u64, 7, 42] {
+            let inst = gen::uniform_square(80, 1.5, seed).unwrap();
+            let run = |backend| {
+                let mut e =
+                    Engine::with_backend(&params, &inst, |_| Recorder::default(), seed, backend);
+                let reports: Vec<SlotReport> = (0..12).map(|_| e.step()).collect();
+                let states: Vec<Vec<ReceptionRecord>> =
+                    e.nodes().iter().map(|n| n.receptions.clone()).collect();
+                (reports, e.stats(), states)
+            };
+            let naive = run(EngineBackend::Naive);
+            let grid = run(EngineBackend::Grid);
+            assert_eq!(naive.0, grid.0, "seed {seed}: slot reports diverged");
+            assert_eq!(naive.1, grid.1, "seed {seed}: stats diverged");
+            assert_eq!(naive.2, grid.2, "seed {seed}: reception bits diverged");
+        }
     }
 
     #[test]

@@ -55,5 +55,5 @@
 mod engine;
 mod protocol;
 
-pub use engine::{Engine, EngineStats, SlotReport};
+pub use engine::{Engine, EngineBackend, EngineStats, SlotReport};
 pub use protocol::{Action, Protocol, Reception, SlotOutcome};

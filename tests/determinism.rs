@@ -17,7 +17,9 @@
 
 use std::fmt::Write as _;
 
-use sinr_connect_suite::connectivity::{connect, ConnectivityResult, Strategy};
+use sinr_connect_suite::connectivity::{
+    connect, connect_with, ConnectivityResult, EngineBackend, Strategy,
+};
 use sinr_connect_suite::geom::{gen, Instance};
 use sinr_connect_suite::phy::SinrParams;
 
@@ -87,6 +89,47 @@ fn connect_is_byte_identical_per_seed_on_every_family() {
             );
         }
     }
+}
+
+/// The naive/grid engine parity gate: the spatially-indexed
+/// interference engine (DESIGN.md §7) must be **byte-identical** to the
+/// all-pairs reference on every strategy × family pair — exact `f64`
+/// bits included, via the same canonical fingerprint as the
+/// double-run check above. This is what makes the grid engine's
+/// cutoff *exact* rather than approximate: any certified decision that
+/// ever diverged from the naive path would change a decode, hence a
+/// schedule, hence this fingerprint.
+#[test]
+fn grid_engine_is_byte_identical_to_naive_on_every_family() {
+    let params = SinrParams::default();
+    for (family, inst) in families(23) {
+        for strategy in Strategy::ALL {
+            let naive = connect_with(&params, &inst, strategy, 123, EngineBackend::Naive)
+                .unwrap_or_else(|e| panic!("{family}/{strategy} naive: {e}"));
+            let grid = connect_with(&params, &inst, strategy, 123, EngineBackend::Grid)
+                .unwrap_or_else(|e| panic!("{family}/{strategy} grid: {e}"));
+            let (fa, fb) = (fingerprint(&naive), fingerprint(&grid));
+            assert!(
+                fa == fb,
+                "{family}/{strategy}: grid engine diverged from naive\n\
+                 --- naive ---\n{fa}\n--- grid ---\n{fb}"
+            );
+        }
+    }
+}
+
+/// The default-backed `connect` is the grid engine — and therefore also
+/// byte-identical to the naive reference. The explicit default
+/// assertion is what keeps the `O(n²)` path from silently coming back
+/// as the default.
+#[test]
+fn default_connect_uses_grid_and_matches_naive() {
+    assert_eq!(EngineBackend::default(), EngineBackend::Grid);
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(32, 1.5, 31).unwrap();
+    let default_run = connect(&params, &inst, Strategy::InitOnly, 9).unwrap();
+    let naive = connect_with(&params, &inst, Strategy::InitOnly, 9, EngineBackend::Naive).unwrap();
+    assert_eq!(fingerprint(&default_run), fingerprint(&naive));
 }
 
 /// Instance generators are part of the same contract: identical seeds,

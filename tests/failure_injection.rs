@@ -72,6 +72,7 @@ fn init_starved_of_rounds_reports_failure() {
         lambda1: 0.2,
         accept_shorter: false,
         extra_rounds_cap: 0,
+        ..Default::default()
     };
     let mut failures = 0;
     for seed in 0..8 {
