@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
-//!     [--engine naive|grid] [--export target/connect]
+//!     [--engine naive|grid|parallel[:N]] [--export target/connect]
 //! ```
 
 use std::path::PathBuf;
@@ -80,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
-                            tvc-arbitrary --seed <u64> [--engine naive|grid] \
+                            tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
                             [--export <dir>]"
                         .into(),
                 );

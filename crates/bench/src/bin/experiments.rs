@@ -6,11 +6,17 @@
 //! cargo run --release -p sinr-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p sinr-bench --bin experiments -- --quick # CI-sized
 //! cargo run --release -p sinr-bench --bin experiments -- --engine naive e11
+//! cargo run --release -p sinr-bench --bin experiments -- e12 --json BENCH_E12.json
 //! ```
+//!
+//! `--json <path>` additionally writes every executed experiment's
+//! tables as one machine-readable JSON document — the format behind
+//! the committed `BENCH_*.json` perf-trajectory snapshots.
 
 use std::path::PathBuf;
 
 use sinr_bench::experiments::ALL;
+use sinr_bench::table::json_string;
 use sinr_bench::{EngineBackend, ExpOptions};
 
 fn main() {
@@ -18,6 +24,7 @@ fn main() {
     let mut quick = false;
     let mut seed: u64 = 0xC0FFEE;
     let mut backend = EngineBackend::default();
+    let mut json_path: Option<PathBuf> = None;
     let mut wanted: Vec<&String> = Vec::new();
 
     // One-pass parse so flag *values* are consumed (a bare `naive` in
@@ -47,6 +54,13 @@ fn main() {
                 backend = v.parse().unwrap_or_else(|e| bail(e));
                 i += 2;
             }
+            "--json" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --json".into()));
+                json_path = Some(PathBuf::from(v));
+                i += 2;
+            }
             flag if flag.starts_with("--") => bail(format!("unknown flag `{flag}`")),
             _ => {
                 wanted.push(&args[i]);
@@ -62,6 +76,7 @@ fn main() {
     let out_dir = PathBuf::from("target/experiments");
 
     let mut ran = 0;
+    let mut json_entries: Vec<String> = Vec::new();
     for exp in ALL {
         if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == exp.id) {
             continue;
@@ -81,14 +96,46 @@ fn main() {
                 Err(e) => eprintln!("  [csv] write failed: {e}"),
             }
         }
-        println!("  [time] {:.1}s", start.elapsed().as_secs_f64());
+        let seconds = start.elapsed().as_secs_f64();
+        println!("  [time] {seconds:.1}s");
+        if json_path.is_some() {
+            json_entries.push(format!(
+                "{{\"id\":{},\"what\":{},\"seconds\":{seconds:.3},\"tables\":[{}]}}",
+                json_string(exp.id),
+                json_string(exp.what),
+                tables
+                    .iter()
+                    .map(|t| t.to_json())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
     }
 
     if ran == 0 {
+        // Bail before the JSON write: a typo'd experiment id must not
+        // clobber a committed BENCH_*.json snapshot with an empty run.
         eprintln!("no experiment matched; known ids:");
         for exp in ALL {
             eprintln!("  {} — {}", exp.id, exp.what);
         }
         std::process::exit(2);
+    }
+
+    if let Some(path) = &json_path {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let doc = format!(
+            "{{\"seed\":{seed},\"quick\":{quick},\"engine\":{},\"cores\":{cores},\
+             \"experiments\":[{}]}}\n",
+            json_string(backend.label()),
+            json_entries.join(",")
+        );
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("\n[json] {}", path.display()),
+            Err(e) => {
+                eprintln!("[json] write failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@
 
 pub mod e10_ablations;
 pub mod e11_scaling;
+pub mod e12_connect_scaling;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -38,7 +39,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 11] = [
+pub const ALL: [Experiment; 12] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -91,8 +92,13 @@ pub const ALL: [Experiment; 11] = [
     },
     Experiment {
         id: "e11",
-        what: "engine scaling: naive vs grid-indexed interference",
+        what: "engine scaling: naive vs grid vs parallel interference",
         run: e11_scaling::run,
+    },
+    Experiment {
+        id: "e12",
+        what: "end-to-end connect scaling, per-phase timings",
+        run: e12_connect_scaling::run,
     },
 ];
 
@@ -108,6 +114,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ALL.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[10], "e11");
+        assert_eq!(ids[11], "e12");
     }
 }

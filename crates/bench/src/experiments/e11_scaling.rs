@@ -1,14 +1,18 @@
-//! E11 — engine scaling sweep: naive vs grid-indexed interference.
+//! E11 — engine scaling sweep: naive vs grid-indexed vs parallel
+//! interference resolution.
 //!
-//! Measures wall-clock per simulated slot for the two [`Engine`]
-//! backends on a fixed contention workload ("slot soup": every node
-//! transmits with probability 0.1 at a power sized to the instance's
-//! nearest-neighbor spacing, otherwise listens), at n up to 2048 on the
-//! uniform and clustered families. The naive path is `O(listeners ×
-//! transmitters²)` per slot; the indexed path certifies most decode
-//! decisions from the near field (see DESIGN.md §7).
+//! Measures wall-clock per simulated slot for the [`Engine`] backends
+//! on a fixed contention workload ("slot soup": every node transmits
+//! with probability 0.1 at a power sized to the instance's
+//! nearest-neighbor spacing, otherwise listens), at n up to 16384 on
+//! the uniform and clustered families. The naive path is `O(listeners
+//! × transmitters²)` per slot and is only timed up to n = 2048 — the
+//! projected cost beyond that is minutes per slot; larger sizes
+//! compare the grid engine against the pooled parallel engine
+//! (`Parallel(4)`, whose wall-clock gain requires the host to actually
+//! have cores — the `cores` column records what this machine offered).
 //!
-//! Every timed pair also replays the run on both backends with the same
+//! Every timed row also replays the run on each backend with the same
 //! seed and compares the slot reports — the table's `parity` column is
 //! a live bit-identical check, not an assumption.
 
@@ -24,6 +28,10 @@ use sinr_sim::{Action, Engine, EngineBackend, Protocol, SlotOutcome, SlotReport}
 use crate::table::{f2, Table};
 use crate::workloads::Family;
 use crate::ExpOptions;
+
+/// Thread count of the parallel rows: the acceptance configuration of
+/// the scale-out experiments (E11/E12).
+pub const PARALLEL_THREADS: usize = 4;
 
 /// The benchmark protocol: a memoryless contention soup.
 #[derive(Debug)]
@@ -88,7 +96,9 @@ fn run_engine(
     let mut engine =
         Engine::with_backend(params, inst, |_| Soup { power, decodes: 0 }, seed, backend);
     let start = Instant::now();
-    let reports: Vec<SlotReport> = (0..slots).map(|_| engine.step()).collect();
+    // The batch loop is what the parallel backend pools its workers
+    // under, so every backend is timed through it.
+    let reports = engine.run_reports(slots);
     let elapsed = start.elapsed().as_secs_f64();
     RunStats {
         micros_per_slot: elapsed * 1e6 / slots as f64,
@@ -97,80 +107,118 @@ fn run_engine(
     }
 }
 
-/// Sizes and per-size slot budgets (the naive engine's per-slot cost
-/// grows super-quadratically, so big sizes get few slots).
-fn ladder(quick: bool) -> &'static [(usize, u64)] {
+/// Sizes, per-size slot budgets, and whether the naive engine is timed
+/// at that size (its per-slot cost grows super-quadratically; beyond
+/// 2048 it would take minutes per slot).
+fn ladder(quick: bool) -> &'static [(usize, u64, bool)] {
     if quick {
-        &[(128, 24), (256, 12), (512, 6)]
+        &[(128, 24, true), (256, 12, true), (512, 6, true)]
     } else {
-        &[(128, 48), (256, 24), (512, 12), (1024, 6), (2048, 3)]
+        &[
+            (128, 48, true),
+            (256, 24, true),
+            (512, 12, true),
+            (1024, 6, true),
+            (2048, 3, true),
+            (4096, 3, false),
+            (8192, 2, false),
+            (16384, 2, false),
+        ]
     }
 }
 
-/// Runs E11, reporting per-slot cost, speedup, crossover and parity.
+/// Runs E11, reporting per-slot cost, speedups, crossover and parity.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut t = Table::new(
-        "E11: per-slot engine cost, naive vs grid-indexed interference",
-        "indexed decode certifies from the near field: speedup grows with n (≥5× at n=1024)",
+        "E11: per-slot engine cost, naive vs grid vs parallel interference",
+        "indexed decode certifies from the near field (≥5x at n=1024); the pooled \
+         parallel engine needs actual cores to win wall-clock, parity holds regardless",
         &[
             "family",
             "n",
             "tx/slot",
             "naive µs/slot",
             "grid µs/slot",
-            "speedup",
+            "par µs/slot",
+            "naive/grid",
+            "grid/par",
+            "cores",
             "parity",
         ],
     );
     let mut crossover = Table::new(
         "E11b: crossover",
         "smallest swept n where the indexed engine wins outright",
-        &["family", "crossover n", "speedup@max n"],
+        &["family", "crossover n", "speedup@max naive n"],
     );
 
     for family in [Family::UniformSquare, Family::Clustered] {
         let mut cross: Option<usize> = None;
-        let mut last_speedup = 0.0;
-        for &(n, slots) in ladder(opts.quick) {
+        let mut last_naive_speedup = 0.0;
+        for &(n, slots, with_naive) in ladder(opts.quick) {
             let inst = family.instance(n, opts.seed.wrapping_add(n as u64));
             let power = params.min_power_for_length(1.5 * mean_nn_distance(&inst)) * 4.0;
             let seed = opts.seed.wrapping_add(1100 + n as u64);
 
-            let naive = run_engine(&params, &inst, power, slots, seed, EngineBackend::Naive);
             let grid = run_engine(&params, &inst, power, slots, seed, EngineBackend::Grid);
+            let par = run_engine(
+                &params,
+                &inst,
+                power,
+                slots,
+                seed,
+                EngineBackend::Parallel(PARALLEL_THREADS),
+            );
+            let naive = with_naive
+                .then(|| run_engine(&params, &inst, power, slots, seed, EngineBackend::Naive));
 
-            let parity = naive.reports == grid.reports && naive.decodes == grid.decodes;
+            let parity = grid.reports == par.reports
+                && grid.decodes == par.decodes
+                && naive.as_ref().map_or(true, |nv| {
+                    nv.reports == grid.reports && nv.decodes == grid.decodes
+                });
             // The parity column is a *gate*, not an observation: the CI
             // smoke step relies on this run failing loudly, so a
             // mismatch must not end as green text in a log table.
             assert!(
                 parity,
-                "E11 parity MISMATCH: naive and grid engines diverged on {} n={n} \
-                 (naive decodes {}, grid decodes {})",
+                "E11 parity MISMATCH: engine backends diverged on {} n={n} \
+                 (grid decodes {}, par decodes {}, naive decodes {:?})",
                 family.label(),
-                naive.decodes,
-                grid.decodes
+                grid.decodes,
+                par.decodes,
+                naive.as_ref().map(|nv| nv.decodes),
             );
-            let speedup = naive.micros_per_slot / grid.micros_per_slot.max(1e-9);
-            // Crossover = smallest n after which the indexed engine wins
-            // at every larger swept size (revoked on any regression).
-            if speedup > 1.0 {
-                cross.get_or_insert(n);
-            } else {
-                cross = None;
+            let naive_speedup = naive
+                .as_ref()
+                .map(|nv| nv.micros_per_slot / grid.micros_per_slot.max(1e-9));
+            if let Some(speedup) = naive_speedup {
+                // Crossover = smallest n after which the indexed engine
+                // wins at every larger swept size (revoked on regression).
+                if speedup > 1.0 {
+                    cross.get_or_insert(n);
+                } else {
+                    cross = None;
+                }
+                last_naive_speedup = speedup;
             }
-            last_speedup = speedup;
-            let tx_mean = naive.reports.iter().map(|r| r.transmissions).sum::<usize>() as f64
+            let tx_mean = grid.reports.iter().map(|r| r.transmissions).sum::<usize>() as f64
                 / slots.max(1) as f64;
             t.push_row(vec![
                 family.label().to_string(),
                 n.to_string(),
                 f2(tx_mean),
-                f2(naive.micros_per_slot),
+                naive
+                    .as_ref()
+                    .map_or_else(|| "-".into(), |nv| f2(nv.micros_per_slot)),
                 f2(grid.micros_per_slot),
-                f2(speedup),
+                f2(par.micros_per_slot),
+                naive_speedup.map_or_else(|| "-".into(), f2),
+                f2(grid.micros_per_slot / par.micros_per_slot.max(1e-9)),
+                cores.to_string(),
                 if parity {
                     "ok".into()
                 } else {
@@ -181,7 +229,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         crossover.push_row(vec![
             family.label().to_string(),
             cross.map_or_else(|| "-".into(), |n| n.to_string()),
-            f2(last_speedup),
+            f2(last_naive_speedup),
         ]);
     }
 
@@ -203,7 +251,7 @@ mod tests {
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 2 * ladder(true).len());
         for row in &tables[0].rows {
-            assert_eq!(row[6], "ok", "backends diverged: {row:?}");
+            assert_eq!(row[9], "ok", "backends diverged: {row:?}");
         }
     }
 }

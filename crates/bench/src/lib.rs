@@ -43,8 +43,8 @@ pub struct ExpOptions {
     /// Base RNG seed; sweeps derive per-run seeds from it.
     pub seed: u64,
     /// Simulation-engine backend for every simulated pipeline
-    /// (`--engine naive|grid` on the runners; the backends are
-    /// bit-identical, so this only changes wall-clock).
+    /// (`--engine naive|grid|parallel[:N]` on the runners; the
+    /// backends are bit-identical, so this only changes wall-clock).
     pub backend: EngineBackend,
 }
 

@@ -106,6 +106,29 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object (`title`, `expectation`,
+    /// `columns`, `rows`), for the machine-readable `BENCH_*.json`
+    /// trajectory snapshots. The workspace's serde shim has no JSON
+    /// backend, so the emitter lives here: cells are strings already,
+    /// which keeps the format trivially stable across toolchains.
+    pub fn to_json(&self) -> String {
+        let row_json = |row: &[String]| {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", cells.join(","))
+        };
+        format!(
+            "{{\"title\":{},\"expectation\":{},\"columns\":{},\"rows\":[{}]}}",
+            json_string(&self.title),
+            json_string(&self.expectation),
+            row_json(&self.columns),
+            self.rows
+                .iter()
+                .map(|r| row_json(r))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+
     /// Writes the CSV under `dir`, deriving the file name from the
     /// title (lowercased, non-alphanumerics collapsed to `_`).
     ///
@@ -132,6 +155,29 @@ impl Table {
         std::fs::write(&path, self.to_csv())?;
         Ok(path)
     }
+}
+
+/// Escapes a string as a JSON string literal (RFC 8259: quote,
+/// backslash and control characters; everything else passes through as
+/// UTF-8).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float with 2 decimals for table cells.
@@ -187,6 +233,18 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("1.50"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut t = Table::new("t \"q\"", "exp\n2", &["a", "b"]);
+        t.push_row(vec!["x\\y".into(), "1.50".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"t \\\"q\\\"\""));
+        assert!(j.contains("\"exp\\n2\""));
+        assert!(j.contains("[\"x\\\\y\",\"1.50\"]"));
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

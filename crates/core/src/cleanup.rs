@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use sinr_geom::NodeId;
 use sinr_links::Link;
-use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::field::{FieldScratch, InterferenceField};
 use sinr_phy::{PowerAssignment, SinrParams};
 
 use crate::init::InitOutcome;
@@ -53,7 +53,6 @@ pub fn reconcile_strays(
     instance: &sinr_geom::Instance,
     outcome: &InitOutcome,
 ) -> Result<(HashMap<NodeId, HashSet<NodeId>>, CleanupReport)> {
-    let calc = AffectanceCalc::new(params, instance);
     let power: PowerAssignment = outcome.run.power_assignment();
 
     // Optimistic state reconstructed from the run: holder → claimed
@@ -86,7 +85,12 @@ pub fn reconcile_strays(
 
     // The sweep: replay aggregation slots; child u transmits
     // Confirm{parent}. Holder w keeps (u, w) iff it decodes u naming w.
+    // Each slot's decode is exactly the engine's best-SINR rule, so it
+    // is resolved through one InterferenceField per slot (bit-identical
+    // to the historical all-pairs loop — DESIGN.md §7/§8).
     let mut confirmed: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut busy = vec![false; instance.len()];
+    let mut scratch = FieldScratch::default();
     let slots = outcome.schedule.slots();
     for slot_links in &slots {
         let links: Vec<Link> = slot_links.iter().collect();
@@ -94,22 +98,18 @@ pub fn reconcile_strays(
             .iter()
             .map(|&l| Ok((l.sender, power.power_of(l, instance, params)?)))
             .collect::<Result<_>>()?;
+        let field = InterferenceField::build(params, instance, &tx);
+        for &(u, _) in &tx {
+            busy[u] = true;
+        }
         // Which holders decode which confirmations this slot?
         for (holder, claims) in &optimistic {
             // A transmitting holder cannot listen.
-            if tx.iter().any(|&(u, _)| u == *holder) {
+            if busy[*holder] {
                 continue;
             }
             // Who does `holder` decode? Best SINR ≥ β among transmitters.
-            let mut best: Option<(NodeId, f64)> = None;
-            for (i, &l) in links.iter().enumerate() {
-                let probe = Link::new(l.sender, *holder);
-                let sinr = calc.sinr(probe, tx[i].1, &tx);
-                if sinr >= params.beta() && best.map_or(true, |(_, bs)| sinr > bs) {
-                    best = Some((l.sender, sinr));
-                }
-            }
-            if let Some((child, _)) = best {
+            if let Some((child, _, _)) = field.decode_best_with(*holder, &mut scratch) {
                 // The decoded message names the child's true parent.
                 let named_parent = outcome
                     .tree
@@ -119,6 +119,9 @@ pub fn reconcile_strays(
                     confirmed.entry(*holder).or_default().insert(child);
                 }
             }
+        }
+        for &(u, _) in &tx {
+            busy[u] = false;
         }
     }
 

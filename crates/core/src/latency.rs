@@ -6,12 +6,19 @@
 //! module *replays* the schedules against the SINR channel with the
 //! actual link powers and checks that data really flows — the
 //! end-to-end validation behind experiment E8.
+//!
+//! The replay consumes the channel only through the thresholded
+//! delivery decision `SINR ≥ β`, so each slot is resolved through one
+//! [`InterferenceField`] (certified near-field decision, exact
+//! naive-order fallback — DESIGN.md §7/§8) instead of the historical
+//! all-pairs affectance sums; decisions are bit-identical and the pass
+//! over a schedule is near-linear in its links.
 
 use std::collections::HashMap;
 
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{BiTree, Link};
-use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::field::InterferenceField;
 use sinr_phy::{PowerAssignment, SinrParams};
 
 use crate::{CoreError, Result};
@@ -64,27 +71,34 @@ pub fn simulate_convergecast(
     bitree: &BiTree,
     power: &PowerAssignment,
 ) -> Result<ConvergecastCheck> {
-    let calc = AffectanceCalc::new(params, instance);
     let n = instance.len();
     let mut holding: Vec<NodeId> = (0..n).collect();
     let mut all_delivered = true;
+    let mut busy = vec![false; n];
 
     let slots = bitree.aggregation_schedule().slots();
     for slot_links in &slots {
         let links: Vec<Link> = slot_links.iter().collect();
         let tx = slot_transmitters(params, instance, &links, power)?;
+        let field = InterferenceField::build(params, instance, &tx);
+        for &(u, _) in &tx {
+            busy[u] = true;
+        }
         // Compute receptions against the full transmitter set, then
         // apply merges simultaneously (slot semantics).
         let mut merges: HashMap<NodeId, NodeId> = HashMap::new();
         for (i, &l) in links.iter().enumerate() {
-            let receiver_busy = tx.iter().any(|&(u, _)| u == l.receiver);
-            let sinr = calc.sinr(l, tx[i].1, &tx);
-            if !receiver_busy && sinr >= params.beta() * (1.0 - 1e-12) {
+            let delivered =
+                !busy[l.receiver] && field.sinr_at_least(l, tx[i].1, params.beta() * (1.0 - 1e-12));
+            if delivered {
                 let best = merges.entry(l.receiver).or_insert(0);
                 *best = (*best).max(holding[l.sender]);
             } else {
                 all_delivered = false;
             }
+        }
+        for &(u, _) in &tx {
+            busy[u] = false;
         }
         for (receiver, value) in merges {
             holding[receiver] = holding[receiver].max(value);
@@ -111,23 +125,31 @@ pub fn simulate_broadcast(
     bitree: &BiTree,
     power: &PowerAssignment,
 ) -> Result<BroadcastCheck> {
-    let calc = AffectanceCalc::new(params, instance);
     let n = instance.len();
     let mut has_token = vec![false; n];
     has_token[bitree.tree().root()] = true;
+    let mut busy = vec![false; n];
 
     let schedule = bitree.dissemination_schedule();
     let slots = schedule.slots();
     for slot_links in &slots {
         let links: Vec<Link> = slot_links.iter().collect();
         let tx = slot_transmitters(params, instance, &links, power)?;
+        let field = InterferenceField::build(params, instance, &tx);
+        for &(u, _) in &tx {
+            busy[u] = true;
+        }
         let mut granted: Vec<NodeId> = Vec::new();
         for (i, &l) in links.iter().enumerate() {
-            let receiver_busy = tx.iter().any(|&(u, _)| u == l.receiver);
-            let sinr = calc.sinr(l, tx[i].1, &tx);
-            if has_token[l.sender] && !receiver_busy && sinr >= params.beta() * (1.0 - 1e-12) {
+            if has_token[l.sender]
+                && !busy[l.receiver]
+                && field.sinr_at_least(l, tx[i].1, params.beta() * (1.0 - 1e-12))
+            {
                 granted.push(l.receiver);
             }
+        }
+        for &(u, _) in &tx {
+            busy[u] = false;
         }
         for v in granted {
             has_token[v] = true;

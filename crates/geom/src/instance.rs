@@ -1,6 +1,7 @@
 //! Wireless-network instances: immutable point sets with the paper's
 //! normalization and derived quantities.
 
+use crate::extremes::{extreme_distances, Extremes};
 use crate::{Aabb, GeomError, Point, Result};
 
 /// Identifier of a node: its index into the instance's point list.
@@ -79,6 +80,9 @@ impl Instance {
                 return Err(GeomError::NonFinitePoint { index: i });
             }
         }
+        // Size-dispatched (naive scan vs grid/hull, bit-identical —
+        // see `crate::extremes`), so construction stays subquadratic
+        // at the n = 4096–16384 sweep sizes.
         let (min_distance, delta) = match extreme_distances(&points) {
             Some(Extremes { min, max, min_pair }) => {
                 if min == 0.0 {
@@ -203,6 +207,11 @@ impl Instance {
     }
 
     /// Nodes within the closed ball of the given `center` and `radius`.
+    ///
+    /// Linear scan with a fresh allocation — the brute-force oracle the
+    /// grid tests compare against, intended for tests and one-shot
+    /// diagnostics only (the `nodes_within` rule of DESIGN.md §7.4);
+    /// hot paths use [`GridIndex`](crate::GridIndex) queries.
     pub fn nodes_in_ball(&self, center: Point, radius: f64) -> Vec<NodeId> {
         let r2 = radius * radius;
         self.points
@@ -217,41 +226,6 @@ impl Instance {
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
         self.points.iter().copied().enumerate()
     }
-}
-
-struct Extremes {
-    min: f64,
-    max: f64,
-    min_pair: (usize, usize),
-}
-
-/// Exact O(n²) scan for the minimum and maximum pairwise distance.
-///
-/// Instances in this workspace are at most a few thousand nodes, where the
-/// quadratic scan is well under a millisecond and has no failure modes;
-/// the spatial index is reserved for per-slot interference queries.
-fn extreme_distances(points: &[Point]) -> Option<Extremes> {
-    if points.len() < 2 {
-        return None;
-    }
-    let mut min = f64::INFINITY;
-    let mut max: f64 = 0.0;
-    let mut min_pair = (0, 1);
-    for i in 0..points.len() {
-        for j in (i + 1)..points.len() {
-            let d = points[i].distance_sq(points[j]);
-            if d < min {
-                min = d;
-                min_pair = (i, j);
-            }
-            max = max.max(d);
-        }
-    }
-    Some(Extremes {
-        min: min.sqrt(),
-        max: max.sqrt(),
-        min_pair,
-    })
 }
 
 #[cfg(test)]

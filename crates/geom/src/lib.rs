@@ -15,8 +15,12 @@
 //!   interference field in `sinr-phy`);
 //! - [`gen`] — seeded instance generators (uniform, clustered, grid,
 //!   exponential chain for large `Δ`, line, annulus);
+//! - [`extremes`] — extreme pairwise distances (naive scan + the
+//!   bit-identical grid/convex-hull acceleration behind [`Instance`]
+//!   construction);
 //! - [`mst`] — Euclidean minimum spanning trees (used by the centralized
-//!   baselines of the paper's related work \[11\]).
+//!   baselines of the paper's related work \[11\]), with a grid-pruned
+//!   lazy Prim that is bit-identical to the `O(n²)` reference.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 
 mod aabb;
 mod error;
+pub mod extremes;
 pub mod gen;
 mod grid;
 mod instance;

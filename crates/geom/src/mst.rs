@@ -3,17 +3,52 @@
 //! The centralized connectivity results the paper compares against
 //! (Halldórsson & Mitra, SODA 2012 \[11\]) schedule the links of the
 //! Euclidean MST; the baselines crate builds on this module.
+//!
+//! Two implementations produce **identical output** (same edges, same
+//! order, bit for bit):
+//!
+//! - [`euclidean_mst_prim`] — the exact `O(n²)` reference, kept for the
+//!   parity gates and still the faster choice for small instances;
+//! - [`euclidean_mst_grid`] — lazy Prim over a uniform bucket grid:
+//!   each tree vertex holds one candidate edge to its nearest outside
+//!   vertex (found by an expanding Chebyshev-ring search), a heap pops
+//!   the globally best candidate, and stale candidates are recomputed
+//!   lazily. Near-linear on density-bounded instances, which unlocks
+//!   the n = 4096–16384 sweeps of experiment E12.
+//!
+//! [`euclidean_mst`] dispatches on the instance size. The tie-break is
+//! deterministic and mirrors the reference exactly: Prim's strict `<`
+//! updates keep, per vertex `v`, the *earliest-added* tree vertex among
+//! those at minimal distance, and select the smallest `v` among minimal
+//! keys — the grid path encodes the same order as the lexicographic
+//! heap key `(distance bits, v, tree-insertion order)`.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::extremes::DenseGrid;
 use crate::{Instance, NodeId};
 
 /// An undirected MST edge between two nodes.
 pub type MstEdge = (NodeId, NodeId);
 
-/// Computes the Euclidean minimum spanning tree with Prim's algorithm.
+/// Below this many nodes the quadratic Prim reference beats building a
+/// grid, so [`euclidean_mst`] dispatches to it directly.
+const GRID_CUTOFF: usize = 256;
+
+/// Relative safety margin on the ring-search stop condition (see
+/// [`crate::extremes`]): never trust the last ulp of the geometric
+/// lower bound `ring · cell`.
+const RING_MARGIN: f64 = 1.0 - 1e-12;
+
+/// Computes the Euclidean minimum spanning tree.
 ///
 /// Returns `n − 1` undirected edges (empty for a single-node instance).
-/// Runs in `O(n²)` time and `O(n)` space, which is exact and fast for the
-/// instance sizes used in this workspace (≤ a few thousand nodes).
+/// Dispatches between the `O(n²)` Prim reference
+/// ([`euclidean_mst_prim`]) for small instances and the grid-pruned
+/// lazy Prim ([`euclidean_mst_grid`]) above [`GRID_CUTOFF`] nodes; the
+/// two produce identical edges in identical order, so the dispatch is
+/// unobservable except in wall-clock.
 ///
 /// # Example
 ///
@@ -26,6 +61,19 @@ pub type MstEdge = (NodeId, NodeId);
 /// # Ok::<(), sinr_geom::GeomError>(())
 /// ```
 pub fn euclidean_mst(instance: &Instance) -> Vec<MstEdge> {
+    if instance.len() <= GRID_CUTOFF {
+        euclidean_mst_prim(instance)
+    } else {
+        euclidean_mst_grid(instance)
+    }
+}
+
+/// The `O(n²)` Prim reference implementation.
+///
+/// This is the parity oracle for [`euclidean_mst_grid`] (the
+/// determinism suite compares full edge sequences) and the dispatch
+/// target for small instances.
+pub fn euclidean_mst_prim(instance: &Instance) -> Vec<MstEdge> {
     let n = instance.len();
     if n < 2 {
         return Vec::new();
@@ -63,6 +111,100 @@ pub fn euclidean_mst(instance: &Instance) -> Vec<MstEdge> {
                     best_from[v] = u;
                 }
             }
+        }
+    }
+    edges
+}
+
+/// Grid-pruned lazy Prim, bit-identical to [`euclidean_mst_prim`].
+///
+/// Every tree vertex keeps one heap candidate `(d, v, order, t)`: its
+/// nearest outside vertex `v` at distance `d` (ties broken toward the
+/// smallest `v`), tagged with `t`'s tree-insertion order. Because the
+/// outside set only shrinks, a candidate's distance lower-bounds its
+/// owner's true current nearest — so the heap minimum with an
+/// *outside* `v` is exactly the cut-minimal edge Prim would take, and
+/// the lexicographic key reproduces Prim's strict-`<` tie-break (see
+/// module docs). Candidates that went stale (their `v` joined the
+/// tree) are recomputed on pop.
+pub fn euclidean_mst_grid(instance: &Instance) -> Vec<MstEdge> {
+    let n = instance.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let points = instance.points();
+    let axis = (n as f64).sqrt().ceil() as usize;
+    let mut grid = DenseGrid::build(points, axis);
+    let cell = grid.cell();
+
+    let mut in_tree = vec![false; n];
+    let mut t_order = vec![0usize; n];
+    let mut edges: Vec<MstEdge> = Vec::with_capacity(n - 1);
+    // Min-heap keyed `(distance bits, v, insertion order of t, t)`;
+    // positive finite distances order identically to their IEEE bits.
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId, usize, NodeId)>> = BinaryHeap::new();
+
+    // Nearest vertex still outside the tree, by expanding ring search
+    // over the grid (tree vertices are removed from their buckets, so
+    // every member seen is outside). Tie-break: smallest id.
+    let nearest_outside = |grid: &DenseGrid, t: NodeId| -> Option<(f64, NodeId)> {
+        let p = points[t];
+        let mut best: Option<(f64, NodeId)> = None;
+        for ring in 0..=grid.max_ring_from(p) {
+            if ring >= 2 {
+                if let Some((bd, _)) = best {
+                    // Unseen members sit beyond `(ring − 1) · cell`:
+                    // once that exceeds the best (with margin), later
+                    // rings can neither improve nor tie it.
+                    if bd < (ring - 1) as f64 * cell * RING_MARGIN {
+                        break;
+                    }
+                }
+            }
+            grid.for_each_ring_member(p, ring, |v| {
+                let d = instance.distance(t, v);
+                let better = match best {
+                    None => true,
+                    Some((bd, bv)) => d < bd || (d == bd && v < bv),
+                };
+                if better {
+                    best = Some((d, v));
+                }
+            });
+        }
+        best
+    };
+
+    in_tree[0] = true;
+    grid.remove(0, points[0]);
+    if let Some((d, v)) = nearest_outside(&grid, 0) {
+        heap.push(Reverse((d.to_bits(), v, 0, 0)));
+    }
+    let mut next_order = 1usize;
+    while edges.len() < n - 1 {
+        let Reverse((_, v, _, t)) = heap
+            .pop()
+            .expect("complete graph: every tree vertex keeps a live candidate");
+        if in_tree[v] {
+            // Stale candidate: its target joined the tree since it was
+            // computed. Refresh the owner and retry.
+            if let Some((d, w)) = nearest_outside(&grid, t) {
+                heap.push(Reverse((d.to_bits(), w, t_order[t], t)));
+            }
+            continue;
+        }
+        edges.push((t, v));
+        in_tree[v] = true;
+        t_order[v] = next_order;
+        next_order += 1;
+        grid.remove(v, points[v]);
+        // Both `v` (new tree vertex) and `t` (its candidate was just
+        // consumed) need fresh candidates to keep the heap invariant.
+        if let Some((d, w)) = nearest_outside(&grid, v) {
+            heap.push(Reverse((d.to_bits(), w, t_order[v], v)));
+        }
+        if let Some((d, w)) = nearest_outside(&grid, t) {
+            heap.push(Reverse((d.to_bits(), w, t_order[t], t)));
         }
     }
     edges
@@ -137,6 +279,39 @@ mod tests {
     fn single_node_has_no_edges() {
         let inst = Instance::new(vec![Point::ORIGIN]).unwrap();
         assert!(euclidean_mst(&inst).is_empty());
+        assert!(euclidean_mst_grid(&inst).is_empty());
+    }
+
+    /// The core parity property: the grid path emits the exact edge
+    /// sequence of the Prim reference, on every generator family,
+    /// including the tie-heavy integer line.
+    #[test]
+    fn grid_matches_prim_edge_for_edge() {
+        for seed in 0..3u64 {
+            for (what, inst) in [
+                ("uniform", gen::uniform_square(350, 1.5, seed).unwrap()),
+                ("clustered", gen::clustered(14, 24, 1.5, 2.0, seed).unwrap()),
+                ("lattice", gen::grid_lattice(18, 18, 0.25, seed).unwrap()),
+                ("chain", gen::exponential_chain(48, 1.35, seed).unwrap()),
+                ("line", gen::line(40).unwrap()),
+                ("annulus", gen::annulus(300, 6.0, 14.0, seed).unwrap()),
+            ] {
+                assert_eq!(
+                    euclidean_mst_grid(&inst),
+                    euclidean_mst_prim(&inst),
+                    "{what} seed {seed}: edge sequences diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_switches_at_cutoff() {
+        let small = gen::uniform_square(60, 1.5, 5).unwrap();
+        let big = gen::uniform_square(400, 1.5, 5).unwrap();
+        assert_eq!(euclidean_mst(&small), euclidean_mst_prim(&small));
+        assert_eq!(euclidean_mst(&big), euclidean_mst_grid(&big));
+        assert_eq!(euclidean_mst_grid(&big), euclidean_mst_prim(&big));
     }
 
     #[test]

@@ -7,6 +7,40 @@ fn finite_coord() -> impl Strategy<Value = f64> {
     -1e6..1e6f64
 }
 
+/// Shared body of the grid-MST properties: spanning, n−1 edges, and a
+/// total weight that matches the naive Prim reference bit for bit
+/// (stronger than approximate equality — the edge sequences are
+/// identical, so the summation order is too).
+fn check_grid_mst_against_prim(inst: &Instance) {
+    let grid = sinr_geom::mst::euclidean_mst_grid(inst);
+    let prim = sinr_geom::mst::euclidean_mst_prim(inst);
+    let n = inst.len();
+    assert_eq!(grid.len(), n.saturating_sub(1));
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &grid {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    assert!(seen.into_iter().all(|s| s), "grid MST does not span");
+    assert_eq!(
+        sinr_geom::mst::total_weight(inst, &grid).to_bits(),
+        sinr_geom::mst::total_weight(inst, &prim).to_bits(),
+        "grid MST weight bits diverged from Prim"
+    );
+    assert_eq!(grid, prim, "grid MST edge sequence diverged from Prim");
+}
+
 prop_compose! {
     fn arb_point()(x in finite_coord(), y in finite_coord()) -> Point {
         Point::new(x, y)
@@ -61,6 +95,25 @@ proptest! {
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);
+    }
+
+    /// The grid MST spans all nodes with n−1 edges and its total weight
+    /// equals the naive Prim weight to the bit, on random uniform
+    /// instances straddling the dispatch cutoff.
+    #[test]
+    fn grid_mst_spans_with_prim_weight_uniform(seed in 0u64..40, n in 2usize..400) {
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        check_grid_mst_against_prim(&inst);
+    }
+
+    /// Same property on clustered (Thomas-process) instances, whose
+    /// dense cells stress the ring pruning differently.
+    #[test]
+    fn grid_mst_spans_with_prim_weight_clustered(seed in 0u64..40,
+                                                 clusters in 2usize..12,
+                                                 per in 2usize..24) {
+        let inst = gen::clustered(clusters, per, 1.5, 2.0, seed).unwrap();
+        check_grid_mst_against_prim(&inst);
     }
 
     /// MST has n−1 edges and connects everything, on every family.

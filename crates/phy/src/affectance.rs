@@ -122,6 +122,11 @@ impl<'a> AffectanceCalc<'a> {
 
     /// Affectance of link `from` on link `on`: `a_ℓ(ℓ') = a_{S(ℓ)}(ℓ')`.
     ///
+    /// Paper-notation convenience with no hot-path callers since the
+    /// replay loops moved onto `field::InterferenceField` (DESIGN.md
+    /// §8.3); kept as the §5 reference surface for tests and
+    /// diagnostics.
+    ///
     /// # Errors
     ///
     /// Propagates [`PhyError::PowerBelowNoiseFloor`].
@@ -149,6 +154,12 @@ impl<'a> AffectanceCalc<'a> {
 
     /// Total affectance `a_X(Y) = Σ_{ℓ' ∈ Y} a_{S(X)}(ℓ')` between two
     /// link sets under a power assignment (§5).
+    ///
+    /// Deliberately all-pairs (`O(|X|·|Y|)`): it is the §5 reference
+    /// quantity for tests and one-shot diagnostics, with no hot-path
+    /// callers — thresholded set decisions on hot paths go through
+    /// `field::InterferenceField` / `feasibility::SlotAuditor`
+    /// (DESIGN.md §7–8).
     ///
     /// # Errors
     ///

@@ -453,6 +453,78 @@ impl<'a> InterferenceField<'a> {
         Ok(None)
     }
 
+    /// The decision `SINR(link) ≥ threshold` against this field's
+    /// senders — bit-identical to comparing the canonical
+    /// [`AffectanceCalc::sinr`] value against `threshold`.
+    ///
+    /// This is the hook the `latency`/`cleanup` replay loops in
+    /// `sinr-connectivity` consume: they only ever *threshold* the
+    /// SINR (delivery succeeded or not), so the certified near-field
+    /// interval settles almost every query and the rare
+    /// threshold-grazing one falls back to the exact naive-order sum.
+    /// Callers must handle half-duplex (a transmitting receiver)
+    /// themselves, exactly as with [`AffectanceCalc::sinr`].
+    pub fn sinr_at_least(&self, link: Link, link_power: f64, threshold: f64) -> bool {
+        if self.senders.len() <= SMALL_SLOT {
+            return self.sinr_exact(link, link_power) >= threshold;
+        }
+        let noise = self.params.noise();
+        let pos_v = self.instance.position(link.receiver);
+        let signal = link_power * self.params.path_gain(link.length(self.instance));
+
+        let total_w = self.grid.total_weight();
+        let cell = self.grid.cell_size();
+        let occupied = self.grid.occupied_cells();
+        let mut acc = 0.0f64; // exact interference terms of visited senders
+        let mut seen_w = 0.0f64;
+        let mut cells_seen = 0usize;
+        let max_ring = self.grid.max_ring_from(pos_v);
+        let mut ring = 0i64;
+        while ring <= max_ring {
+            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |bucket| {
+                for &(u, p, w) in bucket.members() {
+                    if u != link.sender {
+                        // An interferer co-located with the receiver
+                        // drives `acc` to infinity; the certification
+                        // below then never fires and the exact
+                        // fallback reproduces the canonical 0-SINR.
+                        acc += w * self.params.path_gain(pos_v.distance(p));
+                    }
+                    seen_w += w;
+                }
+            });
+            let all_seen = cells_seen == occupied;
+            let far = if all_seen {
+                0.0
+            } else {
+                let min_d = ring as f64 * cell;
+                if min_d > 0.0 {
+                    ((total_w - seen_w).max(0.0) + GUARD * total_w) * self.params.path_gain(min_d)
+                } else {
+                    f64::INFINITY
+                }
+            };
+            if far.is_finite() && acc.is_finite() {
+                let slack = GUARD * (acc + signal);
+                let i_lo = (acc - slack).max(0.0);
+                let i_hi = (acc + slack + far).max(0.0);
+                if (signal / (noise + i_lo)) * (1.0 + GUARD) < threshold {
+                    return false; // certified: even the optimistic end fails
+                }
+                if (signal / (noise + i_hi)) * (1.0 - GUARD) >= threshold {
+                    return true; // certified: even the pessimistic end passes
+                }
+            }
+            if all_seen {
+                break;
+            }
+            ring += 1;
+        }
+        // Threshold-grazing (or degenerate) query: resolve exactly, in
+        // the canonical naive order.
+        self.sinr_exact(link, link_power) >= threshold
+    }
+
     /// The exact total affectance of this field's senders on `link`, in
     /// canonical order — bit-identical to [`AffectanceCalc::sum_on`].
     ///
@@ -678,6 +750,43 @@ mod tests {
             }
         }
         assert!(checked > 20, "too few certified decisions: {checked}");
+    }
+
+    /// `sinr_at_least` decisions equal the canonical `sinr ≥ thr`
+    /// comparison on every listener, threshold and family — including
+    /// the replay loops' exact threshold `β·(1 − 1e-12)`.
+    #[test]
+    fn sinr_threshold_decisions_match_naive() {
+        let params = SinrParams::default();
+        for seed in 0..4u64 {
+            let inst = gen::uniform_square(180, 1.5, seed).unwrap();
+            let senders = random_senders(&inst, 0.15, params.min_power_for_length(3.0), seed ^ 7);
+            if senders.is_empty() {
+                continue;
+            }
+            let field = InterferenceField::build(&params, &inst, &senders);
+            let calc = AffectanceCalc::new(&params, &inst);
+            let tx: std::collections::HashSet<NodeId> = senders.iter().map(|&(u, _)| u).collect();
+            for v in 0..inst.len() {
+                if tx.contains(&v) {
+                    continue;
+                }
+                let (link, p) = probe_link(&inst, &params, v);
+                let exact = calc.sinr(link, p, &senders);
+                for thr in [
+                    params.beta(),
+                    params.beta() * (1.0 - 1e-12),
+                    0.5,
+                    exact, // the worst grazing case: threshold == value
+                ] {
+                    assert_eq!(
+                        field.sinr_at_least(link, p, thr),
+                        exact >= thr,
+                        "seed {seed} listener {v} thr {thr}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The slotted simulation engine.
 
+use std::sync::{mpsc, Arc};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,12 +14,15 @@ use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
 
 /// How the engine resolves the channel each slot.
 ///
-/// Both backends produce **bit-identical** slot outcomes — decode
-/// decisions, decoded senders, and the reported SINR/affectance floats
-/// — because the grid backend only takes a shortcut when the decision
-/// is certified and always reports values from the canonical
-/// naive-order sums (see `sinr_phy::field` and DESIGN.md §7). The
-/// naive backend exists as the reference for parity testing and
+/// Every backend produces **bit-identical** slot outcomes — decode
+/// decisions, decoded senders, and the reported SINR/affectance floats.
+/// The grid backend only takes a shortcut when the decision is
+/// certified and always reports values from the canonical naive-order
+/// sums (see `sinr_phy::field` and DESIGN.md §7); the parallel backend
+/// runs the *same* per-listener resolution as the grid backend, merely
+/// sharding independent listeners across scoped threads with an
+/// ordered merge, so no float operation is reordered (DESIGN.md §8).
+/// The naive backend exists as the reference for parity testing and
 /// benchmarking.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum EngineBackend {
@@ -28,14 +33,42 @@ pub enum EngineBackend {
     /// [`InterferenceField`] built per slot.
     #[default]
     Grid,
+    /// Grid resolution with each slot's channel phase sharded across
+    /// this many pooled worker threads (`0` = one per available core).
+    ///
+    /// The pool lives inside the batch runners ([`Engine::run`],
+    /// [`Engine::run_until`], [`Engine::run_reports`]) so its spawn
+    /// cost amortizes over the whole run; a lone [`Engine::step`] call
+    /// stays serial. Engines below [`PARALLEL_MIN_NODES`] nodes run
+    /// serially regardless — channel round-trips would dominate.
+    Parallel(usize),
 }
 
+/// Engines with fewer nodes than this run serially even under
+/// [`EngineBackend::Parallel`] — per-slot job dispatch would dominate
+/// the work.
+pub const PARALLEL_MIN_NODES: usize = 64;
+
 impl EngineBackend {
-    /// Short label (`naive` / `grid`) for CLIs and tables.
+    /// Short label (`naive` / `grid` / `parallel`) for CLIs and tables.
     pub fn label(&self) -> &'static str {
         match self {
             EngineBackend::Naive => "naive",
             EngineBackend::Grid => "grid",
+            EngineBackend::Parallel(_) => "parallel",
+        }
+    }
+
+    /// The number of worker threads this backend resolves listeners
+    /// with: 1 for the serial backends, the configured (or detected,
+    /// for `Parallel(0)`) count otherwise.
+    pub fn worker_threads(&self) -> usize {
+        match self {
+            EngineBackend::Naive | EngineBackend::Grid => 1,
+            EngineBackend::Parallel(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            EngineBackend::Parallel(n) => *n,
         }
     }
 }
@@ -47,7 +80,16 @@ impl std::str::FromStr for EngineBackend {
         match s {
             "naive" => Ok(EngineBackend::Naive),
             "grid" => Ok(EngineBackend::Grid),
-            other => Err(format!("unknown engine backend `{other}` (naive|grid)")),
+            "parallel" => Ok(EngineBackend::Parallel(0)),
+            other => match other.strip_prefix("parallel:") {
+                Some(n) => n
+                    .parse()
+                    .map(EngineBackend::Parallel)
+                    .map_err(|e| format!("bad thread count in `{other}`: {e}")),
+                None => Err(format!(
+                    "unknown engine backend `{other}` (naive|grid|parallel[:N])"
+                )),
+            },
         }
     }
 }
@@ -188,6 +230,15 @@ impl<'a, P: Protocol> Engine<'a, P> {
 
     /// Executes one slot and returns its report.
     ///
+    /// `step` is always serial — even under
+    /// [`EngineBackend::Parallel`], whose worker pool exists only
+    /// inside the batch runners ([`run`](Self::run),
+    /// [`run_until`](Self::run_until), [`run_reports`](Self::run_reports)),
+    /// where its spawn cost amortizes across slots. Outcomes are
+    /// byte-identical either way: the pooled loop shards the very same
+    /// per-node operation sequence ([`SlotCtx::outcome_of`]) across
+    /// threads and merges in node order (DESIGN.md §8).
+    ///
     /// # Panics
     ///
     /// Panics if a protocol transmits with a non-positive or non-finite
@@ -198,22 +249,217 @@ impl<'a, P: Protocol> Engine<'a, P> {
 
         // Phase 1: collect actions.
         let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
-        for (id, node) in self.nodes.iter_mut().enumerate() {
-            let a = node.begin_slot(id, slot, &mut self.rngs[id]);
-            if let Action::Transmit { power, .. } = &a {
+        for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
+            actions.push(node.begin_slot(id, slot, rng));
+        }
+
+        // Phase 2: resolve the channel.
+        let ctx = SlotCtx::build(self.params, self.instance, self.backend, slot, actions);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut outcomes: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(n);
+        for id in 0..n {
+            outcomes.push(ctx.outcome_of(id, &mut scratch));
+        }
+        self.scratch = scratch;
+
+        // Phase 3: report outcomes.
+        self.finish_slot(&ctx, outcomes)
+    }
+
+    /// Phase 3 plus slot bookkeeping, shared by the serial and pooled
+    /// loops.
+    fn finish_slot(
+        &mut self,
+        ctx: &SlotCtx<'a, P::Msg>,
+        outcomes: Vec<SlotOutcome<P::Msg>>,
+    ) -> SlotReport {
+        let slot = self.slot;
+        let mut report = SlotReport {
+            slot,
+            transmissions: ctx.transmitters.len(),
+            ..Default::default()
+        };
+        for outcome in &outcomes {
+            match outcome {
+                SlotOutcome::Received(_) => report.receptions += 1,
+                SlotOutcome::Idle => report.idle_listeners += 1,
+                _ => {}
+            }
+        }
+        for (id, outcome) in outcomes.into_iter().enumerate() {
+            self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
+        }
+        self.slot += 1;
+        self.stats.slots += 1;
+        self.stats.transmissions += report.transmissions as u64;
+        self.stats.receptions += report.receptions as u64;
+        report
+    }
+
+    /// Runs `slots` slots unconditionally.
+    pub fn run(&mut self, slots: u64) {
+        self.run_loop(slots, &mut |_| false, &mut |_| {});
+    }
+
+    /// Runs until `done` returns true (checked after each slot) or
+    /// `max_slots` have executed; returns the number of slots executed.
+    pub fn run_until(&mut self, max_slots: u64, mut done: impl FnMut(&[P]) -> bool) -> u64 {
+        self.run_loop(max_slots, &mut done, &mut |_| {})
+    }
+
+    /// Runs `slots` slots and collects every [`SlotReport`], through
+    /// the same (pooled, for [`EngineBackend::Parallel`]) loop as
+    /// [`run`](Self::run) — the per-slot instrumentation hook of the
+    /// scaling experiments.
+    pub fn run_reports(&mut self, slots: u64) -> Vec<SlotReport> {
+        let mut reports = Vec::with_capacity(slots as usize);
+        self.run_loop(slots, &mut |_| false, &mut |r| reports.push(r));
+        reports
+    }
+
+    /// The shared batch loop. Serial backends (and small engines) step
+    /// one slot at a time; the parallel backend keeps a pool of scoped
+    /// workers alive across the whole run, sending each slot's
+    /// immutable [`SlotCtx`] through a channel and merging the
+    /// outcome chunks in node order. Protocol state and RNG streams
+    /// never leave this thread, so the observable behavior — every
+    /// float bit included — is the serial loop's.
+    fn run_loop(
+        &mut self,
+        max_slots: u64,
+        done: &mut dyn FnMut(&[P]) -> bool,
+        on_report: &mut dyn FnMut(SlotReport),
+    ) -> u64 {
+        let n = self.nodes.len();
+        let threads = self.backend.worker_threads().min(n.max(1));
+        let start = self.slot;
+        if threads <= 1 || n < PARALLEL_MIN_NODES {
+            while self.slot - start < max_slots {
+                let report = self.step();
+                on_report(report);
+                if done(&self.nodes) {
+                    break;
+                }
+            }
+            return self.slot - start;
+        }
+
+        let params = self.params;
+        let instance = self.instance;
+        let backend = self.backend;
+        let chunk = n.div_ceil(threads);
+        // A worker panic must not deadlock the dispatcher: each job's
+        // outcome computation runs under `catch_unwind` and the payload
+        // travels back through the result channel, where the main
+        // thread resumes it — so a panicking protocol `Clone` (or a
+        // violated engine invariant) fails the run loudly with its
+        // original message instead of blocking `recv` forever.
+        type ChunkResult<M> = std::thread::Result<Vec<SlotOutcome<M>>>;
+        let pool = crossbeam::scope(|s| {
+            let (result_tx, result_rx) = mpsc::channel::<(usize, ChunkResult<P::Msg>)>();
+            let mut job_txs: Vec<mpsc::Sender<Arc<SlotCtx<'a, P::Msg>>>> =
+                Vec::with_capacity(threads);
+            for w in 0..threads {
+                let (job_tx, job_rx) = mpsc::channel::<Arc<SlotCtx<'a, P::Msg>>>();
+                job_txs.push(job_tx);
+                let result_tx = result_tx.clone();
+                let base = w * chunk;
+                let len = chunk.min(n.saturating_sub(base));
+                s.spawn(move |_| {
+                    let mut scratch = FieldScratch::default();
+                    while let Ok(ctx) = job_rx.recv() {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut out = Vec::with_capacity(len);
+                            for id in base..base + len {
+                                out.push(ctx.outcome_of(id, &mut scratch));
+                            }
+                            out
+                        }));
+                        if result_tx.send((w, result)).is_err() {
+                            break; // the run ended; nobody is listening
+                        }
+                    }
+                });
+            }
+            while self.slot - start < max_slots {
+                let slot = self.slot;
+                let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
+                for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate()
+                {
+                    actions.push(node.begin_slot(id, slot, rng));
+                }
+                let ctx = Arc::new(SlotCtx::build(params, instance, backend, slot, actions));
+                for job_tx in &job_txs {
+                    job_tx.send(Arc::clone(&ctx)).expect("pool worker alive");
+                }
+                let mut chunks: Vec<Option<Vec<SlotOutcome<P::Msg>>>> =
+                    (0..threads).map(|_| None).collect();
+                for _ in 0..threads {
+                    let (w, out) = result_rx.recv().expect("pool worker alive");
+                    match out {
+                        Ok(out) => chunks[w] = Some(out),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                let outcomes: Vec<SlotOutcome<P::Msg>> = chunks
+                    .into_iter()
+                    .flat_map(|c| c.expect("every worker reports each slot"))
+                    .collect();
+                let report = self.finish_slot(&ctx, outcomes);
+                on_report(report);
+                if done(&self.nodes) {
+                    break;
+                }
+            }
+            // Dropping the job senders ends the workers' recv loops.
+            drop(job_txs);
+        });
+        if let Err(payload) = pool {
+            // Propagate with the original payload (e.g. the engine's
+            // documented invalid-power message), not a generic wrapper.
+            std::panic::resume_unwind(payload);
+        }
+        self.slot - start
+    }
+}
+
+/// One slot's immutable channel context: every node's action, the
+/// transmitter set in canonical (node-id) order, and — for the grid
+/// backends — the slot's [`InterferenceField`]. The pooled loop shares
+/// it read-only across workers via [`Arc`]; [`SlotCtx::outcome_of`] is
+/// the *single* per-node resolution sequence both the serial and the
+/// pooled loop execute, which is what makes their outputs
+/// byte-identical by construction.
+struct SlotCtx<'a, M> {
+    params: &'a SinrParams,
+    instance: &'a Instance,
+    actions: Vec<Action<M>>,
+    transmitters: Vec<(NodeId, f64)>,
+    field: Option<InterferenceField<'a>>,
+}
+
+impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
+    /// Validates the actions and derives the slot's channel state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node transmitted with a non-positive or non-finite
+    /// power (a programming error in the protocol).
+    fn build(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        backend: EngineBackend,
+        slot: u64,
+        actions: Vec<Action<M>>,
+    ) -> Self {
+        for (id, a) in actions.iter().enumerate() {
+            if let Action::Transmit { power, .. } = a {
                 assert!(
                     power.is_finite() && *power > 0.0,
                     "node {id} transmitted with invalid power {power} in slot {slot}"
                 );
             }
-            actions.push(a);
         }
-
-        // Phase 2: resolve the channel. The grid backend batches the
-        // slot's whole transmitter set into one interference field and
-        // resolves every listener against it (with reusable scratch, so
-        // nothing is allocated per receiver); decisions and reported
-        // values are bit-identical to the naive path.
         let transmitters: Vec<(NodeId, f64)> = actions
             .iter()
             .enumerate()
@@ -222,32 +468,31 @@ impl<'a, P: Protocol> Engine<'a, P> {
                 _ => None,
             })
             .collect();
-        let field = match self.backend {
-            EngineBackend::Grid if !transmitters.is_empty() => Some(InterferenceField::build(
-                self.params,
-                self.instance,
-                &transmitters,
-            )),
-            _ => None,
+        let field = match backend {
+            EngineBackend::Naive => None,
+            _ if transmitters.is_empty() => None,
+            _ => Some(InterferenceField::build(params, instance, &transmitters)),
         };
-        let mut scratch = std::mem::take(&mut self.scratch);
+        SlotCtx {
+            params,
+            instance,
+            actions,
+            transmitters,
+            field,
+        }
+    }
 
-        let mut report = SlotReport {
-            slot,
-            transmissions: transmitters.len(),
-            ..Default::default()
-        };
-
-        let mut outcomes: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(n);
-        for (id, action) in actions.iter().enumerate() {
-            let decode = |v: NodeId, scratch: &mut FieldScratch| match &field {
-                Some(f) => f.decode_best_with(v, scratch),
-                None => decode_best_exact(self.params, self.instance, v, &transmitters),
-            };
-            let outcome = match action {
-                Action::Transmit { .. } => SlotOutcome::Transmitted,
-                Action::Sleep => SlotOutcome::Slept,
-                Action::Listen => match decode(id, &mut scratch) {
+    /// Resolves one node's outcome for this slot.
+    fn outcome_of(&self, id: NodeId, scratch: &mut FieldScratch) -> SlotOutcome<M> {
+        match &self.actions[id] {
+            Action::Transmit { .. } => SlotOutcome::Transmitted,
+            Action::Sleep => SlotOutcome::Slept,
+            Action::Listen => {
+                let decoded = match &self.field {
+                    Some(f) => f.decode_best_with(id, scratch),
+                    None => decode_best_exact(self.params, self.instance, id, &self.transmitters),
+                };
+                match decoded {
                     Some((from, power, sinr)) => {
                         let link = Link::new(from, id);
                         let affectance = feasibility::measured_affectance(
@@ -255,10 +500,10 @@ impl<'a, P: Protocol> Engine<'a, P> {
                             self.instance,
                             link,
                             power,
-                            &transmitters,
+                            &self.transmitters,
                         )
                         .unwrap_or(f64::NAN);
-                        let msg = match &actions[from] {
+                        let msg = match &self.actions[from] {
                             Action::Transmit { msg, .. } => msg.clone(),
                             _ => unreachable!("decoded node is a transmitter"),
                         };
@@ -271,48 +516,9 @@ impl<'a, P: Protocol> Engine<'a, P> {
                         })
                     }
                     None => SlotOutcome::Idle,
-                },
-            };
-            outcomes.push(outcome);
-        }
-        drop(field);
-        self.scratch = scratch;
-
-        // Phase 3: report outcomes.
-        for (id, outcome) in outcomes.into_iter().enumerate() {
-            match &outcome {
-                SlotOutcome::Received(_) => report.receptions += 1,
-                SlotOutcome::Idle => report.idle_listeners += 1,
-                _ => {}
-            }
-            self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
-        }
-
-        self.slot += 1;
-        self.stats.slots += 1;
-        self.stats.transmissions += report.transmissions as u64;
-        self.stats.receptions += report.receptions as u64;
-        report
-    }
-
-    /// Runs `slots` slots unconditionally.
-    pub fn run(&mut self, slots: u64) {
-        for _ in 0..slots {
-            self.step();
-        }
-    }
-
-    /// Runs until `done` returns true (checked after each slot) or
-    /// `max_slots` have executed; returns the number of slots executed.
-    pub fn run_until(&mut self, max_slots: u64, mut done: impl FnMut(&[P]) -> bool) -> u64 {
-        let start = self.slot;
-        while self.slot - start < max_slots {
-            self.step();
-            if done(&self.nodes) {
-                break;
+                }
             }
         }
-        self.slot - start
     }
 }
 
@@ -498,22 +704,47 @@ mod tests {
             }
         }
 
+        // 80 nodes sit above PARALLEL_MIN_NODES and `run_reports` uses
+        // the batch loop, so the parallel backends genuinely exercise
+        // the worker pool here (when more than one core exists).
         for seed in [1u64, 7, 42] {
             let inst = gen::uniform_square(80, 1.5, seed).unwrap();
             let run = |backend| {
                 let mut e =
                     Engine::with_backend(&params, &inst, |_| Recorder::default(), seed, backend);
-                let reports: Vec<SlotReport> = (0..12).map(|_| e.step()).collect();
+                let reports = e.run_reports(12);
                 let states: Vec<Vec<ReceptionRecord>> =
                     e.nodes().iter().map(|n| n.receptions.clone()).collect();
                 (reports, e.stats(), states)
             };
             let naive = run(EngineBackend::Naive);
-            let grid = run(EngineBackend::Grid);
-            assert_eq!(naive.0, grid.0, "seed {seed}: slot reports diverged");
-            assert_eq!(naive.1, grid.1, "seed {seed}: stats diverged");
-            assert_eq!(naive.2, grid.2, "seed {seed}: reception bits diverged");
+            for backend in [
+                EngineBackend::Grid,
+                EngineBackend::Parallel(1),
+                EngineBackend::Parallel(2),
+                EngineBackend::Parallel(4),
+                EngineBackend::Parallel(0),
+            ] {
+                let other = run(backend);
+                assert_eq!(naive.0, other.0, "seed {seed} {backend:?}: slot reports");
+                assert_eq!(naive.1, other.1, "seed {seed} {backend:?}: stats");
+                assert_eq!(naive.2, other.2, "seed {seed} {backend:?}: reception bits");
+            }
         }
+    }
+
+    #[test]
+    fn backend_labels_and_parsing() {
+        assert_eq!("naive".parse(), Ok(EngineBackend::Naive));
+        assert_eq!("grid".parse(), Ok(EngineBackend::Grid));
+        assert_eq!("parallel".parse(), Ok(EngineBackend::Parallel(0)));
+        assert_eq!("parallel:3".parse(), Ok(EngineBackend::Parallel(3)));
+        assert!("parallel:x".parse::<EngineBackend>().is_err());
+        assert!("threads".parse::<EngineBackend>().is_err());
+        assert_eq!(EngineBackend::Parallel(7).label(), "parallel");
+        assert_eq!(EngineBackend::Parallel(7).worker_threads(), 7);
+        assert_eq!(EngineBackend::Grid.worker_threads(), 1);
+        assert!(EngineBackend::Parallel(0).worker_threads() >= 1);
     }
 
     #[test]
@@ -624,5 +855,61 @@ mod tests {
         let inst = gen::line(2).unwrap();
         let mut engine = Engine::new(&params, &inst, |_| AlwaysTx(-1.0), 0);
         engine.step();
+    }
+
+    /// The pooled loop preserves panic payloads instead of wrapping
+    /// (or worse, deadlocking on) them: the engine's own invalid-power
+    /// panic surfaces verbatim from a parallel run.
+    #[test]
+    #[should_panic(expected = "invalid power")]
+    fn invalid_power_panics_in_parallel_run() {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(80, 1.5, 1).unwrap();
+        let mut engine = Engine::with_backend(
+            &params,
+            &inst,
+            |_| AlwaysTx(-1.0),
+            0,
+            EngineBackend::Parallel(2),
+        );
+        engine.run(1);
+    }
+
+    /// A panic on a *worker* thread (here: a message whose `Clone`
+    /// panics while a reception is materialized) must propagate out of
+    /// the pooled loop with its payload — not hang the dispatcher.
+    #[test]
+    #[should_panic(expected = "poison msg cloned")]
+    fn worker_panic_propagates_from_parallel_run() {
+        #[derive(Debug)]
+        struct Poison;
+        impl Clone for Poison {
+            fn clone(&self) -> Self {
+                panic!("poison msg cloned");
+            }
+        }
+
+        #[derive(Debug)]
+        struct Shout;
+        impl Protocol for Shout {
+            type Msg = Poison;
+            fn begin_slot(&mut self, node: NodeId, _: u64, _: &mut StdRng) -> Action<Poison> {
+                if node == 0 {
+                    Action::Transmit {
+                        power: 1e9,
+                        msg: Poison,
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, _: SlotOutcome<Poison>, _: &mut StdRng) {}
+        }
+
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(80, 1.5, 2).unwrap();
+        let mut engine =
+            Engine::with_backend(&params, &inst, |_| Shout, 0, EngineBackend::Parallel(2));
+        engine.run(1);
     }
 }

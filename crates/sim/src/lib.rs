@@ -55,5 +55,5 @@
 mod engine;
 mod protocol;
 
-pub use engine::{Engine, EngineBackend, EngineStats, SlotReport};
+pub use engine::{Engine, EngineBackend, EngineStats, SlotReport, PARALLEL_MIN_NODES};
 pub use protocol::{Action, Protocol, Reception, SlotOutcome};

@@ -62,9 +62,15 @@ pub enum SlotOutcome<M> {
 /// outcome. The `rng` argument is the node's private deterministic
 /// stream — protocols must draw randomness only from it so whole runs
 /// are reproducible from the engine seed.
+///
+/// Payloads must be `Send + Sync` because the engine's
+/// [`Parallel`](crate::EngineBackend::Parallel) backend shares a slot's
+/// action set read-only with its worker pool and merges the resolved
+/// outcomes back; protocol state itself never leaves the engine's
+/// thread, so outcomes are byte-identical at any thread count.
 pub trait Protocol {
     /// The message payload type.
-    type Msg: Clone;
+    type Msg: Clone + Send + Sync;
 
     /// Chooses this node's action for slot `slot`.
     fn begin_slot(&mut self, node: NodeId, slot: u64, rng: &mut StdRng) -> Action<Self::Msg>;

@@ -132,6 +132,89 @@ fn default_connect_uses_grid_and_matches_naive() {
     assert_eq!(fingerprint(&default_run), fingerprint(&naive));
 }
 
+/// The parallel engine is the same machine as the serial grid engine,
+/// merely sharded: at every thread count the full connect fingerprint
+/// (schedules, tree links, exact power bits) must be byte-identical.
+/// The 96-node instance sits above the engine's serial-fallback
+/// threshold, so the worker pool genuinely runs.
+#[test]
+fn parallel_engine_is_byte_identical_at_every_thread_count() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(96, 1.5, 29).unwrap();
+    for strategy in Strategy::ALL {
+        let serial = connect_with(&params, &inst, strategy, 123, EngineBackend::Grid)
+            .unwrap_or_else(|e| panic!("{strategy} grid: {e}"));
+        let fs = fingerprint(&serial);
+        for threads in [1usize, 2, 4] {
+            let par = connect_with(
+                &params,
+                &inst,
+                strategy,
+                123,
+                EngineBackend::Parallel(threads),
+            )
+            .unwrap_or_else(|e| panic!("{strategy} parallel({threads}): {e}"));
+            let fp = fingerprint(&par);
+            assert!(
+                fs == fp,
+                "{strategy}: parallel({threads}) diverged from serial grid\n\
+                 --- grid ---\n{fs}\n--- parallel ---\n{fp}"
+            );
+        }
+    }
+}
+
+/// The grid-pruned lazy-Prim MST must reproduce the O(n²) Prim
+/// reference exactly — same edges, same emission order, on every
+/// generator family (including the tie-heavy integer line).
+#[test]
+fn grid_mst_matches_prim_edge_for_edge_on_every_family() {
+    use sinr_connect_suite::geom::mst::{euclidean_mst_grid, euclidean_mst_prim};
+    for (family, inst) in families(23) {
+        assert_eq!(
+            euclidean_mst_grid(&inst),
+            euclidean_mst_prim(&inst),
+            "{family}: MST edge sequences diverged"
+        );
+    }
+    // Above the dispatch cutoff, with enough nodes for real pruning.
+    for seed in [3u64, 17] {
+        for inst in [
+            gen::uniform_square(600, 1.5, seed).unwrap(),
+            gen::clustered(24, 25, 1.5, 2.0, seed).unwrap(),
+        ] {
+            assert_eq!(
+                euclidean_mst_grid(&inst),
+                euclidean_mst_prim(&inst),
+                "seed {seed}: MST edge sequences diverged at scale"
+            );
+        }
+    }
+}
+
+/// The grid/hull `extreme_distances` must return the exact bits of the
+/// O(n²) reference scan — min, max (Δ) and the reported closest pair —
+/// on every generator family.
+#[test]
+fn grid_extremes_match_naive_scan_on_every_family() {
+    use sinr_connect_suite::geom::extremes::{extreme_distances_grid, extreme_distances_naive};
+    for (family, inst) in families(31) {
+        let naive = extreme_distances_naive(inst.points()).unwrap();
+        let grid = extreme_distances_grid(inst.points()).unwrap();
+        assert_eq!(
+            naive.min.to_bits(),
+            grid.min.to_bits(),
+            "{family}: min bits diverged"
+        );
+        assert_eq!(
+            naive.max.to_bits(),
+            grid.max.to_bits(),
+            "{family}: max (Δ) bits diverged"
+        );
+        assert_eq!(naive.min_pair, grid.min_pair, "{family}: min pair diverged");
+    }
+}
+
 /// Instance generators are part of the same contract: identical seeds,
 /// identical coordinates, to the bit.
 #[test]
