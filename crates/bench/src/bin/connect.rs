@@ -5,11 +5,21 @@
 //! ```text
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
-//!     [--engine naive|grid|parallel[:N]] [--export target/connect]
+//!     [--engine naive|grid|parallel[:N]] [--seeds K] [--threads T] \
+//!     [--export target/connect]
 //! ```
+//!
+//! With `--seeds K` (K > 1) the run becomes an ensemble: K independent
+//! instances fan out over the multi-seed driver's worker pool
+//! (`--threads T`, 0 = auto) and the summary reports `mean ±95% CI`
+//! per metric instead of one seed's anecdote. Output bytes are
+//! independent of `T` (DESIGN.md §9).
 
 use std::path::PathBuf;
 
+use sinr_bench::ensemble::Ensemble;
+use sinr_bench::stats::Stats;
+use sinr_bench::table::{f2, Table};
 use sinr_bench::workloads::Family;
 use sinr_connectivity::{connect_with, EngineBackend, Strategy};
 use sinr_phy::{feasibility, SinrParams};
@@ -20,6 +30,8 @@ struct Args {
     strategy: Strategy,
     seed: u64,
     engine: EngineBackend,
+    seeds: u64,
+    threads: usize,
     export: Option<PathBuf>,
 }
 
@@ -29,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
     let mut strategy = Strategy::TvcArbitrary;
     let mut seed = 0u64;
     let mut engine = EngineBackend::default();
+    let mut seeds = 1u64;
+    let mut threads = 0usize;
     let mut export = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +86,17 @@ fn parse_args() -> Result<Args, String> {
                 engine = val(i)?.parse()?;
                 i += 2;
             }
+            "--seeds" => {
+                seeds = val(i)?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--threads" => {
+                threads = val(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                i += 2;
+            }
             "--export" => {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
@@ -81,7 +106,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
-                            [--export <dir>]"
+                            [--seeds <K>] [--threads <T>] [--export <dir>]"
                         .into(),
                 );
             }
@@ -94,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
         strategy,
         seed,
         engine,
+        seeds,
+        threads,
         export,
     })
 }
@@ -108,6 +135,16 @@ fn main() {
     };
 
     let params = SinrParams::default();
+
+    if args.seeds > 1 {
+        if args.export.is_some() {
+            eprintln!("--export works on a single instance; drop --seeds to export");
+            std::process::exit(2);
+        }
+        run_ensemble(&args, &params);
+        return;
+    }
+
     let instance = args.family.instance(args.n, args.seed);
     println!(
         "instance: family={} n={} Δ={:.2} classes={} engine={}",
@@ -164,6 +201,67 @@ fn main() {
             dir.display()
         );
     }
+}
+
+/// The `--seeds K` path: K independent trials through the ensemble
+/// driver, every schedule validated, metrics reported as `mean ±95% CI`
+/// with the ensemble extremes.
+fn run_ensemble(args: &Args, params: &SinrParams) {
+    println!(
+        "ensemble: family={} n={} strategy={} engine={} seeds={} (base seed {})",
+        args.family.label(),
+        args.n,
+        args.strategy.label(),
+        args.engine.label(),
+        args.seeds,
+        args.seed,
+    );
+
+    let driver = Ensemble::new(args.threads);
+    let results = driver.run_trials(args.seed, 0, args.seeds, |inst_seed, algo_seed| {
+        let instance = args.family.instance(args.n, inst_seed);
+        let result = connect_with(params, &instance, args.strategy, algo_seed, args.engine)
+            .unwrap_or_else(|e| panic!("instance seed {inst_seed:#x}: connectivity failed: {e}"));
+        feasibility::validate_schedule(
+            params,
+            &instance,
+            &result.aggregation_schedule,
+            &result.power,
+        )
+        .unwrap_or_else(|e| panic!("instance seed {inst_seed:#x}: validation failed: {e}"));
+        (
+            result.tree_links.len() as f64,
+            result.schedule_len as f64,
+            result.runtime_slots as f64,
+        )
+    });
+
+    let mut t = Table::new(
+        format!(
+            "connect: {} on {} n={}, {}-seed ensemble",
+            args.strategy.label(),
+            args.family.label(),
+            args.n,
+            args.seeds
+        ),
+        "",
+        &["metric", "mean ±95% CI", "min", "max"],
+    );
+    type Pick = fn(&(f64, f64, f64)) -> f64;
+    let metrics: [(&str, Pick); 3] = [
+        ("links", |r| r.0),
+        ("schedule slots", |r| r.1),
+        ("runtime slots", |r| r.2),
+    ];
+    for (name, pick) in metrics {
+        let s = Stats::of(&results.iter().map(pick).collect::<Vec<_>>());
+        t.push_row(vec![name.into(), s.cell(), f2(s.min), f2(s.max)]);
+    }
+    print!("{}", t.render());
+    println!(
+        "validated: every slot SINR-feasible on all {} seeds",
+        args.seeds
+    );
 }
 
 fn export_csvs(

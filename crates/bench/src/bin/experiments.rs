@@ -7,16 +7,21 @@
 //! cargo run --release -p sinr-bench --bin experiments -- --quick # CI-sized
 //! cargo run --release -p sinr-bench --bin experiments -- --engine naive e11
 //! cargo run --release -p sinr-bench --bin experiments -- e12 --json BENCH_E12.json
+//! cargo run --release -p sinr-bench --bin experiments -- e1 e7 e8 --seeds 16 --threads 4
 //! ```
 //!
-//! `--json <path>` additionally writes every executed experiment's
-//! tables as one machine-readable JSON document — the format behind
-//! the committed `BENCH_*.json` perf-trajectory snapshots.
+//! `--seeds K` sets the ensemble size of the multi-seed experiments
+//! (E1/E7/E8 report `mean ±95% CI` over K independent instances);
+//! `--threads T` sizes the ensemble driver's worker pool, which by the
+//! determinism contract (DESIGN.md §9) changes wall-clock only — never
+//! an output byte. `--json <path>` additionally writes every executed
+//! experiment's tables as one machine-readable JSON document — the
+//! format behind the committed `BENCH_*.json` trajectory snapshots.
 
 use std::path::PathBuf;
 
 use sinr_bench::experiments::ALL;
-use sinr_bench::table::json_string;
+use sinr_bench::table::{experiment_entry_json, experiments_doc_json};
 use sinr_bench::{EngineBackend, ExpOptions};
 
 fn main() {
@@ -24,6 +29,8 @@ fn main() {
     let mut quick = false;
     let mut seed: u64 = 0xC0FFEE;
     let mut backend = EngineBackend::default();
+    let mut seeds: u64 = 0;
+    let mut threads: usize = 0;
     let mut json_path: Option<PathBuf> = None;
     let mut wanted: Vec<&String> = Vec::new();
 
@@ -54,6 +61,22 @@ fn main() {
                 backend = v.parse().unwrap_or_else(|e| bail(e));
                 i += 2;
             }
+            "--seeds" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --seeds".into()));
+                seeds = v.parse().unwrap_or_else(|e| bail(format!("--seeds: {e}")));
+                i += 2;
+            }
+            "--threads" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --threads".into()));
+                threads = v
+                    .parse()
+                    .unwrap_or_else(|e| bail(format!("--threads: {e}")));
+                i += 2;
+            }
             "--json" => {
                 let v = args
                     .get(i + 1)
@@ -72,6 +95,8 @@ fn main() {
         quick,
         seed,
         backend,
+        seeds,
+        threads,
     };
     let out_dir = PathBuf::from("target/experiments");
 
@@ -99,16 +124,7 @@ fn main() {
         let seconds = start.elapsed().as_secs_f64();
         println!("  [time] {seconds:.1}s");
         if json_path.is_some() {
-            json_entries.push(format!(
-                "{{\"id\":{},\"what\":{},\"seconds\":{seconds:.3},\"tables\":[{}]}}",
-                json_string(exp.id),
-                json_string(exp.what),
-                tables
-                    .iter()
-                    .map(|t| t.to_json())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ));
+            json_entries.push(experiment_entry_json(exp.id, exp.what, seconds, &tables));
         }
     }
 
@@ -124,11 +140,13 @@ fn main() {
 
     if let Some(path) = &json_path {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let doc = format!(
-            "{{\"seed\":{seed},\"quick\":{quick},\"engine\":{},\"cores\":{cores},\
-             \"experiments\":[{}]}}\n",
-            json_string(backend.label()),
-            json_entries.join(",")
+        let doc = experiments_doc_json(
+            seed,
+            quick,
+            backend.label(),
+            opts.ensemble_seeds(),
+            cores,
+            &json_entries,
         );
         match std::fs::write(path, doc) {
             Ok(()) => println!("\n[json] {}", path.display()),

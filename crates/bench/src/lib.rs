@@ -19,16 +19,24 @@
 //! | [`experiments::e9_sparse_capacity`] | Thm 9 / Eqn 5 machinery |
 //! | [`experiments::e10_ablations`] | DESIGN.md §5 knob ablations |
 //! | [`experiments::e11_scaling`] | DESIGN.md §7: naive vs grid engine scaling |
+//! | [`experiments::e12_connect_scaling`] | DESIGN.md §8: end-to-end connect scaling |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
 //! under `benches/`.
+//!
+//! The theorems hold w.h.p. over the random instance, so E1/E7/E8 run
+//! as multi-seed **ensembles** (`--seeds K --threads T`) through the
+//! [`ensemble`] driver and report `mean ±95% CI` per row via [`stats`]
+//! — byte-identically at any thread count (DESIGN.md §9).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ensemble;
 pub mod experiments;
+pub mod stats;
 pub mod table;
 pub mod workloads;
 
@@ -46,6 +54,13 @@ pub struct ExpOptions {
     /// (`--engine naive|grid|parallel[:N]` on the runners; the
     /// backends are bit-identical, so this only changes wall-clock).
     pub backend: EngineBackend,
+    /// Ensemble size: independent seeds per table row (`--seeds K`;
+    /// `0` = the experiment's default [`trials`](Self::trials) count).
+    pub seeds: u64,
+    /// Worker threads of the ensemble driver (`--threads T`; `0` = one
+    /// per available core). The driver's ordered merge and canonical
+    /// statistics make every output byte independent of this value.
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -54,6 +69,8 @@ impl Default for ExpOptions {
             quick: false,
             seed: 0xC0FFEE,
             backend: EngineBackend::default(),
+            seeds: 0,
+            threads: 0,
         }
     }
 }
@@ -81,6 +98,16 @@ impl ExpOptions {
         }
     }
 
+    /// Ensemble size of the multi-seed experiments (E1/E7/E8): the
+    /// `--seeds` flag, defaulting to [`trials`](Self::trials).
+    pub fn ensemble_seeds(&self) -> u64 {
+        if self.seeds == 0 {
+            self.trials()
+        } else {
+            self.seeds
+        }
+    }
+
     /// An [`InitConfig`] honoring the selected engine backend.
     pub fn init_config(&self) -> InitConfig {
         InitConfig {
@@ -104,41 +131,20 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0, f64::max)
 }
 
-/// Runs `jobs` in parallel with crossbeam scoped threads, preserving
-/// input order in the output.
+/// Runs `jobs` in parallel, preserving input order in the output.
+///
+/// A thin wrapper over the ensemble driver with one worker per
+/// available core — the pre-ensemble experiments (E2–E6, E9, E10) fan
+/// their trials through this; the rerouted ensemble experiments
+/// (E1/E7/E8) use [`ensemble::Ensemble`] directly for `--seeds` /
+/// `--threads` control and `mean ± ci` statistics.
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(jobs.len(), || None);
-    let work: std::sync::Mutex<Vec<(usize, T)>> =
-        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results_ref = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let job = work.lock().expect("work queue lock").pop();
-                match job {
-                    Some((i, t)) => {
-                        let r = f(t);
-                        results_ref.lock().expect("results lock")[i] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("all jobs ran"))
-        .collect()
+    ensemble::Ensemble::new(0).map(jobs, f)
 }
 
 #[cfg(test)]

@@ -1,0 +1,230 @@
+//! Deterministic ensemble statistics.
+//!
+//! Every headline number the experiments report over a multi-seed
+//! ensemble goes through [`Stats`]: mean, sample standard deviation,
+//! min/max, and a 95% confidence half-width via the t-distribution
+//! (the same machinery the Monte-Carlo connectivity studies — continuum
+//! percolation, generic-connection-model sweeps — report their curves
+//! with). The paper's theorems hold w.h.p. over the random instance, so
+//! a single-seed row is an anecdote; `mean ± ci` over K seeds is a
+//! distribution.
+//!
+//! **Determinism contract** (DESIGN.md §9): float addition does not
+//! commute, and the ensemble driver completes jobs in a scheduling-
+//! dependent order, so [`Stats::of`] first sorts a copy of the sample
+//! by `f64::total_cmp` and accumulates every sum left to right over
+//! that canonical order. Any permutation of the same values therefore
+//! produces bit-identical statistics — which is what lets the ensemble
+//! tables fingerprint byte-identically at any worker-thread count.
+
+use crate::table::f2;
+
+/// Summary statistics of one ensemble sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (canonical summation order; 0 for empty input).
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator; 0 for `n ≤ 1`).
+    pub stddev: f64,
+    /// Smallest value (0 for empty input).
+    pub min: f64,
+    /// Largest value (0 for empty input).
+    pub max: f64,
+    /// Half-width of the 95% confidence interval for the mean,
+    /// `t₀.₉₇₅(n−1) · stddev / √n` — 0 for `n ≤ 1`, where a CI is
+    /// undefined (one observation constrains no variance).
+    pub ci95: f64,
+}
+
+impl Stats {
+    /// Computes the statistics of `values`.
+    ///
+    /// The input is copied and sorted by `f64::total_cmp` first, so the
+    /// result is bit-identical under any permutation of `values` — the
+    /// property the thread-count parity gates rely on.
+    pub fn of(values: &[f64]) -> Stats {
+        let mut xs = values.to_vec();
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        if n == 0 {
+            return Stats {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Stats {
+                n,
+                mean,
+                stddev: 0.0,
+                min: xs[0],
+                max: xs[0],
+                ci95: 0.0,
+            };
+        }
+        let ss = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+        let stddev = (ss / (n - 1) as f64).sqrt();
+        let ci95 = t_critical_95(n - 1) * stddev / (n as f64).sqrt();
+        Stats {
+            n,
+            mean,
+            stddev,
+            min: xs[0],
+            max: xs[n - 1],
+            ci95,
+        }
+    }
+
+    /// Renders the `mean ± ci` table cell (2 decimals each), the
+    /// ensemble analogue of [`f2`] single-value cells.
+    pub fn cell(&self) -> String {
+        format!("{} ±{}", f2(self.mean), f2(self.ci95))
+    }
+}
+
+/// Two-sided 95% critical value of Student's t with `df` degrees of
+/// freedom: exact table through df = 30, step approximations beyond,
+/// converging toward the normal 1.96. A table lookup keeps the value a
+/// pure function of `df` — no iterative special functions whose
+/// rounding could wobble across toolchains.
+///
+/// The steps are **band-conservative**: each band reports the critical
+/// value at (or just above) its *smallest* df, so an approximated CI
+/// errs wide, never narrow — a snapshot must not overclaim precision.
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.042,  // ≥ t(31) ≈ 2.040
+        41..=60 => 2.021,  // ≥ t(41) ≈ 2.020
+        61..=120 => 2.000, // ≥ t(61) ≈ 2.000
+        121..=1000 => 1.980,
+        _ => 1.963, // ≥ t(1001) ≈ 1.962
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Hand-computed fixture: {2, 4, 4, 4, 5, 5, 7, 9} has mean 5,
+    /// population variance 4 → sample variance 32/7.
+    #[test]
+    fn hand_computed_fixture() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Stats::of(&xs);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        // df = 7 → t = 2.365.
+        let expect = 2.365 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-12, "{} vs {expect}", s.ci95);
+    }
+
+    /// n = 1: the degenerate ensemble. Mean is the value; the CI (and
+    /// stddev) are defined as 0 rather than NaN so a `--seeds 1` run
+    /// still renders a table.
+    #[test]
+    fn single_value_degenerates_cleanly() {
+        let s = Stats::of(&[3.25]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 3.25);
+        assert_eq!(s.max, 3.25);
+        assert_eq!(s.cell(), "3.25 ±0.00");
+    }
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    /// Identical values: zero variance, zero CI, exactly.
+    #[test]
+    fn identical_values_zero_variance() {
+        let s = Stats::of(&[7.5; 12]);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    /// The canonical-order contract: every permutation of the sample
+    /// produces bit-identical statistics. Uses values spread across
+    /// magnitudes so a naive input-order sum *would* differ.
+    #[test]
+    fn permutation_does_not_change_reported_bits() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut xs: Vec<f64> = (0..24)
+            .map(|i| rng.gen::<f64>() * 10f64.powi(i % 7 - 3))
+            .collect();
+        let reference = Stats::of(&xs);
+        // A left-to-right sum over the *input* order is genuinely
+        // order-sensitive for this sample — the canonical sort is doing
+        // real work, not vacuously passing.
+        let forward: f64 = xs.iter().sum();
+        let backward: f64 = xs.iter().rev().sum();
+        assert_ne!(forward.to_bits(), backward.to_bits());
+        for _ in 0..50 {
+            // Deterministic Fisher–Yates shuffle.
+            for i in (1..xs.len()).rev() {
+                xs.swap(i, rng.gen_range(0..=i));
+            }
+            let s = Stats::of(&xs);
+            assert_eq!(reference.mean.to_bits(), s.mean.to_bits());
+            assert_eq!(reference.stddev.to_bits(), s.stddev.to_bits());
+            assert_eq!(reference.ci95.to_bits(), s.ci95.to_bits());
+            assert_eq!(reference.min.to_bits(), s.min.to_bits());
+            assert_eq!(reference.max.to_bits(), s.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn t_table_shape() {
+        // Monotone non-increasing in df, approaching the normal value.
+        let mut prev = t_critical_95(1);
+        for df in 2..2000 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t must not increase with df (df = {df})");
+            prev = t;
+        }
+        assert_eq!(t_critical_95(15), 2.131); // the --seeds 16 row
+                                              // Band-conservative steps: never below the true critical value
+                                              // of the band's smallest df (reference: t(31) ≈ 2.0395,
+                                              // t(41) ≈ 2.0195, t(61) ≈ 1.9996, t(121) ≈ 1.9798).
+        assert!(t_critical_95(31) >= 2.0395);
+        assert!(t_critical_95(41) >= 2.0195);
+        assert!(t_critical_95(61) >= 1.9996);
+        assert!(t_critical_95(121) >= 1.9798);
+        assert!(t_critical_95(5000) >= 1.9600);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn cell_formats_mean_pm_ci() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.cell(), format!("{} ±{}", f2(s.mean), f2(s.ci95)));
+    }
+}

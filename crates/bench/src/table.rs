@@ -157,6 +157,48 @@ impl Table {
     }
 }
 
+/// One experiment's entry in the `experiments --json` document:
+/// identifier, description, wall-clock, and every table it produced.
+pub fn experiment_entry_json(id: &str, what: &str, seconds: f64, tables: &[Table]) -> String {
+    format!(
+        "{{\"id\":{},\"what\":{},\"seconds\":{seconds:.3},\"tables\":[{}]}}",
+        json_string(id),
+        json_string(what),
+        tables
+            .iter()
+            .map(|t| t.to_json())
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// The full `experiments --json` document wrapping
+/// [`experiment_entry_json`] entries: run configuration (`seed`,
+/// `quick`, `engine`, the resolved ensemble size `seeds`), the host's
+/// core count, and the experiments array.
+///
+/// The worker-thread count is **deliberately absent**: the ensemble
+/// driver's ordered merge and canonical statistics make every output
+/// byte independent of it (DESIGN.md §9), and the snapshot format must
+/// not leak a value the determinism gates promise has no observable
+/// effect. (`seconds` inside each entry and `cores` are the *measured*
+/// host facts a perf-trajectory snapshot exists to record.)
+pub fn experiments_doc_json(
+    seed: u64,
+    quick: bool,
+    engine: &str,
+    seeds: u64,
+    cores: usize,
+    entries: &[String],
+) -> String {
+    format!(
+        "{{\"seed\":{seed},\"quick\":{quick},\"engine\":{},\"seeds\":{seeds},\"cores\":{cores},\
+         \"experiments\":[{}]}}\n",
+        json_string(engine),
+        entries.join(",")
+    )
+}
+
 /// Escapes a string as a JSON string literal (RFC 8259: quote,
 /// backslash and control characters; everything else passes through as
 /// UTF-8).

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use sinr_geom::{gen, Instance, Point};
 use sinr_links::{Link, LinkSet};
 use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::feasibility::SlotAuditor;
 use sinr_phy::{feasibility, PowerAssignment, SinrParams};
 
 fn arb_params() -> impl Strategy<Value = SinrParams> {
@@ -107,6 +108,96 @@ proptest! {
         let m = PowerAssignment::mean(1.0).power_of(l, &inst, &params).unwrap();
         let lin = PowerAssignment::linear(1.0).power_of(l, &inst, &params).unwrap();
         prop_assert!((m * m - u * lin).abs() <= 1e-9 * (m * m).max(u * lin));
+    }
+
+    /// The incremental `SlotAuditor` under *random* push / probe / pop
+    /// sequences: after **every** operation its decision must equal a
+    /// from-scratch `feasibility::check` on the resident links in
+    /// insertion order — the bit-exactness contract (DESIGN.md §7.4)
+    /// the greedy packers rely on, here stressed through arbitrary
+    /// interleavings of accepted pushes, rejected probes, and
+    /// snapshot-restoring pops rather than the packers' own access
+    /// pattern.
+    #[test]
+    fn slot_auditor_random_ops_match_check(
+        seed in 0u64..2_000,
+        n in 8usize..40,
+        tau in 0usize..3,
+        ops in proptest::collection::vec((0u8..4, 0usize..1_000), 1..50),
+    ) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let power = match tau {
+            0 => PowerAssignment::uniform_with_margin(&params, inst.delta()),
+            1 => PowerAssignment::mean_with_margin(&params, inst.delta()),
+            _ => PowerAssignment::linear_with_margin(&params),
+        };
+        // Candidate pool: everyone's nearest-neighbor uplink (the link
+        // shape the packers actually see).
+        let grid = sinr_geom::GridIndex::build(&inst, 2.0);
+        let candidates: Vec<Link> = (0..inst.len())
+            .filter_map(|u| grid.nearest_neighbor(u).map(|(v, _)| Link::new(u, v)))
+            .collect();
+        prop_assume!(!candidates.is_empty());
+
+        let mut auditor = SlotAuditor::new(&params, &inst);
+        let mut resident: Vec<Link> = Vec::new();
+        for (op, pick) in ops {
+            let link = candidates[pick % candidates.len()];
+            let pw = power.power_of(link, &inst, &params).unwrap();
+            match op {
+                // Unconditional push (may make the slot infeasible —
+                // the auditor must track that state too).
+                0 => {
+                    if !resident.contains(&link) {
+                        auditor.push(link, pw);
+                        resident.push(link);
+                    }
+                }
+                // Probe: push-test-pop on failure; the decision must
+                // match check() on the would-be set.
+                1 | 2 => {
+                    if !resident.contains(&link) {
+                        let mut probe = resident.clone();
+                        probe.push(link);
+                        let set = LinkSet::from_links(probe).unwrap();
+                        let expect = feasibility::check(&params, &inst, &set, &power)
+                            .is_feasible();
+                        prop_assert_eq!(
+                            auditor.try_push(link, pw),
+                            expect,
+                            "probe decision diverged from check on {:?}",
+                            link
+                        );
+                        if expect {
+                            resident.push(link);
+                        }
+                    }
+                }
+                // Pop: must restore the exact pre-push state.
+                _ => {
+                    if !resident.is_empty() {
+                        auditor.pop();
+                        resident.pop();
+                    }
+                }
+            }
+            // After every operation: same residents, same decision as
+            // a from-scratch check over them.
+            prop_assert_eq!(auditor.links(), resident.as_slice());
+            prop_assert_eq!(auditor.len(), resident.len());
+            let expect = resident.is_empty() || {
+                let set = LinkSet::from_links(resident.clone()).unwrap();
+                feasibility::check(&params, &inst, &set, &power).is_feasible()
+            };
+            prop_assert_eq!(
+                auditor.is_feasible(),
+                expect,
+                "auditor state diverged from check after op {} on {} residents",
+                op,
+                resident.len()
+            );
+        }
     }
 
     /// The noise factor c(u,v) always lies in [β, 2β] for margin powers.

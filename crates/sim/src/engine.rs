@@ -1,6 +1,6 @@
 //! The slotted simulation engine.
 
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -10,6 +10,7 @@ use sinr_links::Link;
 use sinr_phy::field::{decode_best_exact, FieldScratch, InterferenceField};
 use sinr_phy::{feasibility, SinrParams};
 
+use crate::pool::with_pool;
 use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
 
 /// How the engine resolves the channel each slot.
@@ -318,12 +319,16 @@ impl<'a, P: Protocol> Engine<'a, P> {
     }
 
     /// The shared batch loop. Serial backends (and small engines) step
-    /// one slot at a time; the parallel backend keeps a pool of scoped
-    /// workers alive across the whole run, sending each slot's
-    /// immutable [`SlotCtx`] through a channel and merging the
-    /// outcome chunks in node order. Protocol state and RNG streams
-    /// never leave this thread, so the observable behavior — every
-    /// float bit included — is the serial loop's.
+    /// one slot at a time; the parallel backend keeps a
+    /// [`with_pool`](crate::pool::with_pool) worker pool alive across
+    /// the whole run, broadcasting each slot's immutable [`SlotCtx`]
+    /// to every worker and merging the outcome chunks in node order.
+    /// Protocol state and RNG streams never leave this thread, so the
+    /// observable behavior — every float bit included — is the serial
+    /// loop's. A worker panic travels back through the pool's result
+    /// channel and resumes here with its original payload (a panicking
+    /// protocol `Clone` fails the run loudly instead of deadlocking
+    /// the dispatcher).
     fn run_loop(
         &mut self,
         max_slots: u64,
@@ -348,77 +353,49 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let instance = self.instance;
         let backend = self.backend;
         let chunk = n.div_ceil(threads);
-        // A worker panic must not deadlock the dispatcher: each job's
-        // outcome computation runs under `catch_unwind` and the payload
-        // travels back through the result channel, where the main
-        // thread resumes it — so a panicking protocol `Clone` (or a
-        // violated engine invariant) fails the run loudly with its
-        // original message instead of blocking `recv` forever.
-        type ChunkResult<M> = std::thread::Result<Vec<SlotOutcome<M>>>;
-        let pool = crossbeam::scope(|s| {
-            let (result_tx, result_rx) = mpsc::channel::<(usize, ChunkResult<P::Msg>)>();
-            let mut job_txs: Vec<mpsc::Sender<Arc<SlotCtx<'a, P::Msg>>>> =
-                Vec::with_capacity(threads);
-            for w in 0..threads {
-                let (job_tx, job_rx) = mpsc::channel::<Arc<SlotCtx<'a, P::Msg>>>();
-                job_txs.push(job_tx);
-                let result_tx = result_tx.clone();
+        with_pool(
+            threads,
+            |_| FieldScratch::default(),
+            |w, scratch, ctx: Arc<SlotCtx<'a, P::Msg>>| {
                 let base = w * chunk;
                 let len = chunk.min(n.saturating_sub(base));
-                s.spawn(move |_| {
-                    let mut scratch = FieldScratch::default();
-                    while let Ok(ctx) = job_rx.recv() {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let mut out = Vec::with_capacity(len);
-                            for id in base..base + len {
-                                out.push(ctx.outcome_of(id, &mut scratch));
-                            }
-                            out
-                        }));
-                        if result_tx.send((w, result)).is_err() {
-                            break; // the run ended; nobody is listening
-                        }
+                let mut out: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(len);
+                for id in base..base + len {
+                    out.push(ctx.outcome_of(id, scratch));
+                }
+                out
+            },
+            |pool| {
+                while self.slot - start < max_slots {
+                    let slot = self.slot;
+                    let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
+                    for (id, (node, rng)) in
+                        self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate()
+                    {
+                        actions.push(node.begin_slot(id, slot, rng));
                     }
-                });
-            }
-            while self.slot - start < max_slots {
-                let slot = self.slot;
-                let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
-                for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate()
-                {
-                    actions.push(node.begin_slot(id, slot, rng));
-                }
-                let ctx = Arc::new(SlotCtx::build(params, instance, backend, slot, actions));
-                for job_tx in &job_txs {
-                    job_tx.send(Arc::clone(&ctx)).expect("pool worker alive");
-                }
-                let mut chunks: Vec<Option<Vec<SlotOutcome<P::Msg>>>> =
-                    (0..threads).map(|_| None).collect();
-                for _ in 0..threads {
-                    let (w, out) = result_rx.recv().expect("pool worker alive");
-                    match out {
-                        Ok(out) => chunks[w] = Some(out),
-                        Err(payload) => std::panic::resume_unwind(payload),
+                    let ctx = Arc::new(SlotCtx::build(params, instance, backend, slot, actions));
+                    for w in 0..threads {
+                        pool.send(w, Arc::clone(&ctx));
+                    }
+                    let mut chunks: Vec<Option<Vec<SlotOutcome<P::Msg>>>> =
+                        (0..threads).map(|_| None).collect();
+                    for _ in 0..threads {
+                        let (w, out) = pool.recv();
+                        chunks[w] = Some(out);
+                    }
+                    let outcomes: Vec<SlotOutcome<P::Msg>> = chunks
+                        .into_iter()
+                        .flat_map(|c| c.expect("every worker reports each slot"))
+                        .collect();
+                    let report = self.finish_slot(&ctx, outcomes);
+                    on_report(report);
+                    if done(&self.nodes) {
+                        break;
                     }
                 }
-                let outcomes: Vec<SlotOutcome<P::Msg>> = chunks
-                    .into_iter()
-                    .flat_map(|c| c.expect("every worker reports each slot"))
-                    .collect();
-                let report = self.finish_slot(&ctx, outcomes);
-                on_report(report);
-                if done(&self.nodes) {
-                    break;
-                }
-            }
-            // Dropping the job senders ends the workers' recv loops.
-            drop(job_txs);
-        });
-        if let Err(payload) = pool {
-            // Propagate with the original payload (e.g. the engine's
-            // documented invalid-power message), not a generic wrapper.
-            std::panic::resume_unwind(payload);
-        }
+            },
+        );
         self.slot - start
     }
 }

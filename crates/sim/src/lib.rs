@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod pool;
 mod protocol;
 
 pub use engine::{Engine, EngineBackend, EngineStats, SlotReport, PARALLEL_MIN_NODES};

@@ -1,0 +1,281 @@
+//! A persistent pool of scoped worker threads.
+//!
+//! This is the pooled-dispatch pattern the parallel engine backend
+//! introduced (DESIGN.md §8.4), extracted so other batch workloads —
+//! notably the multi-seed ensemble driver in `sinr-bench` — reuse the
+//! same machinery instead of re-growing their own: per-worker job
+//! channels, one shared result channel, and `catch_unwind` around every
+//! job so a worker panic travels back to the dispatcher and resumes
+//! there with its original payload instead of deadlocking a `recv`.
+//!
+//! The pool is *scoped*: [`with_pool`] spawns the workers, hands the
+//! caller a [`PoolHandle`] for the duration of `body`, and joins every
+//! worker before returning — so jobs and results may borrow from the
+//! caller's stack frame. Built on the `crossbeam` compat shim (itself
+//! `std::thread::scope`), which keeps the code upstream-API-valid.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+/// Dispatch side of a running pool: send jobs to specific workers,
+/// receive `(worker, result)` pairs in completion order.
+///
+/// Only exists inside the `body` closure of [`with_pool`]; dropping it
+/// (or returning from `body`) closes the job channels, which is what
+/// ends the workers' receive loops.
+#[derive(Debug)]
+pub struct PoolHandle<J, R> {
+    job_txs: Vec<mpsc::Sender<J>>,
+    result_rx: mpsc::Receiver<(usize, std::thread::Result<R>)>,
+}
+
+impl<J, R> PoolHandle<J, R> {
+    /// Number of workers in the pool.
+    pub fn threads(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Queues `job` on worker `worker`'s channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range, or if the worker exited —
+    /// which cannot happen while the handle is alive: workers only stop
+    /// when the job channels close, and a panicking job is caught and
+    /// reported through [`recv`](Self::recv) rather than killing the
+    /// worker loop.
+    pub fn send(&self, worker: usize, job: J) {
+        self.job_txs[worker].send(job).expect("pool worker alive");
+    }
+
+    /// Receives the next completed job as `(worker index, result)`.
+    ///
+    /// Blocks until a worker finishes. If the job panicked, the payload
+    /// is resumed *here*, on the dispatcher thread — callers that sent
+    /// N jobs and recv N results therefore observe worker panics as
+    /// their own, with the original message.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the panic of a panicked job; also panics if every worker
+    /// exited (impossible while the handle is alive, as for
+    /// [`send`](Self::send)).
+    pub fn recv(&self) -> (usize, R) {
+        let (w, result) = self.result_rx.recv().expect("pool worker alive");
+        match result {
+            Ok(r) => (w, r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// Runs `body` with a pool of `threads` persistent scoped workers.
+///
+/// Each worker `w` builds its private per-thread state once via
+/// `make_scratch(w)` (e.g. a reusable query scratch buffer), then loops:
+/// receive a job, run `worker(w, &mut scratch, job)` under
+/// `catch_unwind`, send the outcome back. All workers are joined before
+/// `with_pool` returns, and a panic anywhere — in a job, in
+/// `make_scratch` (deferred to the first job), in `body` itself —
+/// propagates out with its original payload.
+///
+/// Jobs are *addressed*: `body` chooses which worker runs which job via
+/// [`PoolHandle::send`]. Static sharding sends one job to every worker
+/// (the engine's per-slot broadcast); dynamic load balancing sends the
+/// next job to whichever worker just reported a result (the ensemble
+/// driver's self-scheduling loop).
+pub fn with_pool<J, R, S, T>(
+    threads: usize,
+    make_scratch: impl Fn(usize) -> S + Sync,
+    worker: impl Fn(usize, &mut S, J) -> R + Sync,
+    body: impl FnOnce(&PoolHandle<J, R>) -> T,
+) -> T
+where
+    J: Send,
+    R: Send,
+{
+    assert!(threads > 0, "with_pool needs at least one worker");
+    let out = crossbeam::scope(|s| {
+        let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        let mut job_txs: Vec<mpsc::Sender<J>> = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (job_tx, job_rx) = mpsc::channel::<J>();
+            job_txs.push(job_tx);
+            let result_tx = result_tx.clone();
+            let make_scratch = &make_scratch;
+            let worker = &worker;
+            s.spawn(move |_| {
+                // Scratch is built lazily inside the first job's
+                // catch_unwind: a panicking `make_scratch` then reports
+                // through the result channel like any job panic, and
+                // the worker loop stays alive — it must never die while
+                // the job channels are open, or a dispatcher blocks in
+                // `recv` / trips `send`'s "worker alive" invariant with
+                // the original payload lost.
+                let mut scratch: Option<S> = None;
+                while let Ok(job) = job_rx.recv() {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let scratch = scratch.get_or_insert_with(|| make_scratch(w));
+                        worker(w, scratch, job)
+                    }));
+                    if result_tx.send((w, result)).is_err() {
+                        break; // the dispatcher is gone; nobody is listening
+                    }
+                }
+            });
+        }
+        let handle = PoolHandle { job_txs, result_rx };
+        body(&handle)
+        // `handle` drops here, closing the job channels; the scope then
+        // joins every worker before returning.
+    });
+    match out {
+        Ok(t) => t,
+        // Propagate with the original payload (a panicked job resumed
+        // in `body`, or a panic of `body` itself), not a wrapper.
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Self-scheduling map over the pool: results land in input order
+    /// regardless of which worker ran what.
+    #[test]
+    fn dynamic_dispatch_preserves_order() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let n = jobs.len();
+        let results = with_pool(
+            3,
+            |_| (),
+            |_, _, (i, x): (usize, u64)| (i, x * x),
+            |pool| {
+                let mut out: Vec<Option<u64>> = vec![None; n];
+                let mut next = 0usize;
+                let mut in_flight = 0usize;
+                for w in 0..pool.threads().min(n) {
+                    pool.send(w, (next, jobs[next]));
+                    next += 1;
+                    in_flight += 1;
+                }
+                while in_flight > 0 {
+                    let (w, (i, r)) = pool.recv();
+                    out[i] = Some(r);
+                    in_flight -= 1;
+                    if next < n {
+                        pool.send(w, (next, jobs[next]));
+                        next += 1;
+                        in_flight += 1;
+                    }
+                }
+                out
+            },
+        );
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..37).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    /// Per-worker scratch is built once per thread and reused across
+    /// jobs (the whole point of a persistent pool).
+    #[test]
+    fn scratch_persists_across_jobs() {
+        let counts = with_pool(
+            2,
+            |_| 0u32,
+            |w, seen, _job: ()| {
+                *seen += 1;
+                (w, *seen)
+            },
+            |pool| {
+                for i in 0..10 {
+                    pool.send(i % 2, ());
+                }
+                (0..10).map(|_| pool.recv().1).collect::<Vec<_>>()
+            },
+        );
+        // Each worker saw 5 jobs; its scratch counted them up.
+        let max_per_worker: Vec<u32> = (0..2)
+            .map(|w| {
+                counts
+                    .iter()
+                    .filter(|(cw, _)| *cw == w)
+                    .map(|&(_, c)| c)
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(max_per_worker, vec![5, 5]);
+    }
+
+    /// A panicking job resumes on the dispatcher with its payload.
+    #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn job_panic_propagates_with_payload() {
+        with_pool(
+            2,
+            |_| (),
+            |_, _, j: usize| {
+                if j == 3 {
+                    panic!("job 3 exploded");
+                }
+                j
+            },
+            |pool| {
+                for j in 0..6 {
+                    pool.send(j % 2, j);
+                }
+                for _ in 0..6 {
+                    pool.recv();
+                }
+            },
+        );
+    }
+
+    /// A panicking `make_scratch` reports through the result channel
+    /// like a job panic — the worker survives to field further jobs,
+    /// so the dispatcher sees the original payload instead of a
+    /// deadlocked `recv` or a dead job channel.
+    #[test]
+    #[should_panic(expected = "no scratch today")]
+    fn make_scratch_panic_propagates_without_deadlock() {
+        with_pool(
+            2,
+            |_| -> u32 { panic!("no scratch today") },
+            |_, _, j: usize| j,
+            |pool| {
+                for j in 0..4 {
+                    pool.send(j % 2, j);
+                }
+                for _ in 0..4 {
+                    pool.recv();
+                }
+            },
+        );
+    }
+
+    /// Workers borrow from the caller's stack (scoped threads).
+    #[test]
+    fn jobs_borrow_caller_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = with_pool(
+            4,
+            |_| (),
+            |_, _, i: usize| data[i],
+            |pool| {
+                for i in 0..data.len() {
+                    pool.send(i % 4, i);
+                }
+                (0..data.len()).map(|_| pool.recv().1).sum::<u64>()
+            },
+        );
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        with_pool(0, |_| (), |_, _, (): ()| (), |_| ());
+    }
+}

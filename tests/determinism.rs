@@ -275,6 +275,63 @@ fn generator_stream_is_pinned() {
     );
 }
 
+/// Canonical byte rendering of an ensemble experiment's output: the
+/// aligned text tables *and* their JSON forms, concatenated — the
+/// bytes that end up on terminals and in committed `BENCH_*.json`
+/// snapshots.
+fn ensemble_fingerprint(tables: &[sinr_bench::table::Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        let _ = writeln!(out, "{}", t.render());
+        let _ = writeln!(out, "{}", t.to_json());
+    }
+    out
+}
+
+/// The ensemble-driver determinism gate (DESIGN.md §9): the full
+/// ensemble tables of every rerouted experiment (E1/E7/E8) must be
+/// **byte-identical** at 1, 2 and 4 worker threads and across two
+/// repeated runs. Three properties compose to make this hold — pure
+/// per-trial seed splitting, the driver's ordered merge, and the
+/// statistics layer's canonical summation order — and a regression in
+/// any of them (a scheduling-dependent seed, an out-of-order merge, an
+/// input-order float sum) lands here as a fingerprint mismatch.
+#[test]
+fn ensemble_tables_are_byte_identical_at_every_thread_count() {
+    use sinr_bench::experiments::{e1_init, e7_comparison, e8_latency};
+    use sinr_bench::ExpOptions;
+
+    type Runner = fn(&ExpOptions) -> Vec<sinr_bench::table::Table>;
+    let experiments: [(&str, Runner); 3] = [
+        ("e1", e1_init::run),
+        ("e7", e7_comparison::run),
+        ("e8", e8_latency::run),
+    ];
+    for (id, run) in experiments {
+        let base = ExpOptions {
+            quick: true,
+            seed: 17,
+            seeds: 3,
+            threads: 1,
+            ..Default::default()
+        };
+        let reference = ensemble_fingerprint(&run(&base));
+        let repeat = ensemble_fingerprint(&run(&base));
+        assert!(
+            reference == repeat,
+            "{id}: two identical ensemble runs diverged\n--- A ---\n{reference}\n--- B ---\n{repeat}"
+        );
+        for threads in [2usize, 4] {
+            let forked = ensemble_fingerprint(&run(&ExpOptions { threads, ..base }));
+            assert!(
+                reference == forked,
+                "{id}: ensemble tables at {threads} threads diverged from 1 thread\n\
+                 --- 1 thread ---\n{reference}\n--- {threads} threads ---\n{forked}"
+            );
+        }
+    }
+}
+
 /// Different seeds must actually change the outcome (the discipline is
 /// "seeded", not "constant").
 #[test]

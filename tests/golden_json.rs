@@ -1,0 +1,76 @@
+//! Golden-file pin of the machine-readable snapshot format.
+//!
+//! The committed `BENCH_*.json` trajectory snapshots are only useful if
+//! future PRs can diff them — which requires the schema and field
+//! order of [`Table::to_json`] and the `experiments --json` document
+//! to stay put. This test renders a fixed fixture through the real
+//! emitters and compares it byte-for-byte against a committed golden
+//! file. If it fails, either revert the accidental format drift or
+//! update `tests/golden/bench_doc.json` in the same commit — loudly
+//! and deliberately, because every committed snapshot (and any
+//! external tooling parsing them) ages with the format.
+
+use sinr_bench::table::{experiment_entry_json, experiments_doc_json, json_string, Table};
+
+/// A fixture exercising every feature of the format: expectation
+/// notes, ensemble `mean ± ci` cells, and JSON string escaping.
+fn fixture_tables() -> Vec<Table> {
+    let mut t1 = Table::new(
+        "E0a: golden fixture",
+        "shape note with \"quotes\" and a\nnewline",
+        &["family", "n", "seeds", "slots"],
+    );
+    t1.push_row(vec![
+        "uniform".into(),
+        "32".into(),
+        "4".into(),
+        "448.50 ±173.05".into(),
+    ]);
+    t1.push_row(vec![
+        "clustered".into(),
+        "64".into(),
+        "4".into(),
+        "481.50 ±102.99".into(),
+    ]);
+    let mut t2 = Table::new("E0b: second table", "", &["k", "v\\cell"]);
+    t2.push_row(vec!["1".into(), "2.00".into()]);
+    vec![t1, t2]
+}
+
+#[test]
+fn bench_doc_schema_is_pinned() {
+    let tables = fixture_tables();
+    let entry = experiment_entry_json("e0", "golden fixture experiment", 0.0, &tables);
+    let doc = experiments_doc_json(0xC0FFEE, true, "grid", 4, 1, &[entry]);
+    let golden = include_str!("golden/bench_doc.json");
+    assert!(
+        doc == golden,
+        "experiments --json document format drifted from tests/golden/bench_doc.json\n\
+         --- generated ---\n{doc}\n--- golden ---\n{golden}"
+    );
+}
+
+/// The table-level emitter alone, pinned against the same golden file:
+/// each table's JSON must appear verbatim inside the document (the
+/// document wraps tables without re-encoding them).
+#[test]
+fn table_to_json_is_embedded_verbatim() {
+    let golden = include_str!("golden/bench_doc.json");
+    for t in fixture_tables() {
+        let json = t.to_json();
+        assert!(
+            golden.contains(&json),
+            "Table::to_json output not found verbatim in the golden document:\n{json}"
+        );
+        // Spot-pin the field order — the schema contract, independent
+        // of the fixture values.
+        assert!(json.starts_with(&format!("{{\"title\":{}", json_string(&t.title))));
+        let (ti, ei, ci, ri) = (
+            json.find("\"title\"").unwrap(),
+            json.find("\"expectation\"").unwrap(),
+            json.find("\"columns\"").unwrap(),
+            json.find("\"rows\"").unwrap(),
+        );
+        assert!(ti < ei && ei < ci && ci < ri, "field order drifted: {json}");
+    }
+}
