@@ -6,6 +6,7 @@
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
 //!     [--engine naive|grid|parallel[:N]] [--seeds K] [--threads T] \
+//!     [--churn-kill K] [--repack full|incremental] \
 //!     [--export target/connect]
 //! ```
 //!
@@ -14,14 +15,26 @@
 //! (`--threads T`, 0 = auto) and the summary reports `mean ±95% CI`
 //! per metric instead of one seed's anecdote. Output bytes are
 //! independent of `T` (DESIGN.md §9).
+//!
+//! With `--churn-kill K` (single-instance runs) the demo additionally
+//! fails K random nodes after the build and repairs the structure,
+//! printing the re-pack cost accounting — `--repack` selects the
+//! incremental re-packer (default) or the centralized full reference
+//! (DESIGN.md §10).
 
 use std::path::PathBuf;
 
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use sinr_bench::ensemble::Ensemble;
 use sinr_bench::stats::Stats;
 use sinr_bench::table::{f2, Table};
 use sinr_bench::workloads::Family;
-use sinr_connectivity::{connect_with, EngineBackend, Strategy};
+use sinr_connectivity::repair::{repair_after_failures, PriorStructure};
+use sinr_connectivity::selector::MeanSamplingSelector;
+use sinr_connectivity::tvc::TvcConfig;
+use sinr_connectivity::{connect_with, EngineBackend, RepackMode, Strategy};
 use sinr_phy::{feasibility, SinrParams};
 
 struct Args {
@@ -32,6 +45,8 @@ struct Args {
     engine: EngineBackend,
     seeds: u64,
     threads: usize,
+    churn_kill: usize,
+    repack: RepackMode,
     export: Option<PathBuf>,
 }
 
@@ -43,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = EngineBackend::default();
     let mut seeds = 1u64;
     let mut threads = 0usize;
+    let mut churn_kill = 0usize;
+    let mut repack = RepackMode::default();
     let mut export = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +114,14 @@ fn parse_args() -> Result<Args, String> {
                 threads = val(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
                 i += 2;
             }
+            "--churn-kill" => {
+                churn_kill = val(i)?.parse().map_err(|e| format!("--churn-kill: {e}"))?;
+                i += 2;
+            }
+            "--repack" => {
+                repack = val(i)?.parse()?;
+                i += 2;
+            }
             "--export" => {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
@@ -106,7 +131,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
-                            [--seeds <K>] [--threads <T>] [--export <dir>]"
+                            [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
+                            [--repack full|incremental] [--export <dir>]"
                         .into(),
                 );
             }
@@ -121,6 +147,8 @@ fn parse_args() -> Result<Args, String> {
         engine,
         seeds,
         threads,
+        churn_kill,
+        repack,
         export,
     })
 }
@@ -139,6 +167,12 @@ fn main() {
     if args.seeds > 1 {
         if args.export.is_some() {
             eprintln!("--export works on a single instance; drop --seeds to export");
+            std::process::exit(2);
+        }
+        if args.churn_kill > 0 {
+            eprintln!(
+                "--churn-kill works on a single instance; drop --seeds to run the churn demo"
+            );
             std::process::exit(2);
         }
         run_ensemble(&args, &params);
@@ -181,6 +215,10 @@ fn main() {
         }
     }
 
+    if args.churn_kill > 0 {
+        run_churn_demo(&args, &params, &instance, &result);
+    }
+
     if let Some(dir) = args.export {
         if let Err(e) = export_csvs(&dir, &instance, &result) {
             eprintln!("export failed: {e}");
@@ -200,6 +238,92 @@ fn main() {
             "exported: {}/{{nodes,links}}.csv + network.svg",
             dir.display()
         );
+    }
+}
+
+/// The `--churn-kill K` demo: fail K random nodes after the build,
+/// repair with the selected re-packer, and print the re-pack cost
+/// accounting (the DESIGN.md §10 boundary made visible from the CLI).
+fn run_churn_demo(
+    args: &Args,
+    params: &SinrParams,
+    instance: &sinr_geom::Instance,
+    result: &sinr_connectivity::ConnectivityResult,
+) {
+    let Some(powers) = result.power.as_explicit() else {
+        eprintln!(
+            "--churn-kill needs explicit per-link powers; use a tvc-* strategy \
+             (strategy {} assigns powers by formula)",
+            result.strategy
+        );
+        std::process::exit(2);
+    };
+    if args.churn_kill >= instance.len() {
+        eprintln!("--churn-kill must leave at least one survivor");
+        std::process::exit(2);
+    }
+    // Parent array from the aggregation links (sender → parent).
+    let mut parents: Vec<Option<usize>> = vec![None; instance.len()];
+    for l in result.tree_links.iter() {
+        parents[l.sender] = Some(l.receiver);
+    }
+    let mut ids: Vec<usize> = (0..instance.len()).collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(args.seed ^ 0xC4C4_C4C4));
+    let failed: Vec<usize> = ids.into_iter().take(args.churn_kill).collect();
+
+    let prior = PriorStructure {
+        parents: &parents,
+        powers,
+        schedule: &result.aggregation_schedule,
+    };
+    let cfg = TvcConfig {
+        repack: args.repack,
+        ..Default::default()
+    };
+    let mut sel = MeanSamplingSelector::default();
+    let rep = match repair_after_failures(
+        params,
+        instance,
+        &prior,
+        &failed,
+        &cfg,
+        &mut sel,
+        args.seed.wrapping_add(0x5e1f),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("churn repair failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "churn:    killed {} node(s); kept {} links, re-attached {} for {} orphan(s)",
+        failed.len(),
+        rep.kept_links,
+        rep.new_links,
+        rep.orphaned_roots
+    );
+    println!(
+        "repack:   mode={} re-placed {}/{} links ({:.1}%), {}/{} slot groupings untouched, \
+         {} fresh slot(s), {:.2} ms",
+        rep.repack.mode,
+        rep.repack.repacked_links,
+        rep.repack.total_links,
+        100.0 * rep.repack.repacked_fraction(),
+        rep.repack.untouched_slots,
+        rep.repack.previous_slots,
+        rep.repack.fresh_slots,
+        rep.repack.pack_seconds * 1e3,
+    );
+    match feasibility::validate_schedule(params, &rep.instance, &rep.schedule, &rep.power) {
+        Ok(()) => println!(
+            "repaired: every slot SINR-feasible ({} slots)",
+            rep.schedule.num_slots()
+        ),
+        Err(e) => {
+            eprintln!("repaired schedule validation failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

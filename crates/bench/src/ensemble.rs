@@ -142,6 +142,45 @@ impl Ensemble {
         )
     }
 
+    /// The per-row ensemble scaffolding every ladder experiment shares:
+    /// enumerate the `(row, trial)` jobs of `rows` consecutive table
+    /// rows, derive each trial's `(instance_seed, algorithm_seed)`
+    /// hierarchically via [`trial_streams`], fan everything out in
+    /// **one** [`map`](Self::map) dispatch (so the pool persists across
+    /// the whole ladder and rows are not barriers), and hand back one
+    /// `Vec` of trial results per row, in row and trial order.
+    ///
+    /// Experiments with a non-standard split keep using [`map`]
+    /// directly: E7's *paired* ensemble draws every row's streams from
+    /// row 0, and E10 doubles the ensemble of one row block.
+    pub fn map_rows<R, F>(
+        &self,
+        experiment_seed: u64,
+        rows: usize,
+        seeds: u64,
+        trial: F,
+    ) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, u64, u64) -> R + Sync,
+    {
+        let jobs: Vec<(u64, u64)> = (0..rows as u64)
+            .flat_map(|row| (0..seeds).map(move |k| (row, k)))
+            .collect();
+        let flat = self.map(jobs, |(row, k)| {
+            let (inst_seed, algo_seed) = trial_streams(experiment_seed, row, k);
+            trial(row as usize, inst_seed, algo_seed)
+        });
+        let mut flat = flat.into_iter();
+        (0..rows)
+            .map(|_| {
+                (0..seeds)
+                    .map(|_| flat.next().expect("one result per enumerated job"))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Ensemble sweep of one table row: runs `trial(instance_seed,
     /// algorithm_seed)` for `k = 0..seeds` with the streams of
     /// [`trial_streams`], in parallel, results in trial order.
@@ -233,5 +272,22 @@ mod tests {
         let got = e.run_trials(99, 5, 4, |a, b| (a, b));
         let expect: Vec<(u64, u64)> = (0..4).map(|k| trial_streams(99, 5, k)).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn map_rows_chunks_in_row_and_trial_order() {
+        let e = Ensemble::new(3);
+        let got = e.map_rows(7, 3, 2, |row, a, b| (row, a, b));
+        assert_eq!(got.len(), 3);
+        for (row, trials) in got.iter().enumerate() {
+            assert_eq!(trials.len(), 2);
+            for (k, &(r, a, b)) in trials.iter().enumerate() {
+                assert_eq!(r, row);
+                assert_eq!((a, b), trial_streams(7, row as u64, k as u64));
+            }
+        }
+        // Degenerate shapes stay well-formed.
+        assert_eq!(e.map_rows(7, 0, 4, |_, _, _| ()).len(), 0);
+        assert_eq!(e.map_rows(7, 2, 0, |_, _, _| ()), vec![vec![], vec![]]);
     }
 }

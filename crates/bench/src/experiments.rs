@@ -6,6 +6,7 @@
 pub mod e10_ablations;
 pub mod e11_scaling;
 pub mod e12_connect_scaling;
+pub mod e13_churn;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -39,7 +40,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 12] = [
+pub const ALL: [Experiment; 13] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -100,6 +101,11 @@ pub const ALL: [Experiment; 12] = [
         what: "end-to-end connect scaling, per-phase timings",
         run: e12_connect_scaling::run,
     },
+    Experiment {
+        id: "e13",
+        what: "dynamic churn: incremental vs full re-packing",
+        run: e13_churn::run,
+    },
 ];
 
 #[cfg(test)]
@@ -114,6 +120,6 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ALL.len());
         assert_eq!(ids[0], "e1");
-        assert_eq!(ids[11], "e12");
+        assert_eq!(ids[12], "e13");
     }
 }

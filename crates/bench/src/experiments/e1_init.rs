@@ -15,7 +15,7 @@
 use sinr_connectivity::init::run_init;
 use sinr_phy::SinrParams;
 
-use crate::ensemble::{trial_streams, Ensemble};
+use crate::ensemble::Ensemble;
 use crate::stats::Stats;
 use crate::table::{f2, Table};
 use crate::workloads::{delta_sweep, Family};
@@ -39,14 +39,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let b_specs = delta_sweep(nb, opts.seed);
 
     let rows = a_specs.len() + b_specs.len();
-    let jobs: Vec<(u64, u64)> = (0..rows as u64)
-        .flat_map(|row| (0..seeds).map(move |k| (row, k)))
-        .collect();
     // One fan-out for the whole experiment; `(slots, rounds, norm,
     // logΔ)` per trial (E1b rows only consume the slots component).
-    let results = driver.map(jobs, |(row, k)| {
-        let (inst_seed, algo_seed) = trial_streams(opts.seed, row, k);
-        let row = row as usize;
+    let results = driver.map_rows(opts.seed, rows, seeds, |row, inst_seed, algo_seed| {
         if row < a_specs.len() {
             let (family, n) = a_specs[row];
             let inst = family.instance(n, inst_seed);
@@ -65,7 +60,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             (out.run.slots_used as f64, 0.0, 0.0, 0.0)
         }
     });
-    let mut per_row = results.chunks(seeds as usize);
+    let mut per_row = results.iter();
 
     // ---- E1a: slots vs n ------------------------------------------
     let mut t1 = Table::new(

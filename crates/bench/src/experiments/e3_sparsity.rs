@@ -1,27 +1,36 @@
 //! E3 — Theorems 11 & 13: the `Init` tree is `O(log n)`-sparse and its
 //! degree-capped subtree `T(M)` is `O(1)`-sparse while keeping a
 //! constant fraction of the links.
+//!
+//! Rows aggregate a `--seeds K` ensemble through the
+//! [`crate::ensemble`] driver (one dispatch for the whole ladder) and
+//! report `mean ±95% CI`.
 
 use sinr_connectivity::init::run_init;
 use sinr_links::{sparsity, LinkSet};
 use sinr_phy::SinrParams;
 
-use crate::table::{f2, Table};
+use crate::ensemble::Ensemble;
+use crate::stats::Stats;
+use crate::table::Table;
 use crate::workloads::Family;
-use crate::{mean, parallel_map, ExpOptions};
+use crate::ExpOptions;
 
 /// Runs E3, reporting the degree-capped subtree at two caps (the TVC
 /// default ρ = 8 and an aggressive ρ = 4 that actually prunes).
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
     let cfg = opts.init_config();
+    let seeds = opts.ensemble_seeds();
+    let driver = Ensemble::from_opts(opts);
 
     let mut t = Table::new(
         "E3: sparsity of the Init tree and its degree-capped subtree",
-        "ψ(T) = O(log n) (Thm 11); ψ(T(M)) = O(1) and |T(M)|/|T| = Ω(1) (Thm 13)",
+        "ψ(T) = O(log n) (Thm 11); ψ(T(M)) = O(1) and |T(M)|/|T| = Ω(1) (Thm 13) \
+         (mean ±95% CI)",
         &[
             "n",
-            "log n",
+            "seeds",
             "ψ(T) lower",
             "ψ(T) upper",
             "ψ(T(M,8))",
@@ -31,12 +40,14 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ],
     );
 
-    for &n in opts.sizes() {
-        let jobs: Vec<u64> = (0..opts.trials()).collect();
-        let rows = parallel_map(jobs, |seed_off| {
-            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(seed_off));
-            let out = run_init(&params, &inst, &cfg, opts.seed.wrapping_add(7 + seed_off))
-                .expect("init converges");
+    let sizes = opts.sizes();
+    let rows = driver.map_rows(
+        opts.seed,
+        sizes.len(),
+        seeds,
+        |row, inst_seed, algo_seed| {
+            let inst = Family::UniformSquare.instance(sizes[row], inst_seed);
+            let out = run_init(&params, &inst, &cfg, algo_seed).expect("init converges");
             let links = out.tree.aggregation_links();
             let lo = sparsity::sparsity_lower_bound(&inst, &links) as f64;
             let hi = sparsity::sparsity_upper_bound(&inst, &links) as f64;
@@ -58,16 +69,21 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let (psi8, frac8) = capped(8);
             let (psi4, frac4) = capped(4);
             (lo, hi, psi8, frac8, psi4, frac4)
-        });
+        },
+    );
+
+    type Pick = fn(&(f64, f64, f64, f64, f64, f64)) -> f64;
+    for (&n, trials) in sizes.iter().zip(&rows) {
+        let col = |f: Pick| Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell();
         t.push_row(vec![
             n.to_string(),
-            f2((n as f64).log2()),
-            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.5).collect::<Vec<_>>())),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
+            col(|r| r.2),
+            col(|r| r.3),
+            col(|r| r.4),
+            col(|r| r.5),
         ]);
     }
 
@@ -88,8 +104,14 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), opts.sizes().len());
-        // The capped fraction should be substantial (> 0.5 in practice).
-        let frac: f64 = tables[0].rows[0][5].parse().unwrap();
+        // The capped fraction should be substantial (> 0.3 in practice);
+        // the cell's leading number is the ensemble mean.
+        let frac: f64 = tables[0].rows[0][5]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(frac > 0.3, "degree cap removed too much: {frac}");
     }
 }

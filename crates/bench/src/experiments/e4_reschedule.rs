@@ -2,6 +2,12 @@
 //! far more compactly than its timestamp schedule, and the distributed
 //! contention-resolution schedule stays within a logarithmic factor of
 //! the centralized first-fit packing.
+//!
+//! Both tables run `--seeds K` ensembles through the
+//! [`crate::ensemble`] driver — E4a draws a fresh instance per trial,
+//! E4b keeps each chain fixture and varies only the protocol coins
+//! (like E1b) — and report `mean ±95% CI`. All `(row, k)` jobs of both
+//! tables fan out in one dispatch.
 
 use sinr_baselines::first_fit::{first_fit_schedule, FirstFitOrder};
 use sinr_connectivity::contention::ContentionConfig;
@@ -9,13 +15,17 @@ use sinr_connectivity::init::run_init;
 use sinr_connectivity::reschedule::reschedule_mean;
 use sinr_phy::{PowerAssignment, SinrParams};
 
+use crate::ensemble::Ensemble;
+use crate::stats::Stats;
 use crate::table::{f2, Table};
 use crate::workloads::{delta_sweep, Family};
-use crate::{mean, parallel_map, ExpOptions};
+use crate::ExpOptions;
 
 /// Runs E4 and returns tables E4a (vs n) and E4b (vs Δ).
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
+    let seeds = opts.ensemble_seeds();
+    let driver = Ensemble::from_opts(opts);
 
     let measure = |inst: &sinr_geom::Instance, seed: u64| -> (f64, f64, f64, f64) {
         let init = run_init(&params, inst, &opts.init_config(), seed).expect("init converges");
@@ -52,48 +62,76 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         )
     };
 
+    let sizes = opts.sizes();
+    let nb = if opts.quick { 16 } else { 24 };
+    let b_specs = delta_sweep(nb, opts.seed);
+    let rows_total = sizes.len() + b_specs.len();
+    let results = driver.map_rows(opts.seed, rows_total, seeds, |row, inst_seed, algo_seed| {
+        if row < sizes.len() {
+            let inst = Family::UniformSquare.instance(sizes[row], inst_seed);
+            measure(&inst, algo_seed)
+        } else {
+            // Fixture rows: the chain geometry is the row's fixture,
+            // only the protocol's coin flips vary.
+            let (_, inst) = &b_specs[row - sizes.len()];
+            measure(inst, algo_seed)
+        }
+    });
+    let mut per_row = results.iter();
+
     let mut t1 = Table::new(
         "E4a: schedule length, timestamps vs rescheduled (mean power)",
-        "distributed reschedule ≪ timestamps; within O(log n) of centralized first-fit",
+        "distributed reschedule ≪ timestamps; within O(log n) of centralized \
+         first-fit (mean ±95% CI)",
         &[
             "n",
+            "seeds",
             "timestamp slots",
             "distributed slots",
             "centralized slots",
             "dist/cent",
         ],
     );
-    for &n in opts.sizes() {
-        let jobs: Vec<u64> = (0..opts.trials()).collect();
-        let rows = parallel_map(jobs, |t| {
-            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t));
-            measure(&inst, opts.seed.wrapping_add(200 + t))
-        });
+    for &n in sizes {
+        let trials = per_row.next().expect("one chunk per row");
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| {
+            Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell()
+        };
         t1.push_row(vec![
             n.to_string(),
-            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
+            col(|r| r.2),
+            col(|r| r.3),
         ]);
     }
 
-    let n = if opts.quick { 16 } else { 24 };
     let mut t2 = Table::new(
         "E4b: schedule length vs Delta (mean power, fixed n)",
         "rescheduled < timestamps and ~flat in Δ; note the compacted timestamp \
          schedule saturates near n−1 at this small fixed n — the log Δ growth of \
-         the Init phase shows in its runtime (E1b), not in distinct occupied slots",
-        &["growth", "logΔ", "timestamp slots", "distributed slots"],
+         the Init phase shows in its runtime (E1b), not in distinct occupied slots \
+         (mean ±95% CI)",
+        &[
+            "growth",
+            "logΔ",
+            "seeds",
+            "timestamp slots",
+            "distributed slots",
+        ],
     );
-    for (growth, inst) in delta_sweep(n, opts.seed) {
-        let jobs: Vec<u64> = (0..opts.trials()).collect();
-        let rows = parallel_map(jobs, |t| measure(&inst, opts.seed.wrapping_add(400 + t)));
+    for (growth, inst) in &b_specs {
+        let trials = per_row.next().expect("one chunk per row");
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| {
+            Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell()
+        };
         t2.push_row(vec![
-            f2(growth),
+            f2(*growth),
             f2(inst.delta().log2()),
-            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
         ]);
     }
 
@@ -113,10 +151,12 @@ mod tests {
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
-        // Rescheduled must beat timestamps on the largest quick size.
+        // Rescheduled must beat timestamps on the largest quick size
+        // (ensemble means lead each cell).
         let last = tables[0].rows.last().unwrap();
-        let timestamps: f64 = last[1].parse().unwrap();
-        let rescheduled: f64 = last[2].parse().unwrap();
+        let lead = |cell: &str| -> f64 { cell.split_whitespace().next().unwrap().parse().unwrap() };
+        let timestamps = lead(&last[2]);
+        let rescheduled = lead(&last[3]);
         assert!(
             rescheduled <= timestamps,
             "reschedule ({rescheduled}) should not exceed timestamps ({timestamps})"

@@ -1,25 +1,35 @@
 //! E5 — Theorem 16: `TreeViaCapacity` with the mean-power sampling
 //! selector schedules a bi-tree in `O(Υ·log n)` slots, converging in
 //! `O(Υ·log Δ·log² n)` distributed time.
+//!
+//! Rows aggregate a `--seeds K` ensemble through the
+//! [`crate::ensemble`] driver (one dispatch for the whole ladder) and
+//! report `mean ±95% CI`.
 
 use sinr_connectivity::selector::MeanSamplingSelector;
 use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
 use sinr_phy::{upsilon, SinrParams};
 
-use crate::table::{f2, Table};
+use crate::ensemble::Ensemble;
+use crate::stats::Stats;
+use crate::table::Table;
 use crate::workloads::Family;
-use crate::{mean, parallel_map, ExpOptions};
+use crate::ExpOptions;
 
 /// Runs E5.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
+    let seeds = opts.ensemble_seeds();
+    let driver = Ensemble::from_opts(opts);
 
     let mut t = Table::new(
         "E5: TreeViaCapacity with mean power (Thm 16)",
-        "schedule = O(Υ·log n) slots: normalized column ~flat; runtime = O(Υ·logΔ·log² n)",
+        "schedule = O(Υ·log n) slots: normalized column ~flat; runtime = \
+         O(Υ·logΔ·log² n) (mean ±95% CI)",
         &[
             "family",
             "n",
+            "seeds",
             "Υ",
             "schedule slots",
             "slots/(Υ·log n)",
@@ -28,43 +38,55 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ],
     );
 
-    for family in [Family::UniformSquare, Family::Clustered] {
-        for &n in opts.sizes() {
-            let jobs: Vec<u64> = (0..opts.trials()).collect();
-            let rows = parallel_map(jobs, |t_off| {
-                let inst = family.instance(n, opts.seed.wrapping_add(t_off));
-                let mut sel = MeanSamplingSelector::default();
-                let out = tree_via_capacity(
-                    &params,
-                    &inst,
-                    &TvcConfig {
-                        init: opts.init_config(),
-                        ..Default::default()
-                    },
-                    &mut sel,
-                    opts.seed.wrapping_add(500 + t_off),
-                )
-                .expect("tvc converges");
-                let ups = upsilon(inst.len(), inst.delta());
-                let log_n = (inst.len() as f64).log2();
-                (
-                    ups,
-                    out.schedule_len() as f64,
-                    out.schedule_len() as f64 / (ups * log_n),
-                    out.iterations as f64,
-                    out.runtime_slots as f64,
-                )
-            });
-            t.push_row(vec![
-                family.label().into(),
-                n.to_string(),
-                f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
-            ]);
-        }
+    let specs: Vec<(Family, usize)> = [Family::UniformSquare, Family::Clustered]
+        .into_iter()
+        .flat_map(|family| opts.sizes().iter().map(move |&n| (family, n)))
+        .collect();
+    let results = driver.map_rows(
+        opts.seed,
+        specs.len(),
+        seeds,
+        |row, inst_seed, algo_seed| {
+            let (family, n) = specs[row];
+            let inst = family.instance(n, inst_seed);
+            let mut sel = MeanSamplingSelector::default();
+            let out = tree_via_capacity(
+                &params,
+                &inst,
+                &TvcConfig {
+                    init: opts.init_config(),
+                    ..Default::default()
+                },
+                &mut sel,
+                algo_seed,
+            )
+            .expect("tvc converges");
+            let ups = upsilon(inst.len(), inst.delta());
+            let log_n = (inst.len() as f64).log2();
+            (
+                ups,
+                out.schedule_len() as f64,
+                out.schedule_len() as f64 / (ups * log_n),
+                out.iterations as f64,
+                out.runtime_slots as f64,
+            )
+        },
+    );
+
+    for ((family, n), trials) in specs.iter().zip(&results) {
+        let col = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| {
+            Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell()
+        };
+        t.push_row(vec![
+            family.label().into(),
+            n.to_string(),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
+            col(|r| r.2),
+            col(|r| r.3),
+            col(|r| r.4),
+        ]);
     }
 
     vec![t]
@@ -84,5 +106,8 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 2 * opts.sizes().len());
+        for row in &tables[0].rows {
+            assert_eq!(row[2], "2");
+        }
     }
 }

@@ -2,25 +2,35 @@
 //! control schedules a bi-tree in `O(log n)` slots. Also reports the
 //! measured power-control cost `η` (slots spent in Foschini–Miljanic
 //! feedback rounds) and confirms the drop-fallback never fires.
+//!
+//! Rows aggregate a `--seeds K` ensemble through the
+//! [`crate::ensemble`] driver (one dispatch for the whole ladder) and
+//! report `mean ±95% CI`.
 
 use sinr_connectivity::selector::DistrCapSelector;
 use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
 use sinr_phy::SinrParams;
 
-use crate::table::{f2, Table};
+use crate::ensemble::Ensemble;
+use crate::stats::Stats;
+use crate::table::Table;
 use crate::workloads::Family;
-use crate::{mean, parallel_map, ExpOptions};
+use crate::ExpOptions;
 
 /// Runs E6.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
+    let seeds = opts.ensemble_seeds();
+    let driver = Ensemble::from_opts(opts);
 
     let mut t = Table::new(
         "E6: TreeViaCapacity with arbitrary power (Thm 21)",
-        "schedule = O(log n) slots: normalized column ~flat; dropped links = 0",
+        "schedule = O(log n) slots: normalized column ~flat; dropped links = 0 \
+         (mean ±95% CI)",
         &[
             "family",
             "n",
+            "seeds",
             "schedule slots",
             "slots/log n",
             "iterations",
@@ -29,43 +39,55 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ],
     );
 
-    for family in [Family::UniformSquare, Family::Clustered] {
-        for &n in opts.sizes() {
-            let jobs: Vec<u64> = (0..opts.trials()).collect();
-            let rows = parallel_map(jobs, |t_off| {
-                let inst = family.instance(n, opts.seed.wrapping_add(t_off));
-                let mut sel = DistrCapSelector::default();
-                let out = tree_via_capacity(
-                    &params,
-                    &inst,
-                    &TvcConfig {
-                        init: opts.init_config(),
-                        ..Default::default()
-                    },
-                    &mut sel,
-                    opts.seed.wrapping_add(600 + t_off),
-                )
-                .expect("tvc converges");
-                let log_n = (inst.len() as f64).log2();
-                let selection: u64 = out.trace.iter().map(|it| it.selection_slots).sum();
-                (
-                    out.schedule_len() as f64,
-                    out.schedule_len() as f64 / log_n,
-                    out.iterations as f64,
-                    selection as f64,
-                    sel.total_dropped as f64,
-                )
-            });
-            t.push_row(vec![
-                family.label().into(),
-                n.to_string(),
-                f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
-                f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
-            ]);
-        }
+    let specs: Vec<(Family, usize)> = [Family::UniformSquare, Family::Clustered]
+        .into_iter()
+        .flat_map(|family| opts.sizes().iter().map(move |&n| (family, n)))
+        .collect();
+    let results = driver.map_rows(
+        opts.seed,
+        specs.len(),
+        seeds,
+        |row, inst_seed, algo_seed| {
+            let (family, n) = specs[row];
+            let inst = family.instance(n, inst_seed);
+            let mut sel = DistrCapSelector::default();
+            let out = tree_via_capacity(
+                &params,
+                &inst,
+                &TvcConfig {
+                    init: opts.init_config(),
+                    ..Default::default()
+                },
+                &mut sel,
+                algo_seed,
+            )
+            .expect("tvc converges");
+            let log_n = (inst.len() as f64).log2();
+            let selection: u64 = out.trace.iter().map(|it| it.selection_slots).sum();
+            (
+                out.schedule_len() as f64,
+                out.schedule_len() as f64 / log_n,
+                out.iterations as f64,
+                selection as f64,
+                sel.total_dropped as f64,
+            )
+        },
+    );
+
+    for ((family, n), trials) in specs.iter().zip(&results) {
+        let col = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| {
+            Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell()
+        };
+        t.push_row(vec![
+            family.label().into(),
+            n.to_string(),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
+            col(|r| r.2),
+            col(|r| r.3),
+            col(|r| r.4),
+        ]);
     }
 
     vec![t]
@@ -85,7 +107,7 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         for row in &tables[0].rows {
-            let dropped: f64 = row[6].parse().unwrap();
+            let dropped: f64 = row[7].split_whitespace().next().unwrap().parse().unwrap();
             assert_eq!(dropped, 0.0, "power-control fallback fired");
         }
     }

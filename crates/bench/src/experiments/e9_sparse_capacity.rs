@@ -6,6 +6,10 @@
 //! - feasible sets satisfy `f_ℓ(R) = O(1)` (Eqn 5 amenability);
 //! - sparse sets partition into `O(1)` q-independent classes
 //!   (Lemma 23).
+//!
+//! Rows aggregate a `--seeds K` ensemble through the
+//! [`crate::ensemble`] driver (one dispatch for the whole ladder) and
+//! report `mean ±95% CI`.
 
 use sinr_baselines::capacity::greedy_capacity;
 use sinr_baselines::first_fit::{first_fit_schedule, FirstFitOrder};
@@ -14,9 +18,11 @@ use sinr_links::{independence, sparsity, Link, LinkSet};
 use sinr_phy::affectance::AffectanceCalc;
 use sinr_phy::{PowerAssignment, SinrParams};
 
-use crate::table::{f2, Table};
+use crate::ensemble::Ensemble;
+use crate::stats::Stats;
+use crate::table::Table;
 use crate::workloads::Family;
-use crate::{mean, parallel_map, ExpOptions};
+use crate::ExpOptions;
 
 fn mst_links(inst: &sinr_geom::Instance) -> LinkSet {
     sinr_geom::mst::mst_parent_array(inst, 0)
@@ -29,12 +35,16 @@ fn mst_links(inst: &sinr_geom::Instance) -> LinkSet {
 /// Runs E9.
 pub fn run(opts: &ExpOptions) -> Vec<Table> {
     let params = SinrParams::default();
+    let seeds = opts.ensemble_seeds();
+    let driver = Ensemble::from_opts(opts);
 
     let mut t = Table::new(
         "E9: sparse-set capacity machinery (Thm 9, Eqn 5, Lemma 23)",
-        "feasible fraction ≳ 1/ψ; schedule/(ψ·log n) ~flat; max f_ℓ(R) = O(1); O(1) q-indep classes",
+        "feasible fraction ≳ 1/ψ; schedule/(ψ·log n) ~flat; max f_ℓ(R) = O(1); \
+         O(1) q-indep classes (mean ±95% CI)",
         &[
             "n",
+            "seeds",
             "ψ (lower)",
             "feasible fraction",
             "ff slots",
@@ -44,10 +54,15 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ],
     );
 
-    for &n in opts.sizes() {
-        let jobs: Vec<u64> = (0..opts.trials()).collect();
-        let rows = parallel_map(jobs, |t_off| {
-            let inst = Family::UniformSquare.instance(n, opts.seed.wrapping_add(t_off));
+    let sizes = opts.sizes();
+    // The pipeline here is deterministic given the instance, so the
+    // trial only consumes the instance stream.
+    let results = driver.map_rows(
+        opts.seed,
+        sizes.len(),
+        seeds,
+        |row, inst_seed, _algo_seed| {
+            let inst = Family::UniformSquare.instance(sizes[row], inst_seed);
             let links = mst_links(&inst);
             let psi = sparsity::sparsity_lower_bound(&inst, &links).max(1);
 
@@ -88,15 +103,21 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 max_f,
                 classes as f64,
             )
-        });
+        },
+    );
+
+    type Pick = fn(&(f64, f64, f64, f64, f64, f64)) -> f64;
+    for (&n, trials) in sizes.iter().zip(&results) {
+        let col = |f: Pick| Stats::of(&trials.iter().map(f).collect::<Vec<_>>()).cell();
         t.push_row(vec![
             n.to_string(),
-            f2(mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>())),
-            f2(mean(&rows.iter().map(|r| r.5).collect::<Vec<_>>())),
+            seeds.to_string(),
+            col(|r| r.0),
+            col(|r| r.1),
+            col(|r| r.2),
+            col(|r| r.3),
+            col(|r| r.4),
+            col(|r| r.5),
         ]);
     }
 
@@ -117,7 +138,7 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         for row in &tables[0].rows {
-            let frac: f64 = row[2].parse().unwrap();
+            let frac: f64 = row[3].split_whitespace().next().unwrap().parse().unwrap();
             assert!(frac > 0.0, "greedy capacity selected nothing");
         }
     }

@@ -1,0 +1,289 @@
+//! A minimal JSON reader for the committed `BENCH_*.json` snapshots.
+//!
+//! The workspace's offline serde shim has no JSON backend, and the
+//! snapshot *emitters* (`table::to_json`, `table::experiments_doc_json`)
+//! deliberately build their documents by string formatting. The
+//! committed-snapshot CI gate needs the inverse: parse a snapshot back
+//! into a tree and check it still carries every field the current
+//! emitters produce. This module is that inverse — a small
+//! recursive-descent RFC 8259 parser, sufficient for (and tested
+//! against) the emitters' output, not a general-purpose JSON library.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object member order is preserved in
+/// [`Value::Object`]'s companion key list so schema checks can verify
+/// emitter field order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: members by key, plus the key order as written.
+    Object(BTreeMap<String, Value>, Vec<String>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map, _) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object's keys in document order; empty otherwise.
+    pub fn keys(&self) -> &[String] {
+        match self {
+            Value::Object(_, order) => order,
+            _ => &[],
+        }
+    }
+
+    /// The array's elements; `None` otherwise.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string's contents; `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (ignoring surrounding whitespace).
+///
+/// # Errors
+///
+/// Returns a human-readable description with a byte offset on malformed
+/// input or trailing garbage.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    let mut order = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map, order));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate object key `{key}`"));
+        }
+        order.push(key);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map, order));
+            }
+            other => return Err(format!("expected `,` or `}}` in object, found {other:?}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            other => return Err(format!("expected `,` or `]` in array, found {other:?}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // The emitters only escape control characters;
+                        // surrogate pairs do not occur in our documents.
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte safe).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structure() {
+        let v = parse(r#"{"a":1.5,"b":[true,false,null,"x\n\"y\""],"c":{}}"#).unwrap();
+        assert_eq!(v.keys(), ["a", "b", "c"]);
+        assert_eq!(v.get("a"), Some(&Value::Number(1.5)));
+        let arr = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[3].as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("c").unwrap().keys().len(), 0);
+    }
+
+    #[test]
+    fn round_trips_the_emitters() {
+        use crate::table::{experiment_entry_json, experiments_doc_json, Table};
+        let mut t = Table::new("T \"q\"", "exp\nnote", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x\\y ±0.5".into()]);
+        let entry = experiment_entry_json("e0", "unit fixture", 1.25, &[t]);
+        let doc = experiments_doc_json(7, true, "grid", 4, 1, &[entry]);
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.keys(),
+            ["seed", "quick", "engine", "seeds", "cores", "experiments"]
+        );
+        let exps = v.get("experiments").unwrap().as_array().unwrap();
+        assert_eq!(exps[0].keys(), ["id", "what", "seconds", "tables"]);
+        let table = &exps[0].get("tables").unwrap().as_array().unwrap()[0];
+        assert_eq!(table.keys(), ["title", "expectation", "columns", "rows"]);
+        assert_eq!(table.get("title").unwrap().as_str(), Some("T \"q\""));
+        assert_eq!(
+            table.get("expectation").unwrap().as_str(),
+            Some("exp\nnote")
+        );
+        let rows = table.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[1].as_str(), Some("x\\y ±0.5"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":1} trailing"#).is_err());
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse(r#"["unterminated"#).is_err());
+        assert!(parse("01a").is_err());
+    }
+}

@@ -20,15 +20,19 @@
 //! | [`experiments::e10_ablations`] | DESIGN.md §5 knob ablations |
 //! | [`experiments::e11_scaling`] | DESIGN.md §7: naive vs grid engine scaling |
 //! | [`experiments::e12_connect_scaling`] | DESIGN.md §8: end-to-end connect scaling |
+//! | [`experiments::e13_churn`] | DESIGN.md §10: incremental vs full re-packing under churn |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
 //! under `benches/`.
 //!
-//! The theorems hold w.h.p. over the random instance, so E1/E7/E8 run
-//! as multi-seed **ensembles** (`--seeds K --threads T`) through the
-//! [`ensemble`] driver and report `mean ±95% CI` per row via [`stats`]
-//! — byte-identically at any thread count (DESIGN.md §9).
+//! The theorems hold w.h.p. over the random instance, so every
+//! statistical experiment (E1–E10) runs as a multi-seed **ensemble**
+//! (`--seeds K --threads T`) through the [`ensemble`] driver and
+//! reports `mean ±95% CI` per row via [`stats`] — byte-identically at
+//! any thread count (DESIGN.md §9). The engineering experiments
+//! (E11–E13) assert parity columns instead; their wall-clock cells are
+//! measured, not derived.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@
 
 pub mod ensemble;
 pub mod experiments;
+pub mod json;
 pub mod stats;
 pub mod table;
 pub mod workloads;
@@ -98,8 +103,9 @@ impl ExpOptions {
         }
     }
 
-    /// Ensemble size of the multi-seed experiments (E1/E7/E8): the
-    /// `--seeds` flag, defaulting to [`trials`](Self::trials).
+    /// Ensemble size of the multi-seed experiments (every statistical
+    /// experiment, plus E13's churn trials): the `--seeds` flag,
+    /// defaulting to [`trials`](Self::trials).
     pub fn ensemble_seeds(&self) -> u64 {
         if self.seeds == 0 {
             self.trials()
@@ -134,10 +140,10 @@ pub fn max(xs: &[f64]) -> f64 {
 /// Runs `jobs` in parallel, preserving input order in the output.
 ///
 /// A thin wrapper over the ensemble driver with one worker per
-/// available core — the pre-ensemble experiments (E2–E6, E9, E10) fan
-/// their trials through this; the rerouted ensemble experiments
-/// (E1/E7/E8) use [`ensemble::Ensemble`] directly for `--seeds` /
-/// `--threads` control and `mean ± ci` statistics.
+/// available core. The experiments themselves all use
+/// [`ensemble::Ensemble`] directly for `--seeds` / `--threads` control
+/// and `mean ± ci` statistics; this helper remains for ad-hoc
+/// fan-outs.
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,

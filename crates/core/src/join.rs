@@ -5,8 +5,13 @@
 //! established nodes keep their uplinks and sleep; the newcomers (plus
 //! the old root, which is still the only node without an uplink) run
 //! the `TreeViaCapacity` selection loop until one root remains, and the
-//! merged tree is re-packed into an ordered feasible schedule — the
-//! same machinery as [`crate::repair`], seeded differently.
+//! merged tree is re-packed by [`crate::repack`]: every existing slot
+//! grouping stays in place and only the attachment links (plus their
+//! ancestor closure) re-run the bidirectional packing probes —
+//! [`RepackMode::Incremental`](crate::repack::RepackMode) via
+//! [`TvcConfig::repack`], with `Full` keeping the centralized
+//! whole-tree reference. Same machinery as [`crate::repair`], seeded
+//! differently.
 //!
 //! The paper's model normalizes the minimum pairwise distance to 1;
 //! arrivals that land closer than 1 to an existing node violate the
@@ -15,10 +20,11 @@
 use std::collections::HashMap;
 
 use sinr_geom::{Instance, NodeId, Point};
-use sinr_links::{BiTree, InTree, Link, Schedule};
+use sinr_links::{BiTree, InTree, Link, Schedule, ScheduleDelta};
 use sinr_phy::{PowerAssignment, SinrParams};
 
-use crate::repair::complete_and_pack;
+use crate::repack::RepackStats;
+use crate::repair::{complete_and_pack, PriorStructure};
 use crate::selector::SubsetSelector;
 use crate::tvc::TvcConfig;
 use crate::{CoreError, Result};
@@ -41,12 +47,15 @@ pub struct JoinOutcome {
     pub attached: usize,
     /// Distributed runtime of the attachment phase, in slots.
     pub runtime_slots: u64,
+    /// What the re-packer touched (mode, re-packed fraction, untouched
+    /// slots, wall-clock).
+    pub repack: RepackStats,
 }
 
 /// Attaches `new_points` to an existing structure.
 ///
-/// `old_parents`/`old_powers` describe the pre-join structure over
-/// `original` (e.g. from a `TvcOutcome`).
+/// `prior` describes the pre-join structure over `original` (e.g. from
+/// a `TvcOutcome`); the re-packer is selected by `cfg.repack`.
 ///
 /// # Errors
 ///
@@ -54,21 +63,19 @@ pub struct JoinOutcome {
 ///   closer than distance 1 to any existing/new point (model
 ///   normalization), or if `new_points` is empty;
 /// - attachment errors from the selection loop.
-#[allow(clippy::too_many_arguments)]
 pub fn join_nodes(
     params: &SinrParams,
     original: &Instance,
-    old_parents: &[Option<NodeId>],
-    old_powers: &HashMap<Link, f64>,
+    prior: &PriorStructure<'_>,
     new_points: &[Point],
     cfg: &TvcConfig,
     selector: &mut dyn SubsetSelector,
     seed: u64,
 ) -> Result<JoinOutcome> {
     let n_old = original.len();
-    if old_parents.len() != n_old {
+    if prior.parents.len() != n_old {
         return Err(CoreError::InvalidConfig {
-            name: "old_parents",
+            name: "prior.parents",
             reason: "parent array length must equal instance size",
         });
     }
@@ -96,12 +103,12 @@ pub fn join_nodes(
     // are the active set.
     let mut seeded: Vec<Option<NodeId>> = vec![None; instance.len()];
     let mut kept_powers: HashMap<Link, f64> = HashMap::new();
-    for (u, parent) in old_parents.iter().enumerate() {
+    for (u, parent) in prior.parents.iter().enumerate() {
         if let Some(p) = parent {
             seeded[u] = Some(*p);
             let link = Link::new(u, *p);
             for dir in [link, link.dual()] {
-                let pw = old_powers.get(&dir).copied().ok_or(CoreError::Phy(
+                let pw = prior.powers.get(&dir).copied().ok_or(CoreError::Phy(
                     sinr_phy::PhyError::MissingPower { link: dir },
                 ))?;
                 kept_powers.insert(dir, pw);
@@ -109,7 +116,21 @@ pub fn join_nodes(
         }
     }
 
-    let done = complete_and_pack(params, &instance, seeded, kept_powers, cfg, selector, seed)?;
+    // Ids are stable under a join, so the schedule delta is the
+    // identity: every existing grouping survives; attachment links are
+    // simply absent (fresh).
+    let delta = ScheduleDelta::unchanged(prior.schedule);
+
+    let done = complete_and_pack(
+        params,
+        &instance,
+        seeded,
+        kept_powers,
+        delta,
+        cfg,
+        selector,
+        seed,
+    )?;
     Ok(JoinOutcome {
         instance,
         tree: done.tree,
@@ -118,6 +139,7 @@ pub fn join_nodes(
         power: done.power,
         attached: new_points.len(),
         runtime_slots: done.runtime_slots,
+        repack: done.repack,
     })
 }
 
@@ -125,6 +147,7 @@ pub fn join_nodes(
 mod tests {
     use super::*;
     use crate::latency::audit_bitree;
+    use crate::repack::RepackMode;
     use crate::selector::MeanSamplingSelector;
     use crate::tvc::tree_via_capacity;
     use sinr_geom::gen;
@@ -159,13 +182,17 @@ mod tests {
         let params = SinrParams::default();
         let (inst, out) = build(30, 11);
         let (parents, powers) = pieces(&out);
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &out.schedule,
+        };
         let newcomers = far_points(&inst, 4);
         let mut sel = MeanSamplingSelector::default();
         let joined = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &newcomers,
             &TvcConfig::default(),
             &mut sel,
@@ -175,6 +202,10 @@ mod tests {
         assert_eq!(joined.instance.len(), 34);
         assert_eq!(joined.attached, 4);
         assert_eq!(joined.tree.len(), 34);
+        assert_eq!(joined.repack.mode, RepackMode::Incremental);
+        assert_eq!(joined.repack.fresh_links, 4);
+        assert!(joined.repack.repacked_links >= 4);
+        assert!(joined.repack.repacked_fraction() < 1.0);
         feasibility::validate_schedule(&params, &joined.instance, &joined.schedule, &joined.power)
             .unwrap();
         let (up, down) =
@@ -187,13 +218,17 @@ mod tests {
         let params = SinrParams::default();
         let (inst, out) = build(24, 5);
         let (parents, powers) = pieces(&out);
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &out.schedule,
+        };
         let newcomers = far_points(&inst, 2);
         let mut sel = MeanSamplingSelector::default();
         let joined = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &newcomers,
             &TvcConfig::default(),
             &mut sel,
@@ -212,6 +247,11 @@ mod tests {
         let params = SinrParams::default();
         let (inst, out) = build(10, 3);
         let (parents, powers) = pieces(&out);
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &out.schedule,
+        };
         let mut sel = MeanSamplingSelector::default();
         // A point 0.25 away from node 0.
         let p0 = inst.position(0);
@@ -219,8 +259,7 @@ mod tests {
         let e = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &bad,
             &TvcConfig::default(),
             &mut sel,
@@ -232,8 +271,7 @@ mod tests {
         let e = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &dup,
             &TvcConfig::default(),
             &mut sel,
@@ -247,12 +285,16 @@ mod tests {
         let params = SinrParams::default();
         let (inst, out) = build(8, 2);
         let (parents, powers) = pieces(&out);
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &out.schedule,
+        };
         let mut sel = MeanSamplingSelector::default();
         let e = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &[],
             &TvcConfig::default(),
             &mut sel,
@@ -266,12 +308,16 @@ mod tests {
         let params = SinrParams::default();
         let (inst, out) = build(16, 7);
         let (parents, powers) = pieces(&out);
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &out.schedule,
+        };
         let mut sel = MeanSamplingSelector::default();
         let j1 = join_nodes(
             &params,
             &inst,
-            &parents,
-            &powers,
+            &prior,
             &far_points(&inst, 3),
             &TvcConfig::default(),
             &mut sel,
@@ -280,11 +326,15 @@ mod tests {
         .unwrap();
         let parents2: Vec<Option<NodeId>> = (0..j1.tree.len()).map(|u| j1.tree.parent(u)).collect();
         let powers2 = j1.power.as_explicit().unwrap().clone();
+        let prior2 = PriorStructure {
+            parents: &parents2,
+            powers: &powers2,
+            schedule: &j1.schedule,
+        };
         let j2 = join_nodes(
             &params,
             &j1.instance,
-            &parents2,
-            &powers2,
+            &prior2,
             &far_points(&j1.instance, 2),
             &TvcConfig::default(),
             &mut sel,

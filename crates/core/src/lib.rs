@@ -41,6 +41,7 @@ pub mod init;
 pub mod join;
 pub mod latency;
 pub mod power_control;
+pub mod repack;
 pub mod repair;
 pub mod reschedule;
 pub mod selector;
@@ -48,6 +49,8 @@ pub mod tvc;
 
 pub use api::{connect, connect_with, ConnectivityResult, Strategy};
 pub use error::CoreError;
+pub use repack::{RepackMode, RepackStats};
+pub use repair::PriorStructure;
 pub use sinr_sim::EngineBackend;
 
 /// Convenience result alias for fallible connectivity operations.

@@ -28,6 +28,7 @@ use sinr_links::{BiTree, InTree, Link, LinkSet, Schedule};
 use sinr_phy::{PowerAssignment, SinrParams};
 
 use crate::init::{run_init_on, InitConfig};
+use crate::repack::RepackMode;
 use crate::selector::{SelectorOutcome, SubsetSelector};
 use crate::{CoreError, Result};
 
@@ -42,6 +43,12 @@ pub struct TvcConfig {
     pub degree_cap: usize,
     /// Safety bound on iterations.
     pub max_iterations: u32,
+    /// Which re-packer the dynamic pipelines (`repair`, `join`) run
+    /// after merging a churn delta ([`RepackMode::Incremental`] by
+    /// default; `Full` keeps the centralized reference reachable).
+    /// `tree_via_capacity` itself never re-packs — the field rides here
+    /// because the dynamic pipelines already thread a `TvcConfig`.
+    pub repack: RepackMode,
 }
 
 impl Default for TvcConfig {
@@ -50,6 +57,7 @@ impl Default for TvcConfig {
             init: InitConfig::default(),
             degree_cap: 8,
             max_iterations: 400,
+            repack: RepackMode::default(),
         }
     }
 }

@@ -1,0 +1,257 @@
+//! Property-based tests for the dynamic pipelines: random interleavings
+//! of kill/join churn deltas through `repair`/`join` with the
+//! incremental re-packer, asserting after **every** batch that
+//!
+//! - the re-packed schedule is feasible in *both* directions
+//!   (Definition 1: aggregation and dissemination share one slot
+//!   grouping);
+//! - the bi-tree ordering property holds (checked by `BiTree::new`
+//!   inside the pipelines, re-checked here via the dissemination
+//!   schedule);
+//! - every **untouched** slot grouping is byte-identical to the old
+//!   schedule, where "untouched" is recomputed independently from the
+//!   delta (no removal, no member in the dirty closure, no insertion)
+//!   and must agree with the packer's own accounting.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sinr_connectivity::join::join_nodes;
+use sinr_connectivity::repair::{repair_after_failures, PriorStructure};
+use sinr_connectivity::selector::MeanSamplingSelector;
+use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
+use sinr_connectivity::RepackStats;
+use sinr_geom::{Instance, NodeId, Point};
+use sinr_links::{InTree, Link, LinkSet, Schedule};
+use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+
+/// One churn batch of the random interleaving.
+#[derive(Clone, Debug)]
+enum Churn {
+    /// Kill the nodes at these (mod-reduced) indices.
+    Kill(Vec<usize>),
+    /// Join this many far-field newcomers.
+    Join(usize),
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    (
+        0u8..2,
+        proptest::collection::vec(0usize..1_000, 1..3),
+        1usize..3,
+    )
+        .prop_map(|(kind, kills, joins)| {
+            if kind == 0 {
+                Churn::Kill(kills)
+            } else {
+                Churn::Join(joins)
+            }
+        })
+}
+
+/// Independently recompute which previous slots must have survived
+/// byte-identically, and check the packer's accounting and the actual
+/// groupings against it.
+///
+/// `kept` is the previous schedule already remapped to the new ids
+/// (identity for joins); `removed_slots` the slots vacated by failed
+/// links.
+fn check_untouched_slots(
+    kept: &Schedule,
+    removed_slots: &[usize],
+    tree: &InTree,
+    new_schedule: &Schedule,
+    stats: &RepackStats,
+) -> Result<(), TestCaseError> {
+    let n = tree.len();
+    // The dirty closure, recomputed from scratch: fresh links (tree
+    // links absent from the kept schedule) plus all their ancestors.
+    let mut dirty = vec![false; n];
+    for u in 0..n {
+        let Some(p) = tree.parent(u) else { continue };
+        if kept.slot_of(Link::new(u, p)).is_none() {
+            let mut cur = u;
+            while !dirty[cur] {
+                dirty[cur] = true;
+                match tree.parent(cur) {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    let prev_slots = kept
+        .num_slots()
+        .max(removed_slots.iter().map(|&s| s + 1).max().unwrap_or(0));
+    let kept_groups: Vec<LinkSet> = {
+        let mut groups = vec![LinkSet::new(); prev_slots];
+        for (l, s) in kept.iter() {
+            groups[s].insert(l);
+        }
+        groups
+    };
+    let new_groups: Vec<LinkSet> = new_schedule.slots();
+
+    let mut untouched_expected = 0usize;
+    for (s, group) in kept_groups.iter().enumerate() {
+        if removed_slots.contains(&s) {
+            continue; // vacated: touched by definition
+        }
+        let clean = group
+            .iter()
+            .all(|l| l.sender < n && tree.parent(l.sender) == Some(l.receiver) && !dirty[l.sender]);
+        if group.is_empty() || !clean {
+            continue;
+        }
+        // Clean groupings must survive in one piece: every member in
+        // the same (possibly renumbered) slot.
+        let new_slot = new_schedule.slot_of(group.iter().next().unwrap());
+        prop_assert!(new_slot.is_some(), "clean link lost its slot");
+        let new_slot = new_slot.unwrap();
+        for l in group.iter() {
+            prop_assert_eq!(
+                new_schedule.slot_of(l),
+                Some(new_slot),
+                "clean grouping of previous slot {} was split",
+                s
+            );
+        }
+        // Untouched ⇔ nothing was inserted: the grouping is
+        // byte-identical to the old schedule's.
+        if &new_groups[new_slot] == group {
+            untouched_expected += 1;
+        }
+    }
+    prop_assert_eq!(
+        stats.untouched_slots,
+        untouched_expected,
+        "packer accounting disagrees with the recomputed untouched set"
+    );
+    Ok(())
+}
+
+/// Both schedule directions must be feasible under the outcome powers.
+fn check_bidirectional(
+    params: &SinrParams,
+    instance: &Instance,
+    schedule: &Schedule,
+    power: &PowerAssignment,
+) -> Result<(), TestCaseError> {
+    prop_assert!(feasibility::validate_schedule(params, instance, schedule, power).is_ok());
+    let dual = schedule.map_links(Link::dual).unwrap();
+    prop_assert!(feasibility::validate_schedule(params, instance, &dual, power).is_ok());
+    Ok(())
+}
+
+/// Far-field join points: placed past the bounding box at unit-safe
+/// spacing, jittered by the op index so repeated joins stay distinct.
+fn join_points(inst: &Instance, k: usize, salt: usize) -> Vec<Point> {
+    let bb = inst.bounding_box();
+    (0..k)
+        .map(|i| {
+            Point::new(
+                bb.max().x + 3.0 + 2.0 * i as f64,
+                bb.min().y + 1.5 * salt as f64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random kill/join interleavings through the real pipelines with
+    /// the incremental re-packer.
+    #[test]
+    fn churn_interleavings_stay_feasible_and_local(
+        seed in 0u64..5_000,
+        n in 16usize..28,
+        ops in proptest::collection::vec(arb_churn(), 1..4),
+    ) {
+        let params = SinrParams::default();
+        let mut sel = MeanSamplingSelector::default();
+        let mut instance = sinr_geom::gen::uniform_square(n, 1.8, seed).unwrap();
+        let built =
+            tree_via_capacity(&params, &instance, &TvcConfig::default(), &mut sel, seed).unwrap();
+        let mut parents: Vec<Option<NodeId>> =
+            (0..built.tree.len()).map(|u| built.tree.parent(u)).collect();
+        let mut powers: HashMap<Link, f64> = built.power.as_explicit().unwrap().clone();
+        let mut schedule = built.schedule.clone();
+
+        for (op_index, op) in ops.into_iter().enumerate() {
+            let prior = PriorStructure {
+                parents: &parents,
+                powers: &powers,
+                schedule: &schedule,
+            };
+            let op_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(op_index as u64);
+            match op {
+                Churn::Kill(raw) => {
+                    let mut failed: Vec<usize> =
+                        raw.iter().map(|&i| i % instance.len()).collect();
+                    failed.sort_unstable();
+                    failed.dedup();
+                    if instance.len() - failed.len() < 4 {
+                        continue; // keep the structure non-degenerate
+                    }
+                    let rep = repair_after_failures(
+                        &params, &instance, &prior, &failed,
+                        &TvcConfig::default(), &mut sel, op_seed,
+                    ).unwrap();
+
+                    check_bidirectional(&params, &rep.instance, &rep.schedule, &rep.power)?;
+                    // Recompute the delta the pipeline derived and
+                    // verify the untouched accounting.
+                    let delta = schedule.delta_map(|l| {
+                        let s = rep.old_to_new[l.sender]?;
+                        let r = rep.old_to_new[l.receiver]?;
+                        Some(Link::new(s, r))
+                    }).unwrap();
+                    let removed: Vec<usize> =
+                        delta.removed.iter().map(|&(_, s)| s).collect();
+                    check_untouched_slots(
+                        &delta.kept, &removed, &rep.tree, &rep.schedule, &rep.repack,
+                    )?;
+                    // Locality: only fresh links and their ancestor
+                    // closure re-pack.
+                    prop_assert_eq!(
+                        rep.repack.kept_in_place + rep.repack.repacked_links,
+                        rep.tree.len() - 1
+                    );
+
+                    parents = (0..rep.tree.len()).map(|u| rep.tree.parent(u)).collect();
+                    powers = rep.power.as_explicit().unwrap().clone();
+                    schedule = rep.schedule.clone();
+                    instance = rep.instance;
+                }
+                Churn::Join(k) => {
+                    let points = join_points(&instance, k, op_index + 1);
+                    let joined = join_nodes(
+                        &params, &instance, &prior, &points,
+                        &TvcConfig::default(), &mut sel, op_seed,
+                    ).unwrap();
+
+                    check_bidirectional(
+                        &params, &joined.instance, &joined.schedule, &joined.power,
+                    )?;
+                    check_untouched_slots(
+                        &schedule, &[], &joined.tree, &joined.schedule, &joined.repack,
+                    )?;
+                    prop_assert_eq!(joined.repack.fresh_links, k);
+                    prop_assert_eq!(
+                        joined.repack.kept_in_place + joined.repack.repacked_links,
+                        joined.tree.len() - 1
+                    );
+
+                    parents = (0..joined.tree.len()).map(|u| joined.tree.parent(u)).collect();
+                    powers = joined.power.as_explicit().unwrap().clone();
+                    schedule = joined.schedule.clone();
+                    instance = joined.instance;
+                }
+            }
+        }
+    }
+}

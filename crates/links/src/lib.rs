@@ -46,7 +46,7 @@ pub use bitree::BiTree;
 pub use error::LinkError;
 pub use link::Link;
 pub use linkset::LinkSet;
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleDelta};
 pub use tree::InTree;
 
 /// Convenience result alias for fallible link/tree operations.

@@ -189,6 +189,69 @@ impl Schedule {
     pub fn iter(&self) -> impl Iterator<Item = (Link, usize)> + '_ {
         self.assignment.iter().map(|(&l, &s)| (l, s))
     }
+
+    /// The delta view of this schedule under a partial link remap: every
+    /// link is passed through `f`, keeping its slot; links mapped to
+    /// `None` are recorded as removed together with the slot they
+    /// vacated. This is how the dynamic pipelines (`repair`, `join`)
+    /// express "which slot groupings survived a churn batch" to the
+    /// incremental re-packer — id-compaction and failed-link removal in
+    /// one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::ScheduleMismatch`] if `f` maps two surviving
+    /// links to the same link.
+    pub fn delta_map<F: FnMut(Link) -> Option<Link>>(&self, mut f: F) -> Result<ScheduleDelta> {
+        let mut kept = Schedule::new();
+        let mut removed = Vec::new();
+        for (&l, &s) in &self.assignment {
+            match f(l) {
+                Some(mapped) => {
+                    if kept.assignment.insert(mapped, s).is_some() {
+                        return Err(LinkError::ScheduleMismatch {
+                            detail: format!("two surviving links map to {mapped:?}"),
+                        });
+                    }
+                }
+                None => removed.push((l, s)),
+            }
+        }
+        Ok(ScheduleDelta { kept, removed })
+    }
+}
+
+/// How a schedule changed under a churn delta: the surviving links with
+/// their (remapped) identities and original slots, plus the links that
+/// vanished and the slots they vacated. Produced by
+/// [`Schedule::delta_map`]; consumed by the incremental re-packer in
+/// `sinr-connectivity` (slots in `kept` are **not** renumbered, so they
+/// line up with `removed` and with the pre-churn schedule).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleDelta {
+    /// Surviving links at their original slots (remapped ids).
+    pub kept: Schedule,
+    /// Removed links (original ids) and the slots they vacated.
+    pub removed: Vec<(Link, usize)>,
+}
+
+impl ScheduleDelta {
+    /// A delta in which nothing changed (the `join` seed: every existing
+    /// link keeps its slot, newcomers are simply absent).
+    pub fn unchanged(schedule: &Schedule) -> Self {
+        ScheduleDelta {
+            kept: schedule.clone(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Number of slots the pre-churn schedule occupied: one past the
+    /// largest slot seen across kept and removed links.
+    pub fn previous_slots(&self) -> usize {
+        let kept = self.kept.num_slots();
+        let removed = self.removed.iter().map(|&(_, s)| s + 1).max().unwrap_or(0);
+        kept.max(removed)
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +331,45 @@ mod tests {
         assert_eq!(s.num_slots(), 0);
         assert!(s.is_empty());
         assert!(s.validate_covers(&LinkSet::new()).is_ok());
+    }
+
+    #[test]
+    fn delta_map_splits_kept_and_removed() {
+        let s = sample();
+        // Drop node 2 (kills link 2→3), compact ids above it by one.
+        let remap = |u: usize| -> Option<usize> {
+            match u.cmp(&2) {
+                std::cmp::Ordering::Less => Some(u),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(u - 1),
+            }
+        };
+        let delta = s
+            .delta_map(|l| Some(Link::new(remap(l.sender)?, remap(l.receiver)?)))
+            .unwrap();
+        assert_eq!(delta.kept.len(), 2);
+        assert_eq!(delta.kept.slot_of(Link::new(0, 1)), Some(0));
+        assert_eq!(delta.kept.slot_of(Link::new(1, 3)), Some(2)); // 1→4 renamed
+        assert_eq!(delta.removed, vec![(Link::new(2, 3), 0)]);
+        assert_eq!(delta.previous_slots(), 3);
+    }
+
+    #[test]
+    fn delta_map_rejects_colliding_remaps() {
+        let s = sample();
+        assert!(matches!(
+            s.delta_map(|_| Some(Link::new(0, 1))),
+            Err(LinkError::ScheduleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unchanged_delta_keeps_everything() {
+        let s = sample();
+        let delta = ScheduleDelta::unchanged(&s);
+        assert_eq!(delta.kept, s);
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.previous_slots(), s.num_slots());
+        assert_eq!(ScheduleDelta::default().previous_slots(), 0);
     }
 }

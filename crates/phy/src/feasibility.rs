@@ -258,6 +258,26 @@ impl<'a> SlotAuditor<'a> {
         }
     }
 
+    /// An auditor pre-seeded with a slot's resident links, pushed in
+    /// iteration order — the constructor the incremental re-packer
+    /// (`sinr-connectivity::repack`) uses to rebuild a surviving slot's
+    /// probe state without replaying the original packing run. The
+    /// residents are *pushed*, not assumed feasible: a subsequent
+    /// [`is_feasible`](Self::is_feasible) reports on exactly the seeded
+    /// set, and [`try_push`](Self::try_push) probes against it with the
+    /// same bit-exact decisions as an auditor grown link by link.
+    pub fn with_residents<I: IntoIterator<Item = (Link, f64)>>(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        residents: I,
+    ) -> Self {
+        let mut auditor = SlotAuditor::new(params, instance);
+        for (link, power) in residents {
+            auditor.push(link, power);
+        }
+        auditor
+    }
+
     /// Number of links currently in the slot.
     pub fn len(&self) -> usize {
         self.links.len()
@@ -564,6 +584,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A seeded auditor is indistinguishable from one grown push by
+    /// push: same resident list, same feasibility bits, same probe
+    /// decisions.
+    #[test]
+    fn seeded_auditor_matches_incremental_growth() {
+        use sinr_geom::gen;
+        let p = params();
+        let inst = gen::uniform_square(30, 1.5, 4).unwrap();
+        let power = PowerAssignment::mean_with_margin(&p, inst.delta());
+        let residents: Vec<(Link, f64)> = [(0, 5), (7, 12), (20, 23)]
+            .iter()
+            .map(|&(u, v)| {
+                let l = Link::new(u, v);
+                (l, power.power_of(l, &inst, &p).unwrap())
+            })
+            .collect();
+        let mut grown = SlotAuditor::new(&p, &inst);
+        for &(l, pw) in &residents {
+            grown.push(l, pw);
+        }
+        let mut seeded = SlotAuditor::with_residents(&p, &inst, residents.iter().copied());
+        assert_eq!(grown.links(), seeded.links());
+        assert_eq!(grown.is_feasible(), seeded.is_feasible());
+        let probe = Link::new(15, 16);
+        let pw = power.power_of(probe, &inst, &p).unwrap();
+        assert_eq!(grown.try_push(probe, pw), seeded.try_push(probe, pw));
+        assert_eq!(grown.links(), seeded.links());
     }
 
     #[test]

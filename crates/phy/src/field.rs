@@ -241,6 +241,18 @@ impl<'a> InterferenceField<'a> {
         }
     }
 
+    /// The field's decode-cutoff radius `R(P_max) = (P_max/(βN))^{1/α}`
+    /// (§7.1): no transmitter in this field can be decoded — and no
+    /// single transmitter can contribute a decision-flipping
+    /// interference term on a noise-margin link — from beyond this
+    /// distance. Infinite when the model is noiseless. The incremental
+    /// re-packer (`sinr-connectivity::repack`) uses it to reason about
+    /// which surviving slot groupings a churn delta can possibly
+    /// disturb.
+    pub fn decode_radius(&self) -> f64 {
+        Self::decode_radius_for(self.params, self.max_power)
+    }
+
     /// Which transmitter, if any, listener `v` decodes — bit-identical
     /// to [`decode_best_exact`] over this field's senders.
     pub fn decode_best(&self, v: NodeId) -> Option<(NodeId, f64, f64)> {

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sinr_connect_suite::connectivity::latency::audit_bitree;
-use sinr_connect_suite::connectivity::repair::repair_after_failures;
+use sinr_connect_suite::connectivity::repair::{repair_after_failures, PriorStructure};
 use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
 use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
 use sinr_connect_suite::geom::gen;
@@ -48,16 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Repair: survivors keep their links; orphaned subtree roots re-run
-    // the selection loop; the merged tree is re-packed.
+    // the selection loop; only the damaged region of the schedule is
+    // re-packed (the incremental re-packer keeps surviving slot
+    // groupings in place).
     let old_parents: Vec<Option<usize>> = (0..built.tree.len())
         .map(|u| built.tree.parent(u))
         .collect();
     let old_powers = built.power.as_explicit().expect("explicit powers").clone();
+    let prior = PriorStructure {
+        parents: &old_parents,
+        powers: &old_powers,
+        schedule: &built.schedule,
+    };
     let repaired = repair_after_failures(
         &params,
         &instance,
-        &old_parents,
-        &old_powers,
+        &prior,
         &failed,
         &TvcConfig::default(),
         &mut selector,
@@ -72,6 +78,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "reattachment ran {} distributed slots; new schedule {} slots",
         repaired.runtime_slots,
         repaired.schedule.num_slots()
+    );
+    println!(
+        "re-pack ({}): {} of {} links re-placed ({:.1}%), {}/{} slot groupings untouched",
+        repaired.repack.mode,
+        repaired.repack.repacked_links,
+        repaired.repack.total_links,
+        100.0 * repaired.repack.repacked_fraction(),
+        repaired.repack.untouched_slots,
+        repaired.repack.previous_slots,
     );
 
     // Prove the repaired network still works, end to end.

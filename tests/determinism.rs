@@ -332,6 +332,150 @@ fn ensemble_tables_are_byte_identical_at_every_thread_count() {
     }
 }
 
+/// Thread-count byte-parity of the experiments rerouted onto the
+/// ensemble driver in the E13 pass (E2–E6, E9, E10): the full table
+/// bytes — text and JSON — must be identical at 1 and 4 worker
+/// threads. (E1/E7/E8 get the stronger repeated-run gate above; the
+/// driver and statistics layer are shared, so the marginal risk here
+/// is a scheduling-dependent seed or summation leaking into a rerouted
+/// experiment's own code.)
+#[test]
+fn ensemble_rerouted_experiments_are_thread_invariant() {
+    use sinr_bench::experiments::{
+        e10_ablations, e2_degree, e3_sparsity, e4_reschedule, e5_tvc_mean, e6_tvc_arbitrary,
+        e9_sparse_capacity,
+    };
+    use sinr_bench::ExpOptions;
+
+    type Runner = fn(&ExpOptions) -> Vec<sinr_bench::table::Table>;
+    let experiments: [(&str, Runner); 7] = [
+        ("e2", e2_degree::run),
+        ("e3", e3_sparsity::run),
+        ("e4", e4_reschedule::run),
+        ("e5", e5_tvc_mean::run),
+        ("e6", e6_tvc_arbitrary::run),
+        ("e9", e9_sparse_capacity::run),
+        ("e10", e10_ablations::run),
+    ];
+    for (id, run) in experiments {
+        let base = ExpOptions {
+            quick: true,
+            seed: 19,
+            seeds: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let one = ensemble_fingerprint(&run(&base));
+        let four = ensemble_fingerprint(&run(&ExpOptions { threads: 4, ..base }));
+        assert!(
+            one == four,
+            "{id}: tables at 4 threads diverged from 1 thread\n\
+             --- 1 thread ---\n{one}\n--- 4 threads ---\n{four}"
+        );
+    }
+}
+
+/// The incremental re-packer's determinism and parity gate (DESIGN.md
+/// §10): on every instance family, repairing the same structure with
+/// the same seed twice is byte-identical; `Full` and `Incremental`
+/// reattach the identical tree and both validate bidirectionally; and
+/// every slot grouping the incremental packer reports untouched is
+/// byte-identical to the pre-churn schedule.
+#[test]
+fn incremental_repack_is_deterministic_and_audited() {
+    use sinr_connect_suite::connectivity::repair::{
+        repair_after_failures, PriorStructure, RepairOutcome,
+    };
+    use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
+    use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
+    use sinr_connect_suite::connectivity::RepackMode;
+    use sinr_connect_suite::links::Link;
+    use sinr_connect_suite::phy::feasibility;
+
+    fn repair_fingerprint(r: &RepairOutcome) -> String {
+        let mut out = String::new();
+        for (l, s) in r.schedule.iter() {
+            let _ = writeln!(out, "agg {}->{} @{}", l.sender, l.receiver, s);
+        }
+        let mut entries: Vec<_> = r.power.as_explicit().unwrap().iter().collect();
+        entries.sort_by_key(|(l, _)| **l);
+        for (l, p) in entries {
+            let _ = writeln!(out, "pow {}->{} {:016x}", l.sender, l.receiver, p.to_bits());
+        }
+        out
+    }
+
+    let params = SinrParams::default();
+    for (family, inst) in families(37) {
+        if inst.len() < 8 {
+            continue;
+        }
+        let mut sel = MeanSamplingSelector::default();
+        let built = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 11).unwrap();
+        let parents: Vec<Option<usize>> = (0..built.tree.len())
+            .map(|u| built.tree.parent(u))
+            .collect();
+        let powers = built.power.as_explicit().unwrap().clone();
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &built.schedule,
+        };
+        let failed = [1usize, inst.len() / 2];
+
+        let run = |mode: RepackMode| {
+            let cfg = TvcConfig {
+                repack: mode,
+                ..Default::default()
+            };
+            let mut sel = MeanSamplingSelector::default();
+            repair_after_failures(&params, &inst, &prior, &failed, &cfg, &mut sel, 29)
+                .unwrap_or_else(|e| panic!("{family}: repair ({mode}) failed: {e}"))
+        };
+        let a = run(RepackMode::Incremental);
+        let b = run(RepackMode::Incremental);
+        assert!(
+            repair_fingerprint(&a) == repair_fingerprint(&b),
+            "{family}: two incremental repairs with the same seed diverged"
+        );
+        let full = run(RepackMode::Full);
+        assert_eq!(full.tree, a.tree, "{family}: modes reattached differently");
+        for (label, rep) in [("incremental", &a), ("full", &full)] {
+            feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power)
+                .unwrap_or_else(|e| panic!("{family}/{label}: aggregation infeasible: {e}"));
+            let dual = rep.schedule.map_links(Link::dual).unwrap();
+            feasibility::validate_schedule(&params, &rep.instance, &dual, &rep.power)
+                .unwrap_or_else(|e| panic!("{family}/{label}: dissemination infeasible: {e}"));
+        }
+        // Untouched accounting: at least the untouched count of previous
+        // slot groupings must reappear byte-identically.
+        let delta = built
+            .schedule
+            .delta_map(|l| {
+                let s = a.old_to_new[l.sender]?;
+                let r = a.old_to_new[l.receiver]?;
+                Some(Link::new(s, r))
+            })
+            .unwrap();
+        let mut kept_groups =
+            vec![sinr_connect_suite::links::LinkSet::new(); delta.previous_slots()];
+        for (l, s) in delta.kept.iter() {
+            kept_groups[s].insert(l);
+        }
+        let new_groups = a.schedule.slots();
+        let survived = kept_groups
+            .iter()
+            .filter(|g| !g.is_empty() && new_groups.contains(g))
+            .count();
+        assert!(
+            survived >= a.repack.untouched_slots,
+            "{family}: only {survived} groupings survived byte-identically, \
+             packer claims {}",
+            a.repack.untouched_slots
+        );
+    }
+}
+
 /// Different seeds must actually change the outcome (the discipline is
 /// "seeded", not "constant").
 #[test]

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use sinr_connect_suite::connectivity::contention::{schedule_distributed, ContentionConfig};
 use sinr_connect_suite::connectivity::init::{run_init, run_init_on, InitConfig};
 use sinr_connect_suite::connectivity::power_control::{foschini_miljanic, PowerControlConfig};
-use sinr_connect_suite::connectivity::repair::repair_after_failures;
+use sinr_connect_suite::connectivity::repair::{repair_after_failures, PriorStructure};
 use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
 use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
 use sinr_connect_suite::connectivity::CoreError;
@@ -165,14 +165,19 @@ fn repair_handles_cascading_failures_until_one_node() {
     let mut instance = inst;
     let mut parents: Vec<Option<usize>> = (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
     let mut powers: HashMap<Link, f64> = out.power.as_explicit().unwrap().clone();
+    let mut schedule = out.schedule.clone();
 
     // Kill node 0 repeatedly until two nodes remain.
     while instance.len() > 2 {
+        let prior = PriorStructure {
+            parents: &parents,
+            powers: &powers,
+            schedule: &schedule,
+        };
         let rep = repair_after_failures(
             &params,
             &instance,
-            &parents,
-            &powers,
+            &prior,
             &[0],
             &TvcConfig::default(),
             &mut sel,
@@ -183,6 +188,7 @@ fn repair_handles_cascading_failures_until_one_node() {
         feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power).unwrap();
         parents = (0..rep.tree.len()).map(|u| rep.tree.parent(u)).collect();
         powers = rep.power.as_explicit().unwrap().clone();
+        schedule = rep.schedule.clone();
         instance = rep.instance;
     }
 }

@@ -50,6 +50,101 @@ fn bench_doc_schema_is_pinned() {
     );
 }
 
+/// The committed-snapshot schema gate: every `BENCH_*.json` at the repo
+/// root must parse and carry **exactly** the fields the current
+/// emitters produce, in emitter order — so a snapshot regenerated
+/// before an emitter change (or hand-edited) fails CI instead of
+/// silently aging. The expected key sets are *derived* from the live
+/// emitters (via the golden fixture document), not hardcoded, so this
+/// gate tightens automatically whenever `Table::to_json` or
+/// `experiments_doc_json` gain a field.
+#[test]
+fn committed_snapshots_match_current_schema() {
+    use sinr_bench::json::{parse, Value};
+
+    // Reference key order straight from the live emitters.
+    let fixture = {
+        let tables = fixture_tables();
+        let entry = experiment_entry_json("e0", "schema probe", 0.0, &tables);
+        parse(&experiments_doc_json(0, false, "grid", 1, 1, &[entry])).unwrap()
+    };
+    let doc_keys: Vec<String> = fixture.keys().to_vec();
+    let entry_keys: Vec<String> = fixture.get("experiments").unwrap().as_array().unwrap()[0]
+        .keys()
+        .to_vec();
+    let table_keys: Vec<String> = fixture.get("experiments").unwrap().as_array().unwrap()[0]
+        .get("tables")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .keys()
+        .to_vec();
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let snapshots: Vec<_> = std::fs::read_dir(root)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    assert!(
+        snapshots.len() >= 4,
+        "expected the committed BENCH_E11/E12/E13/ENSEMBLE snapshots, found {snapshots:?}"
+    );
+
+    for path in snapshots {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{name}: not valid JSON: {e}"));
+        assert_eq!(
+            doc.keys(),
+            doc_keys.as_slice(),
+            "{name}: stale snapshot — document fields differ from the current emitter \
+             (regenerate with `experiments <id> --json {name}`)"
+        );
+        let experiments = doc
+            .get("experiments")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{name}: no experiments array"));
+        assert!(!experiments.is_empty(), "{name}: empty experiments array");
+        for exp in experiments {
+            let id = exp.get("id").and_then(Value::as_str).unwrap_or("?");
+            assert_eq!(
+                exp.keys(),
+                entry_keys.as_slice(),
+                "{name}/{id}: stale snapshot — entry fields differ from the current emitter"
+            );
+            let tables = exp
+                .get("tables")
+                .and_then(Value::as_array)
+                .unwrap_or_else(|| panic!("{name}/{id}: no tables array"));
+            assert!(!tables.is_empty(), "{name}/{id}: entry has no tables");
+            for table in tables {
+                assert_eq!(
+                    table.keys(),
+                    table_keys.as_slice(),
+                    "{name}/{id}: stale snapshot — table fields differ from the current emitter"
+                );
+                let columns = table.get("columns").and_then(Value::as_array).unwrap();
+                let rows = table.get("rows").and_then(Value::as_array).unwrap();
+                assert!(!columns.is_empty(), "{name}/{id}: table without columns");
+                assert!(!rows.is_empty(), "{name}/{id}: table without rows");
+                for row in rows {
+                    assert_eq!(
+                        row.as_array().map(<[Value]>::len),
+                        Some(columns.len()),
+                        "{name}/{id}: row width drifted from the column count"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The table-level emitter alone, pinned against the same golden file:
 /// each table's JSON must appear verbatim inside the document (the
 /// document wraps tables without re-encoding them).
