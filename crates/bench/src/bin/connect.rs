@@ -21,6 +21,21 @@
 //! printing the re-pack cost accounting — `--repack` selects the
 //! incremental re-packer (default) or the centralized full reference
 //! (DESIGN.md §10).
+//!
+//! Built with `--features trace`, four observability modes appear
+//! (DESIGN.md §11):
+//!
+//! - `--trace <path>` records the structured event log of a single run
+//!   as JSON;
+//! - `--snapshot <path> --snapshot-at <slot>` captures the `Init`
+//!   engine state at a slot (strategy `init-only`) into a replayable
+//!   snapshot file;
+//! - `--replay-from <path>` resumes a snapshot file under `--engine`
+//!   and verifies the tail fingerprint bit-for-bit against the
+//!   original run's;
+//! - `--diff-engine <backend>` runs `--engine` and the named backend
+//!   with tracing on and reports the first divergence (slot, node,
+//!   event kind, field, both values) — or certifies there is none.
 
 use std::path::PathBuf;
 
@@ -48,6 +63,11 @@ struct Args {
     churn_kill: usize,
     repack: RepackMode,
     export: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+    snapshot_at: Option<u64>,
+    replay_from: Option<PathBuf>,
+    diff_engine: Option<EngineBackend>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +81,11 @@ fn parse_args() -> Result<Args, String> {
     let mut churn_kill = 0usize;
     let mut repack = RepackMode::default();
     let mut export = None;
+    let mut trace = None;
+    let mut snapshot = None;
+    let mut snapshot_at = None;
+    let mut replay_from = None;
+    let mut diff_engine = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -112,6 +137,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--threads" => {
                 threads = val(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if threads == 0 {
+                    return Err(
+                        "--threads must be at least 1 (omit the flag to auto-size the pool)".into(),
+                    );
+                }
                 i += 2;
             }
             "--churn-kill" => {
@@ -126,18 +156,44 @@ fn parse_args() -> Result<Args, String> {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(val(i)?));
+                i += 2;
+            }
+            "--snapshot" => {
+                snapshot = Some(PathBuf::from(val(i)?));
+                i += 2;
+            }
+            "--snapshot-at" => {
+                snapshot_at = Some(val(i)?.parse().map_err(|e| format!("--snapshot-at: {e}"))?);
+                i += 2;
+            }
+            "--replay-from" => {
+                replay_from = Some(PathBuf::from(val(i)?));
+                i += 2;
+            }
+            "--diff-engine" => {
+                diff_engine = Some(val(i)?.parse()?);
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: connect --family uniform|clustered|lattice|exp-chain \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
                             [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
-                            [--repack full|incremental] [--export <dir>]"
+                            [--repack full|incremental] [--export <dir>] \
+                            [--trace <path>] [--snapshot <path> --snapshot-at <slot>] \
+                            [--replay-from <path>] [--diff-engine naive|grid|parallel[:N]] \
+                            (the last four need a build with --features trace)"
                         .into(),
                 );
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
+    }
+    if snapshot.is_some() != snapshot_at.is_some() {
+        return Err("--snapshot and --snapshot-at go together: both or neither".into());
     }
     Ok(Args {
         family,
@@ -150,6 +206,11 @@ fn parse_args() -> Result<Args, String> {
         churn_kill,
         repack,
         export,
+        trace,
+        snapshot,
+        snapshot_at,
+        replay_from,
+        diff_engine,
     })
 }
 
@@ -164,6 +225,54 @@ fn main() {
 
     let params = SinrParams::default();
 
+    #[cfg(not(feature = "trace"))]
+    if args.trace.is_some()
+        || args.snapshot.is_some()
+        || args.snapshot_at.is_some()
+        || args.replay_from.is_some()
+        || args.diff_engine.is_some()
+    {
+        eprintln!(
+            "this `connect` was built without the `trace` feature; \
+             rebuild with `--features trace` to use the observability flags"
+        );
+        std::process::exit(2);
+    }
+
+    #[cfg(feature = "trace")]
+    {
+        let modes = [
+            args.replay_from.is_some(),
+            args.diff_engine.is_some(),
+            args.snapshot.is_some(),
+        ];
+        if modes.iter().filter(|&&m| m).count() > 1 {
+            eprintln!("--replay-from, --diff-engine and --snapshot are separate modes; pick one");
+            std::process::exit(2);
+        }
+        if modes.iter().any(|&m| m)
+            && (args.seeds > 1 || args.churn_kill > 0 || args.export.is_some())
+        {
+            eprintln!(
+                "the observability modes run on a single instance; \
+                 drop --seeds/--churn-kill/--export"
+            );
+            std::process::exit(2);
+        }
+        if let Some(path) = &args.replay_from {
+            run_replay(&args, path);
+            return;
+        }
+        if let Some(other) = args.diff_engine {
+            run_diff(&args, &params, other);
+            return;
+        }
+        if let (Some(path), Some(at)) = (&args.snapshot, args.snapshot_at) {
+            run_snapshot(&args, &params, path, at);
+            return;
+        }
+    }
+
     if args.seeds > 1 {
         if args.export.is_some() {
             eprintln!("--export works on a single instance; drop --seeds to export");
@@ -173,6 +282,10 @@ fn main() {
             eprintln!(
                 "--churn-kill works on a single instance; drop --seeds to run the churn demo"
             );
+            std::process::exit(2);
+        }
+        if args.trace.is_some() {
+            eprintln!("--trace records a single instance; drop --seeds to trace");
             std::process::exit(2);
         }
         run_ensemble(&args, &params);
@@ -189,6 +302,11 @@ fn main() {
         args.engine.label()
     );
 
+    #[cfg(feature = "trace")]
+    if args.trace.is_some() {
+        sinr_sim::trace::start(sinr_sim::trace::DEFAULT_CAPACITY);
+    }
+
     let result = match connect_with(&params, &instance, args.strategy, args.seed, args.engine) {
         Ok(r) => r,
         Err(e) => {
@@ -196,6 +314,21 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    #[cfg(feature = "trace")]
+    if let Some(path) = &args.trace {
+        let log = sinr_sim::trace::stop();
+        if let Err(e) = std::fs::write(path, sinr_bench::replay::trace_log_to_json(&log)) {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace:    {} event(s) ({} dropped) -> {}",
+            log.events.len(),
+            log.dropped,
+            path.display()
+        );
+    }
 
     println!("strategy: {}", result.strategy);
     println!("links:    {}", result.tree_links.len());
@@ -386,6 +519,187 @@ fn run_ensemble(args: &Args, params: &SinrParams) {
         "validated: every slot SINR-feasible on all {} seeds",
         args.seeds
     );
+}
+
+/// The `--snapshot <path> --snapshot-at <slot>` mode: run `Init`
+/// (strategy `init-only`), capture the engine state at the requested
+/// slot, and write a replayable snapshot file carrying the final-state
+/// fingerprint a later `--replay-from` must reproduce.
+#[cfg(feature = "trace")]
+fn run_snapshot(args: &Args, params: &SinrParams, path: &std::path::Path, at: u64) {
+    use sinr_bench::replay::SnapshotFile;
+    use sinr_connectivity::init::{run_init_with_snapshot, InitConfig};
+
+    if args.strategy != Strategy::InitOnly {
+        eprintln!("--snapshot captures the `Init` engine; use --strategy init-only");
+        std::process::exit(2);
+    }
+    let instance = args.family.instance(args.n, args.seed);
+    let cfg = InitConfig {
+        backend: args.engine,
+        ..Default::default()
+    };
+    let replay = match run_init_with_snapshot(params, &instance, &cfg, args.seed, at) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("init failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "init:     family={} n={} seed={} engine={}: {} slots, tail fingerprint {:016x}",
+        args.family.label(),
+        args.n,
+        args.seed,
+        args.engine.label(),
+        replay.outcome.run.slots_used,
+        replay.tail_fnv,
+    );
+    let Some(state) = replay.snapshot else {
+        eprintln!(
+            "no snapshot: the run was already over at slot {at} \
+             (it used {} slots); pick an earlier --snapshot-at",
+            replay.outcome.run.slots_used
+        );
+        std::process::exit(1);
+    };
+    let file = SnapshotFile {
+        family: args.family.label().into(),
+        n: args.n,
+        seed: args.seed,
+        engine: args.engine.label().into(),
+        snapshot_slot: at,
+        tail_fnv: replay.tail_fnv,
+        params: serde::Serialize::to_value(params),
+        state,
+    };
+    if let Err(e) = std::fs::write(path, file.to_json()) {
+        eprintln!("snapshot write failed: {e}");
+        std::process::exit(1);
+    }
+    println!("snapshot: slot-{at} engine state -> {}", path.display());
+}
+
+/// The `--replay-from <path>` mode: regenerate the instance from the
+/// snapshot file's recipe, resume the captured engine state under
+/// `--engine`, and verify the resumed run's tail fingerprint
+/// bit-for-bit against the original's.
+#[cfg(feature = "trace")]
+fn run_replay(args: &Args, path: &std::path::Path) {
+    use sinr_bench::replay::SnapshotFile;
+    use sinr_connectivity::init::{resume_init, InitConfig};
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let file = match SnapshotFile::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let Some(family) = Family::from_label(&file.family) else {
+        eprintln!("snapshot names unknown family `{}`", file.family);
+        std::process::exit(1);
+    };
+    let params: SinrParams = match serde::Deserialize::from_value(&file.params) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("snapshot carries bad SINR parameters: {e}");
+            std::process::exit(1);
+        }
+    };
+    let instance = family.instance(file.n, file.seed);
+    let cfg = InitConfig {
+        backend: args.engine,
+        ..Default::default()
+    };
+    println!(
+        "replay:   family={} n={} seed={} from slot {} (captured under {}, resuming under {})",
+        file.family,
+        file.n,
+        file.seed,
+        file.snapshot_slot,
+        file.engine,
+        args.engine.label(),
+    );
+    let (outcome, tail_fnv) = match resume_init(&params, &instance, &cfg, &file.state) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "resumed:  {} slots total, tail fingerprint {tail_fnv:016x}",
+        outcome.run.slots_used
+    );
+    if tail_fnv == file.tail_fnv {
+        println!("verdict:  tail fingerprint matches the original run bit-for-bit");
+    } else {
+        eprintln!(
+            "verdict:  DIVERGED — original tail {:016x}, replay tail {tail_fnv:016x}",
+            file.tail_fnv
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The `--diff-engine <backend>` mode: run the same strategy twice with
+/// tracing on — once under `--engine`, once under the named backend —
+/// and report the first event-stream divergence (slot, node, event
+/// kind, field, both values), or certify there is none.
+#[cfg(feature = "trace")]
+fn run_diff(args: &Args, params: &SinrParams, other: EngineBackend) {
+    use sinr_sim::trace;
+
+    let instance = args.family.instance(args.n, args.seed);
+    let traced_run = |backend: EngineBackend| -> trace::TraceLog {
+        trace::start(trace::DEFAULT_CAPACITY);
+        let result = connect_with(params, &instance, args.strategy, args.seed, backend);
+        let log = trace::stop();
+        if let Err(e) = result {
+            eprintln!("connectivity failed under {}: {e}", backend.label());
+            std::process::exit(1);
+        }
+        log
+    };
+    let left = traced_run(args.engine);
+    let right = traced_run(other);
+    println!(
+        "diff:     {} vs {} ({} on {} n={} seed={}): {} vs {} event(s)",
+        args.engine.label(),
+        other.label(),
+        args.strategy.label(),
+        args.family.label(),
+        args.n,
+        args.seed,
+        left.events.len(),
+        right.events.len(),
+    );
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, sinr_bench::replay::trace_log_to_json(&left)) {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace:    {} engine's log -> {}",
+            args.engine.label(),
+            path.display()
+        );
+    }
+    match trace::first_divergence(&left, &right) {
+        None => println!("verdict:  no divergence — the event streams are identical"),
+        Some(d) => {
+            eprintln!("verdict:  {d}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn export_csvs(

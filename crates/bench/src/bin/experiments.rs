@@ -68,6 +68,13 @@ fn main() {
                     .get(i + 1)
                     .unwrap_or_else(|| bail("missing value for --seeds".into()));
                 seeds = v.parse().unwrap_or_else(|e| bail(format!("--seeds: {e}")));
+                if seeds == 0 {
+                    bail(
+                        "--seeds must be at least 1 (omit the flag for each experiment's \
+                         default ensemble size)"
+                            .into(),
+                    );
+                }
                 i += 2;
             }
             "--threads" => {
@@ -77,6 +84,11 @@ fn main() {
                 threads = v
                     .parse()
                     .unwrap_or_else(|e| bail(format!("--threads: {e}")));
+                if threads == 0 {
+                    bail(
+                        "--threads must be at least 1 (omit the flag to auto-size the pool)".into(),
+                    );
+                }
                 i += 2;
             }
             "--json" => {

@@ -64,16 +64,26 @@ impl Value {
     }
 }
 
+/// Maximum container nesting depth the parser accepts.
+///
+/// The parser is recursive-descent, so each `[` / `{` consumes a stack
+/// frame; a hostile (or merely buggy) document like `"[".repeat(10^6)`
+/// would otherwise overflow the stack inside the CI schema gate instead
+/// of returning an error. 128 is far above anything the emitters
+/// produce (their documents nest 6 levels deep) while keeping worst-case
+/// stack use trivially bounded.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document (ignoring surrounding whitespace).
 ///
 /// # Errors
 ///
 /// Returns a human-readable description with a byte offset on malformed
-/// input or trailing garbage.
+/// input, trailing garbage, or nesting deeper than [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Value, String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
@@ -101,11 +111,17 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
@@ -124,7 +140,7 @@ fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Res
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     let mut order = Vec::new();
@@ -138,7 +154,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         if map.insert(key.clone(), value).is_some() {
             return Err(format!("duplicate object key `{key}`"));
         }
@@ -155,7 +171,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -164,7 +180,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         return Ok(Value::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -199,15 +215,34 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                        // The emitters only escape control characters;
-                        // surrogate pairs do not occur in our documents.
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err(format!(
+                                "unpaired low surrogate \\u{code:04X} at byte {}",
+                                *pos - 4
+                            ));
+                        }
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: RFC 8259 §7 requires it be
+                            // followed by a `\u`-escaped low surrogate.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                return Err(format!(
+                                    "high surrogate \\u{code:04X} not followed by \\u escape"
+                                ));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(format!(
+                                    "high surrogate \\u{code:04X} followed by non-surrogate \\u{low:04X}"
+                                ));
+                            }
+                            *pos += 6;
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(char::from_u32(scalar).ok_or("invalid surrogate pair")?);
+                        } else {
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        }
                     }
                     other => return Err(format!("invalid escape {other:?}")),
                 }
@@ -225,12 +260,58 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
+}
+
+/// Parses a number following the RFC 8259 grammar exactly:
+/// `-? (0 | [1-9][0-9]*) (\. [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+///
+/// Anything `f64::parse` would accept beyond that — leading zeros,
+/// leading `+`, bare `.`/`e` tails, `inf`, `NaN` — is rejected, so the
+/// parser stays the true inverse of RFC-conforming emitters.
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    let err = |pos: usize| format!("invalid number at byte {pos}");
+    let digits = |pos: &mut usize| -> Result<(), String> {
+        let from = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == from {
+            Err(err(from))
+        } else {
+            Ok(())
+        }
+    };
+
+    if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
+    }
+    // int: `0` alone, or a nonzero digit followed by any digits.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => digits(pos)?,
+        _ => return Err(err(*pos)),
+    }
+    // Leading zeros (`01`) are caught here: after the single `0` the
+    // next digit is not part of any production, and a digit cannot
+    // legally follow a complete number either, so reject explicitly.
+    if *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        return Err(format!("leading zero in number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        digits(pos)?;
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        digits(pos)?;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
     text.parse::<f64>()
@@ -285,5 +366,86 @@ mod tests {
         assert!(parse(r#"{"a":1,"a":2}"#).is_err());
         assert!(parse(r#"["unterminated"#).is_err());
         assert!(parse("01a").is_err());
+    }
+
+    /// The depth guard: nesting up to [`MAX_DEPTH`] parses, one level
+    /// past it returns an error instead of overflowing the stack, and
+    /// a pathologically deep document (far beyond any plausible stack)
+    /// errors out the same way.
+    #[test]
+    fn depth_guard_rejects_deep_nesting() {
+        let nested = |d: usize| format!("{}0{}", "[".repeat(d), "]".repeat(d));
+        assert!(parse(&nested(MAX_DEPTH)).is_ok());
+        let e = parse(&nested(MAX_DEPTH + 1)).unwrap_err();
+        assert!(e.contains("nesting deeper than"), "{e}");
+        assert!(parse(&"[".repeat(1_000_000)).is_err());
+        // Mixed object/array nesting counts the same.
+        let mixed = format!(
+            "{}0{}",
+            r#"{"k":["#.repeat(MAX_DEPTH / 2 + 1),
+            "]}".repeat(MAX_DEPTH / 2 + 1)
+        );
+        assert!(parse(&mixed).is_err());
+    }
+
+    /// RFC 8259 number grammar: the loose pre-RFC scanner accepted all
+    /// of these via `f64::parse`.
+    #[test]
+    fn rejects_non_rfc_numbers() {
+        for bad in [
+            "01", "00", "-01", "+5", "1.", ".5", "5e", "5e+", "1.e3", "1e2.5", "1-2", "--1", "-",
+            "NaN", "inf",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should be rejected");
+            assert!(
+                parse(&format!("[{bad}]")).is_err(),
+                "`[{bad}]` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_rfc_numbers() {
+        let cases: [(&str, f64); 9] = [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("10", 10.0),
+            ("-1.5", -1.5),
+            ("0.25", 0.25),
+            ("1e3", 1000.0),
+            ("1E+3", 1000.0),
+            ("2.5e-2", 0.025),
+            ("1.25E2", 125.0),
+        ];
+        for (text, want) in cases {
+            match parse(text) {
+                Ok(Value::Number(got)) => assert_eq!(got.to_bits(), want.to_bits(), "`{text}`"),
+                other => panic!("`{text}` → {other:?}"),
+            }
+        }
+    }
+
+    /// `\u` escapes: BMP scalars decode directly, surrogate *pairs*
+    /// combine into one astral-plane scalar, and broken halves error.
+    #[test]
+    fn decodes_surrogate_pairs() {
+        let v = parse(r#""A\u00e9\u2713""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé✓"));
+        // U+1D11E MUSICAL SYMBOL G CLEF as the pair D834 DD1E.
+        let v = parse(r#""\uD834\uDD1E""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1D11E}"));
+        // U+10348 GOTHIC LETTER HWAIR (D800 DF48), mixed with text.
+        let v = parse(r#""x\uD800\uDF48y""#).unwrap();
+        assert_eq!(v.as_str(), Some("x\u{10348}y"));
+        for bad in [
+            r#""\uD834""#,       // lone high surrogate at end of string
+            r#""\uD834x""#,      // high surrogate followed by literal
+            r#""\uD834\n""#,     // high surrogate followed by other escape
+            r#""\uD834\uD834""#, // high followed by high
+            r#""\uDD1E""#,       // lone low surrogate
+            r#""\uD8""#,         // truncated hex
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should be rejected");
+        }
     }
 }

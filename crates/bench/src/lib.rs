@@ -41,6 +41,8 @@
 pub mod ensemble;
 pub mod experiments;
 pub mod json;
+#[cfg(feature = "trace")]
+pub mod replay;
 pub mod stats;
 pub mod table;
 pub mod workloads;

@@ -84,7 +84,14 @@ impl Stats {
 
     /// Renders the `mean ± ci` table cell (2 decimals each), the
     /// ensemble analogue of [`f2`] single-value cells.
+    ///
+    /// An empty sample renders as `n/a (0 seeds)` rather than
+    /// `0.00 ±0.00`, so a misconfigured ensemble is distinguishable
+    /// from a genuine all-zero one.
     pub fn cell(&self) -> String {
+        if self.n == 0 {
+            return "n/a (0 seeds)".to_string();
+        }
         format!("{} ±{}", f2(self.mean), f2(self.ci95))
     }
 }
@@ -152,12 +159,18 @@ mod tests {
         assert_eq!(s.cell(), "3.25 ±0.00");
     }
 
+    /// The numeric fields of an empty sample stay zero (stable
+    /// arithmetic defaults), but the rendered cell must be visibly
+    /// degenerate — `0.00 ±0.00` would be indistinguishable from a
+    /// genuine all-zero ensemble.
     #[test]
-    fn empty_sample_is_all_zero() {
+    fn empty_sample_renders_as_not_available() {
         let s = Stats::of(&[]);
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.cell(), "n/a (0 seeds)");
+        assert_ne!(s.cell(), Stats::of(&[0.0, 0.0]).cell());
     }
 
     /// Identical values: zero variance, zero CI, exactly.

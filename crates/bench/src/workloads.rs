@@ -34,6 +34,12 @@ impl Family {
         }
     }
 
+    /// The inverse of [`label`](Self::label) — the parse used by the
+    /// `connect` CLI and the snapshot-file loader.
+    pub fn from_label(label: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.label() == label)
+    }
+
     /// Builds an instance of roughly `n` nodes with the given seed.
     ///
     /// # Panics

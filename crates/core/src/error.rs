@@ -28,6 +28,12 @@ pub enum CoreError {
     Phy(PhyError),
     /// A combinatorial error (tree/schedule construction).
     Link(LinkError),
+    /// A serialized engine snapshot could not be restored (wrong
+    /// shape, wrong instance size, or a mismatched configuration).
+    Snapshot {
+        /// What failed to restore.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +47,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Phy(e) => write!(f, "physical layer: {e}"),
             CoreError::Link(e) => write!(f, "link layer: {e}"),
+            CoreError::Snapshot { detail } => {
+                write!(f, "snapshot restore failed: {detail}")
+            }
         }
     }
 }

@@ -128,7 +128,7 @@ pub enum InitMsg {
 }
 
 /// Static data shared by all node state machines of one run.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 struct Shared {
     p: f64,
     pairs_per_round: u64,
@@ -356,6 +356,45 @@ pub fn run_init_on(
     cfg: &InitConfig,
     seed: u64,
 ) -> Result<InitRun> {
+    let setup = match prepare_init(params, instance, active_mask, cfg)? {
+        Prepared::Trivial(run) => return Ok(*run),
+        Prepared::Ready(setup) => setup,
+    };
+    let mut engine = setup.build_engine(params, instance, active_mask, cfg.backend, seed);
+    engine.run_until(setup.max_slots, one_active);
+    harvest(&engine, &setup)
+}
+
+/// The stopping criterion of the simulation driver: at most one node
+/// still active. Globally visible to the driver only — nodes never see
+/// it (§6's model).
+fn one_active(nodes: &[InitNode]) -> bool {
+    nodes.iter().filter(|n| n.is_active()).count() <= 1
+}
+
+/// Everything `Init` derives from its inputs before the simulation
+/// starts: the participant set, the per-run shared tables, and the
+/// slot budget.
+struct InitSetup {
+    participants: Vec<NodeId>,
+    shared: Arc<Shared>,
+    max_slots: u64,
+}
+
+/// Outcome of validating and pre-computing an `Init` run.
+enum Prepared {
+    /// A single participant forms the tree trivially; no simulation.
+    Trivial(Box<InitRun>),
+    /// A real run with its derived setup.
+    Ready(InitSetup),
+}
+
+fn prepare_init(
+    params: &SinrParams,
+    instance: &Instance,
+    active_mask: &[bool],
+    cfg: &InitConfig,
+) -> Result<Prepared> {
     cfg.validate()?;
     if active_mask.len() != instance.len() {
         return Err(CoreError::InvalidConfig {
@@ -373,7 +412,7 @@ pub fn run_init_on(
     if participants.len() == 1 {
         let mut parents = vec![None; instance.len()];
         parents[participants[0]] = None;
-        return Ok(InitRun {
+        return Ok(Prepared::Trivial(Box::new(InitRun {
             parents,
             root: participants[0],
             participants,
@@ -382,7 +421,7 @@ pub fn run_init_on(
             slots_used: 0,
             rounds_used: 0,
             stray_records: 0,
-        });
+        })));
     }
 
     // Length classes from the participant diameter (tighter than the
@@ -416,19 +455,38 @@ pub fn run_init_on(
         round_powers,
         round_windows,
     });
+    Ok(Prepared::Ready(InitSetup {
+        participants,
+        shared,
+        max_slots: 2 * ppr * total_rounds as u64,
+    }))
+}
 
-    let mut engine = Engine::with_backend(
-        params,
-        instance,
-        |id| InitNode::new(Arc::clone(&shared), active_mask[id]),
-        seed,
-        cfg.backend,
-    );
-    let max_slots = 2 * ppr * total_rounds as u64;
-    engine.run_until(max_slots, |nodes| {
-        nodes.iter().filter(|n| n.is_active()).count() <= 1
-    });
+impl InitSetup {
+    fn build_engine<'a>(
+        &self,
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        active_mask: &[bool],
+        backend: EngineBackend,
+        seed: u64,
+    ) -> Engine<'a, InitNode> {
+        Engine::with_backend(
+            params,
+            instance,
+            |id| InitNode::new(Arc::clone(&self.shared), active_mask[id]),
+            seed,
+            backend,
+        )
+    }
+}
+
+/// Extracts an [`InitRun`] from a finished engine: parents, link
+/// timestamps/powers, and the stray-record count.
+fn harvest(engine: &Engine<'_, InitNode>, setup: &InitSetup) -> Result<InitRun> {
     let slots_used = engine.slot();
+    let total_rounds = setup.shared.num_rounds;
+    let ppr = setup.shared.pairs_per_round;
 
     let actives: Vec<NodeId> = engine
         .nodes()
@@ -450,7 +508,7 @@ pub fn run_init_on(
     }
     let root = actives[0];
 
-    let mut parents = vec![None; instance.len()];
+    let mut parents = vec![None; engine.instance().len()];
     let mut link_slots = HashMap::new();
     let mut link_powers = HashMap::new();
     for (id, node) in engine.nodes().iter().enumerate() {
@@ -486,7 +544,7 @@ pub fn run_init_on(
 
     Ok(InitRun {
         parents,
-        participants,
+        participants: setup.participants.clone(),
         root,
         link_slots,
         link_powers,
@@ -527,7 +585,11 @@ pub fn run_init(
 ) -> Result<InitOutcome> {
     let mask = vec![true; instance.len()];
     let run = run_init_on(params, instance, &mask, cfg, seed)?;
+    assemble_outcome(run)
+}
 
+/// Builds the tree / schedule / bi-tree of Theorem 2 from a raw run.
+fn assemble_outcome(run: InitRun) -> Result<InitOutcome> {
     let tree = InTree::from_parents(run.parents.clone())?;
     let mut schedule = Schedule::new();
     for (&link, &slot) in &run.link_slots {
@@ -541,6 +603,221 @@ pub fn run_init(
         schedule,
         run,
     })
+}
+
+// ------------------------------------------------------------------
+// Snapshot / replay (feature `serde`).
+// ------------------------------------------------------------------
+
+/// Shim serde impls for [`InitNode`]: every node serializes its shared
+/// tables inline and rebuilds a private `Arc<Shared>` on restore.
+/// `Shared` is immutable for the whole run, so losing the sharing
+/// changes memory layout only — never behavior.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use std::sync::Arc;
+
+    use serde::{Deserialize, Error, Serialize, Value};
+
+    use super::{InitNode, Shared};
+
+    fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+        entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+    }
+
+    fn entries_of<'v>(value: &'v Value, what: &str) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!("expected {what} map, got {other:?}"))),
+        }
+    }
+
+    impl Serialize for Shared {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![
+                ("p".into(), self.p.to_value()),
+                ("pairs_per_round".into(), self.pairs_per_round.to_value()),
+                ("num_rounds".into(), self.num_rounds.to_value()),
+                ("accept_shorter".into(), self.accept_shorter.to_value()),
+                ("round_powers".into(), self.round_powers.to_value()),
+                ("round_windows".into(), self.round_windows.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for Shared {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let e = entries_of(value, "Shared")?;
+            Ok(Shared {
+                p: Deserialize::from_value(field(e, "p")?)?,
+                pairs_per_round: Deserialize::from_value(field(e, "pairs_per_round")?)?,
+                num_rounds: Deserialize::from_value(field(e, "num_rounds")?)?,
+                accept_shorter: Deserialize::from_value(field(e, "accept_shorter")?)?,
+                round_powers: Deserialize::from_value(field(e, "round_powers")?)?,
+                round_windows: Deserialize::from_value(field(e, "round_windows")?)?,
+            })
+        }
+    }
+
+    impl Serialize for InitNode {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![
+                ("shared".into(), self.shared.to_value()),
+                ("active".into(), self.active.to_value()),
+                ("participates".into(), self.participates.to_value()),
+                ("parent".into(), self.parent.to_value()),
+                ("uplink_slot".into(), self.uplink_slot.to_value()),
+                ("uplink_power".into(), self.uplink_power.to_value()),
+                (
+                    "optimistic_children".into(),
+                    self.optimistic_children.to_value(),
+                ),
+                ("is_broadcaster".into(), self.is_broadcaster.to_value()),
+                ("pending_ack".into(), self.pending_ack.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for InitNode {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let e = entries_of(value, "InitNode")?;
+            Ok(InitNode {
+                shared: Arc::new(Shared::from_value(field(e, "shared")?)?),
+                active: Deserialize::from_value(field(e, "active")?)?,
+                participates: Deserialize::from_value(field(e, "participates")?)?,
+                parent: Deserialize::from_value(field(e, "parent")?)?,
+                uplink_slot: Deserialize::from_value(field(e, "uplink_slot")?)?,
+                uplink_power: Deserialize::from_value(field(e, "uplink_power")?)?,
+                optimistic_children: Deserialize::from_value(field(e, "optimistic_children")?)?,
+                is_broadcaster: Deserialize::from_value(field(e, "is_broadcaster")?)?,
+                pending_ack: Deserialize::from_value(field(e, "pending_ack")?)?,
+            })
+        }
+    }
+}
+
+/// Result of a snapshot-producing `Init` run (feature `serde`).
+#[cfg(feature = "serde")]
+#[derive(Clone, Debug)]
+pub struct InitReplay {
+    /// The assembled outcome — identical to [`run_init`]'s for the same
+    /// inputs (the snapshot machinery is observational).
+    pub outcome: InitOutcome,
+    /// The engine state at the requested slot, if the run was still in
+    /// progress there (`None` when it had already converged or the
+    /// request lies past the slot budget).
+    pub snapshot: Option<sinr_sim::snapshot::EngineSnapshot>,
+    /// Canonical fingerprint of the *final* engine state
+    /// ([`sinr_sim::snapshot::hash_value`] of the end-of-run snapshot):
+    /// the value a resumed run must reproduce bit-for-bit.
+    pub tail_fnv: u64,
+}
+
+/// [`run_init`] that additionally captures the engine state at slot
+/// `snapshot_at` and fingerprints the final state (feature `serde`).
+///
+/// The run itself is bit-identical to [`run_init`]: the slot loop is
+/// merely split at `snapshot_at`, and the engine re-checks the stopping
+/// criterion after every slot in both halves exactly as the unsplit
+/// loop does.
+///
+/// # Errors
+///
+/// Propagates [`run_init`]'s errors; additionally rejects single-node
+/// instances, which have no simulation to snapshot.
+#[cfg(feature = "serde")]
+pub fn run_init_with_snapshot(
+    params: &SinrParams,
+    instance: &Instance,
+    cfg: &InitConfig,
+    seed: u64,
+    snapshot_at: u64,
+) -> Result<InitReplay> {
+    let mask = vec![true; instance.len()];
+    let setup = match prepare_init(params, instance, &mask, cfg)? {
+        Prepared::Trivial(_) => {
+            return Err(CoreError::InvalidConfig {
+                name: "snapshot_at",
+                reason: "single-node runs have no simulation to snapshot",
+            })
+        }
+        Prepared::Ready(setup) => setup,
+    };
+    let mut engine = setup.build_engine(params, instance, &mask, cfg.backend, seed);
+    engine.run_until(snapshot_at.min(setup.max_slots), one_active);
+    let snapshot =
+        (engine.slot() == snapshot_at && !one_active(engine.nodes())).then(|| engine.snapshot());
+    engine.run_until(setup.max_slots - engine.slot(), one_active);
+    let tail_fnv = tail_fingerprint(&engine);
+    let run = harvest(&engine, &setup)?;
+    Ok(InitReplay {
+        outcome: assemble_outcome(run)?,
+        snapshot,
+        tail_fnv,
+    })
+}
+
+/// Resumes a full-instance `Init` run from a mid-run snapshot and
+/// finishes it (feature `serde`), returning the assembled outcome and
+/// the tail fingerprint — bit-identical to the original run's when
+/// `params`, `instance` and `cfg` match the snapshotting run (the
+/// backend may differ: all backends produce the same bytes).
+///
+/// # Errors
+///
+/// [`CoreError::Snapshot`] when the snapshot does not deserialize, was
+/// taken under a different configuration/instance, or claims more slots
+/// than the configuration's budget.
+#[cfg(feature = "serde")]
+pub fn resume_init(
+    params: &SinrParams,
+    instance: &Instance,
+    cfg: &InitConfig,
+    snapshot: &sinr_sim::snapshot::EngineSnapshot,
+) -> Result<(InitOutcome, u64)> {
+    let mask = vec![true; instance.len()];
+    let setup = match prepare_init(params, instance, &mask, cfg)? {
+        Prepared::Trivial(_) => {
+            return Err(CoreError::Snapshot {
+                detail: "single-node runs never produce snapshots".into(),
+            })
+        }
+        Prepared::Ready(setup) => setup,
+    };
+    let mut engine: Engine<'_, InitNode> = Engine::restore(params, instance, snapshot, cfg.backend)
+        .map_err(|e| CoreError::Snapshot {
+            detail: e.to_string(),
+        })?;
+    if engine.slot() > setup.max_slots {
+        return Err(CoreError::Snapshot {
+            detail: format!(
+                "snapshot slot {} exceeds the configuration's budget of {} slots",
+                engine.slot(),
+                setup.max_slots
+            ),
+        });
+    }
+    // The restored nodes embed the snapshotting run's shared tables;
+    // they must match what `cfg` + `instance` re-derive here, or the
+    // resumed tail would silently diverge from the original.
+    if engine.nodes().iter().any(|n| *n.shared != *setup.shared) {
+        return Err(CoreError::Snapshot {
+            detail: "snapshot was taken under a different configuration or instance".into(),
+        });
+    }
+    engine.run_until(setup.max_slots - engine.slot(), one_active);
+    let tail_fnv = tail_fingerprint(&engine);
+    let run = harvest(&engine, &setup)?;
+    Ok((assemble_outcome(run)?, tail_fnv))
+}
+
+#[cfg(feature = "serde")]
+fn tail_fingerprint(engine: &Engine<'_, InitNode>) -> u64 {
+    sinr_sim::snapshot::hash_value(&serde::Serialize::to_value(&engine.snapshot()))
 }
 
 #[cfg(test)]
@@ -677,6 +954,65 @@ mod tests {
         let inst = gen::line(4).unwrap();
         let e = run_init_on(&p, &inst, &[false; 4], &InitConfig::default(), 0);
         assert!(matches!(e, Err(CoreError::InvalidConfig { .. })));
+    }
+
+    /// Snapshot a run mid-flight, resume it, and the tail — parents,
+    /// slot count, and the canonical end-of-run fingerprint — must be
+    /// bit-identical to the uninterrupted run's. Also exercised with a
+    /// different backend on the resumed half (the determinism contract
+    /// makes backends interchangeable mid-run).
+    #[cfg(feature = "serde")]
+    #[test]
+    fn snapshot_resume_reproduces_the_tail() {
+        let p = params();
+        let inst = gen::uniform_square(25, 1.5, 7).unwrap();
+        let cfg = InitConfig::default();
+        let baseline = run_init(&p, &inst, &cfg, 11).unwrap();
+
+        let replay = run_init_with_snapshot(&p, &inst, &cfg, 11, 8).unwrap();
+        assert_eq!(replay.outcome.run.parents, baseline.run.parents);
+        assert_eq!(replay.outcome.run.slots_used, baseline.run.slots_used);
+        let snap = replay.snapshot.expect("slot 8 is mid-run");
+
+        for backend in [EngineBackend::Grid, EngineBackend::Naive] {
+            let resumed_cfg = InitConfig {
+                backend,
+                ..cfg.clone()
+            };
+            let (outcome, tail) = resume_init(&p, &inst, &resumed_cfg, &snap).unwrap();
+            assert_eq!(tail, replay.tail_fnv, "{backend:?}: tail fingerprint");
+            assert_eq!(outcome.run.parents, baseline.run.parents);
+            assert_eq!(outcome.run.slots_used, baseline.run.slots_used);
+        }
+    }
+
+    /// A snapshot resumed under the wrong knobs or instance is refused
+    /// instead of silently diverging.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn snapshot_resume_rejects_mismatches() {
+        let p = params();
+        let inst = gen::uniform_square(25, 1.5, 7).unwrap();
+        let cfg = InitConfig::default();
+        let snap = run_init_with_snapshot(&p, &inst, &cfg, 11, 8)
+            .unwrap()
+            .snapshot
+            .unwrap();
+
+        let other_cfg = InitConfig {
+            p: 0.2,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            resume_init(&p, &inst, &other_cfg, &snap),
+            Err(CoreError::Snapshot { .. })
+        ));
+
+        let other_inst = gen::uniform_square(24, 1.5, 7).unwrap();
+        assert!(matches!(
+            resume_init(&p, &other_inst, &cfg, &snap),
+            Err(CoreError::Snapshot { .. })
+        ));
     }
 
     #[test]

@@ -121,6 +121,12 @@ pub fn join_nodes(
     // simply absent (fresh).
     let delta = ScheduleDelta::unchanged(prior.schedule);
 
+    #[cfg(feature = "trace")]
+    sinr_sim::trace::emit(sinr_sim::trace::TraceEvent::Batch {
+        phase: "join",
+        index: 0,
+        size: new_points.len(),
+    });
     let done = complete_and_pack(
         params,
         &instance,

@@ -181,6 +181,12 @@ pub fn repair_after_failures(
         Some(Link::new(s, r))
     })?;
 
+    #[cfg(feature = "trace")]
+    sinr_sim::trace::emit(sinr_sim::trace::TraceEvent::Batch {
+        phase: "repair",
+        index: 0,
+        size: failed.len(),
+    });
     let done = complete_and_pack(
         params,
         &instance,

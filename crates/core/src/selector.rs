@@ -91,6 +91,14 @@ fn resolve_probe_slot(
     let mut ok = Vec::new();
     for &(link, power) in probes {
         if tx_nodes.contains(&link.receiver) {
+            // Half-duplex rejection: a transmitting receiver hears
+            // nothing, so the probe fails before any affectance math.
+            #[cfg(feature = "trace")]
+            sinr_sim::trace::emit(sinr_sim::trace::TraceEvent::Probe {
+                sender: link.sender,
+                receiver: link.receiver,
+                admitted: false,
+            });
             continue;
         }
         let admitted = match field.sum_on_at_most(link, power, threshold) {
@@ -98,6 +106,12 @@ fn resolve_probe_slot(
             Ok(None) => matches!(field.sum_on_exact(link, power), Ok(aff) if aff <= threshold),
             Err(_) => false,
         };
+        #[cfg(feature = "trace")]
+        sinr_sim::trace::emit(sinr_sim::trace::TraceEvent::Probe {
+            sender: link.sender,
+            receiver: link.receiver,
+            admitted,
+        });
         if admitted {
             ok.push(link);
         }

@@ -159,6 +159,12 @@ fn run_selection_loop(
             });
         }
         iter += 1;
+        #[cfg(feature = "trace")]
+        sinr_sim::trace::emit(sinr_sim::trace::TraceEvent::Batch {
+            phase: "tvc-iteration",
+            index: u64::from(iter),
+            size: remaining,
+        });
 
         // Step 3: a fresh Init tree on the active set.
         let run = run_init_on(

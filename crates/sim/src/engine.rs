@@ -287,6 +287,50 @@ impl<'a, P: Protocol> Engine<'a, P> {
                 _ => {}
             }
         }
+        // Strictly observational: everything recorded here was computed
+        // above regardless, so the traced and untraced runs are
+        // byte-identical (the trace gates pin this).
+        #[cfg(feature = "trace")]
+        if crate::trace::is_active() {
+            use crate::snapshot::Fnv1a;
+            use crate::trace::TraceEvent;
+            for &(node, power) in &ctx.transmitters {
+                crate::trace::emit(TraceEvent::Transmit {
+                    slot,
+                    node,
+                    power: power.to_bits(),
+                });
+            }
+            let mut fnv = Fnv1a::default();
+            for (node, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    SlotOutcome::Received(r) => {
+                        crate::trace::emit(TraceEvent::Receive {
+                            slot,
+                            node,
+                            from: r.from,
+                            sinr: r.sinr.to_bits(),
+                            affectance: r.affectance.to_bits(),
+                        });
+                        fnv.write_u64(1);
+                        fnv.write_u64(r.from as u64);
+                        fnv.write_u64(r.distance.to_bits());
+                        fnv.write_u64(r.sinr.to_bits());
+                        fnv.write_u64(r.affectance.to_bits());
+                    }
+                    SlotOutcome::Idle => fnv.write_u64(2),
+                    SlotOutcome::Transmitted => fnv.write_u64(3),
+                    SlotOutcome::Slept => fnv.write_u64(4),
+                }
+            }
+            crate::trace::emit(TraceEvent::SlotDigest {
+                slot,
+                transmissions: report.transmissions as u32,
+                receptions: report.receptions as u32,
+                idle: report.idle_listeners as u32,
+                outcomes_fnv: fnv.finish(),
+            });
+        }
         for (id, outcome) in outcomes.into_iter().enumerate() {
             self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
         }
@@ -397,6 +441,78 @@ impl<'a, P: Protocol> Engine<'a, P> {
             },
         );
         self.slot - start
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'a, P: Protocol> Engine<'a, P> {
+    /// Captures the engine's complete mutable state — next slot,
+    /// statistics, every protocol state and every RNG stream — at the
+    /// current slot boundary (feature `serde`).
+    ///
+    /// Restoring the snapshot with [`restore`](Self::restore) and the
+    /// same immutable inputs resumes a run whose remaining slots are
+    /// bit-identical to the uninterrupted original.
+    pub fn snapshot(&self) -> crate::snapshot::EngineSnapshot
+    where
+        P: serde::Serialize,
+    {
+        crate::snapshot::EngineSnapshot {
+            slot: self.slot,
+            stats: self.stats,
+            nodes: self.nodes.iter().map(serde::Serialize::to_value).collect(),
+            rngs: self.rngs.iter().map(serde::Serialize::to_value).collect(),
+        }
+    }
+
+    /// Reconstructs an engine from a snapshot plus the run's immutable
+    /// inputs (feature `serde`). The backend need not match the
+    /// original's: by the determinism contract every backend produces
+    /// the same bytes, so a snapshot taken under `Grid` replays
+    /// identically under `Parallel` — a property the trace gates use to
+    /// cross-check backends from a common mid-run state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any node or RNG value does not deserialize, or if the
+    /// snapshot's node count disagrees with `instance`.
+    pub fn restore(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        snapshot: &crate::snapshot::EngineSnapshot,
+        backend: EngineBackend,
+    ) -> Result<Self, serde::Error>
+    where
+        P: serde::de::DeserializeOwned,
+    {
+        if snapshot.nodes.len() != instance.len() || snapshot.rngs.len() != instance.len() {
+            return Err(serde::Error::custom(format!(
+                "snapshot holds {} nodes / {} RNG streams, instance has {}",
+                snapshot.nodes.len(),
+                snapshot.rngs.len(),
+                instance.len()
+            )));
+        }
+        let nodes = snapshot
+            .nodes
+            .iter()
+            .map(P::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let rngs = snapshot
+            .rngs
+            .iter()
+            .map(<StdRng as serde::Deserialize>::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Engine {
+            params,
+            instance,
+            nodes,
+            rngs,
+            slot: snapshot.slot,
+            stats: snapshot.stats,
+            backend,
+            scratch: FieldScratch::default(),
+        })
     }
 }
 
@@ -850,6 +966,140 @@ mod tests {
             EngineBackend::Parallel(2),
         );
         engine.run(1);
+    }
+
+    /// Snapshot mid-run, keep running the original, restore the
+    /// snapshot into a fresh engine (under a *different* backend), and
+    /// the two tails must agree bit-for-bit.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        use serde::{Deserialize, Error, Serialize, Value};
+
+        /// Coin-flip transmitter recording reception bits — with
+        /// manual serde so it can ride a snapshot.
+        #[derive(Debug, Clone, PartialEq)]
+        struct Flip {
+            log: Vec<(u64, NodeId, u64)>,
+        }
+        impl Protocol for Flip {
+            type Msg = ();
+            fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if rng.gen_bool(0.3) {
+                    Action::Transmit {
+                        power: 700.0,
+                        msg: (),
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, slot: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.log.push((slot, r.from, r.sinr.to_bits()));
+                }
+            }
+        }
+        impl Serialize for Flip {
+            fn to_value(&self) -> Value {
+                self.log.to_value()
+            }
+        }
+        impl Deserialize for Flip {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                Ok(Flip {
+                    log: Deserialize::from_value(value)?,
+                })
+            }
+        }
+
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(40, 1.5, 11).unwrap();
+        let fresh =
+            |backend| Engine::with_backend(&params, &inst, |_| Flip { log: vec![] }, 9, backend);
+
+        let mut original = fresh(EngineBackend::Grid);
+        original.run(6);
+        let snap = original.snapshot();
+        original.run(10);
+
+        // The snapshot round-trips through the Value data model.
+        let snap = crate::snapshot::EngineSnapshot::from_value(&serde::Serialize::to_value(&snap))
+            .unwrap();
+        let mut resumed: Engine<'_, Flip> =
+            Engine::restore(&params, &inst, &snap, EngineBackend::Naive).unwrap();
+        assert_eq!(resumed.slot(), 6);
+        resumed.run(10);
+
+        assert_eq!(original.slot(), resumed.slot());
+        assert_eq!(original.stats(), resumed.stats());
+        assert_eq!(original.nodes().to_vec(), resumed.nodes().to_vec());
+
+        // Wrong instance size is rejected.
+        let small = gen::line(3).unwrap();
+        assert!(Engine::<Flip>::restore(&params, &small, &snap, EngineBackend::Grid).is_err());
+    }
+
+    /// With a recorder installed, the engine emits per-slot transmit /
+    /// receive events plus a digest — and the run's outputs are the
+    /// same as an untraced run's.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_emits_events_without_changing_outputs() {
+        use crate::trace::{self, TraceEvent};
+
+        let params = SinrParams::default();
+        let inst = gen::line(5).unwrap();
+        let power = params.min_power_for_length(inst.delta()) * 10.0;
+        let build = |seed| {
+            Engine::new(
+                &params,
+                &inst,
+                |_| OneTx {
+                    tx: 0,
+                    power,
+                    decoded: 0,
+                    last_sinr: 0.0,
+                },
+                seed,
+            )
+        };
+
+        let mut untraced = build(1);
+        let plain = untraced.run_reports(3);
+
+        trace::start(1 << 12);
+        let mut traced = build(1);
+        let reports = traced.run_reports(3);
+        let log = trace::stop();
+
+        assert_eq!(plain, reports, "tracing must not change outputs");
+        assert_eq!(log.dropped, 0);
+        let transmits = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Transmit { node: 0, .. }))
+            .count();
+        assert_eq!(transmits, 3, "node 0 transmits every slot");
+        let digests: Vec<_> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SlotDigest {
+                    slot, receptions, ..
+                } => Some((*slot, *receptions)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(digests, vec![(0, 4), (1, 4), (2, 4)]);
+        assert!(log.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Receive {
+                slot: 0,
+                from: 0,
+                ..
+            }
+        )));
     }
 
     /// A panic on a *worker* thread (here: a message whose `Clone`

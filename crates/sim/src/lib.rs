@@ -55,6 +55,10 @@
 mod engine;
 pub mod pool;
 mod protocol;
+#[cfg(feature = "serde")]
+pub mod snapshot;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use engine::{Engine, EngineBackend, EngineStats, SlotReport, PARALLEL_MIN_NODES};
 pub use protocol::{Action, Protocol, Reception, SlotOutcome};

@@ -1,0 +1,115 @@
+//! Property test: the bench JSON parser is the true inverse of the
+//! bench emitters. Random emitter-shaped documents — tables whose
+//! titles, expectations and cells draw from a hostile character palette
+//! (control characters, `±`, backslashes, quotes, non-ASCII, and
+//! astral-plane scalars) — must survive `Table::to_json` →
+//! `json::parse` with every field intact.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sinr_bench::json::{self, Value};
+use sinr_bench::table::{experiment_entry_json, experiments_doc_json, Table};
+
+/// Characters chosen to exercise every branch of the `json_string`
+/// escaper and the parser's string machinery: raw passthrough,
+/// two-character escapes, `\u00XX` control escapes, multi-byte UTF-8,
+/// and astral-plane scalars (which the parser must also accept in
+/// `\uXXXX\uXXXX` surrogate-pair spelling).
+const PALETTE: &[char] = &[
+    'a',
+    'Z',
+    '7',
+    ' ',
+    ',',
+    ':',
+    '[',
+    '}',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{1}',
+    '\u{8}',
+    '\u{c}',
+    '\u{1f}',
+    '\u{7f}',
+    '±',
+    'é',
+    'Ω',
+    '→',
+    '✓',
+    '\u{1D11E}',
+    '\u{10348}',
+    '🦀',
+];
+
+fn wild_string() -> impl Strategy<Value = String> {
+    vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn table_from(title: &str, expectation: &str, cells: &[(String, String)]) -> Table {
+    let mut t = Table::new(title, expectation, &["k", "v"]);
+    for (a, b) in cells {
+        t.push_row(vec![a.clone(), b.clone()]);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// A lone table round-trips field-for-field.
+    #[test]
+    fn table_to_json_round_trips(
+        title in wild_string(),
+        expectation in wild_string(),
+        cells in vec((wild_string(), wild_string()), 0..6),
+    ) {
+        let t = table_from(&title, &expectation, &cells);
+        let v = json::parse(&t.to_json())
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(v.keys(), ["title", "expectation", "columns", "rows"]);
+        prop_assert_eq!(v.get("title").and_then(Value::as_str), Some(title.as_str()));
+        prop_assert_eq!(
+            v.get("expectation").and_then(Value::as_str),
+            Some(expectation.as_str())
+        );
+        let rows = v.get("rows").and_then(Value::as_array).unwrap();
+        prop_assert_eq!(rows.len(), cells.len());
+        for (row, (a, b)) in rows.iter().zip(&cells) {
+            let row = row.as_array().unwrap();
+            prop_assert_eq!(row.len(), 2);
+            prop_assert_eq!(row[0].as_str(), Some(a.as_str()));
+            prop_assert_eq!(row[1].as_str(), Some(b.as_str()));
+        }
+    }
+
+    /// The full `experiments --json` document shape survives too, with
+    /// the hostile strings threaded through the entry description.
+    #[test]
+    fn experiments_doc_round_trips(
+        what in wild_string(),
+        title in wild_string(),
+        cells in vec((wild_string(), wild_string()), 0..4),
+    ) {
+        let t = table_from(&title, "", &cells);
+        let entry = experiment_entry_json("e0", &what, 1.25, &[t]);
+        let doc = experiments_doc_json(7, true, "grid", 4, 2, &[entry]);
+        let v = json::parse(&doc)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(
+            v.keys(),
+            ["seed", "quick", "engine", "seeds", "cores", "experiments"]
+        );
+        let exp = &v.get("experiments").and_then(Value::as_array).unwrap()[0];
+        prop_assert_eq!(exp.get("what").and_then(Value::as_str), Some(what.as_str()));
+        let table = &exp.get("tables").and_then(Value::as_array).unwrap()[0];
+        prop_assert_eq!(
+            table.get("title").and_then(Value::as_str),
+            Some(title.as_str())
+        );
+    }
+}
