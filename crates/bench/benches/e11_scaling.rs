@@ -16,6 +16,10 @@ struct Soup {
 
 impl Protocol for Soup {
     type Msg = ();
+    // Matches experiment E11: the soup never reads the measured SINR
+    // or affectance, so both per-reception instruments are off.
+    const MEASURES_AFFECTANCE: bool = false;
+    const MEASURES_SINR: bool = false;
     fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
         if rng.gen_bool(0.1) {
             Action::Transmit {

@@ -1,0 +1,82 @@
+//! Kernel micro-benchmarks: the SoA [`InterferenceField`] build and
+//! the certified best-SINR decode sweep, isolated from the engine's
+//! slot loop. These are the same two kernels experiment E14 profiles
+//! phase-by-phase into the committed `BENCH_PROFILE.json` trajectory;
+//! criterion gives them statistically disciplined micro numbers, E14
+//! gives them the committed scaling shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinr_bench::workloads::Family;
+use sinr_geom::{Instance, NodeId};
+use sinr_phy::field::{FieldBuffers, FieldScratch, InterferenceField};
+use sinr_phy::SinrParams;
+
+/// One slot-soup transmitter set (p = 0.1, E11's power sizing rule —
+/// spacing of a normalized uniform square scales as Δ/√(2n)).
+fn soup(params: &SinrParams, inst: &Instance, seed: u64) -> (Vec<(NodeId, f64)>, Vec<NodeId>) {
+    let spacing = inst.delta() / (2.0 * inst.len() as f64).sqrt();
+    let power = params.min_power_for_length(1.5 * spacing) * 4.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut senders = Vec::new();
+    let mut listeners = Vec::new();
+    for v in 0..inst.len() {
+        if rng.gen_bool(0.1) {
+            senders.push((v, power));
+        } else {
+            listeners.push(v);
+        }
+    }
+    (senders, listeners)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let params = SinrParams::default();
+
+    let mut build = c.benchmark_group("kernel_field_build");
+    build.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let inst = Family::UniformSquare.instance(n, 5);
+        let (senders, _) = soup(&params, &inst, 14);
+        build.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            // Arena-style recycling, exactly as the engine drives it:
+            // steady-state iterations re-use the grid's capacity.
+            let mut buffers = FieldBuffers::default();
+            b.iter(|| {
+                let field = InterferenceField::build_with(
+                    &params,
+                    inst,
+                    &senders,
+                    std::mem::take(&mut buffers),
+                );
+                buffers = field.into_buffers();
+            });
+        });
+    }
+    build.finish();
+
+    let mut decode = c.benchmark_group("kernel_decode_sweep");
+    decode.sample_size(10);
+    for n in [1024usize, 4096, 16384] {
+        let inst = Family::UniformSquare.instance(n, 5);
+        let (senders, listeners) = soup(&params, &inst, 14);
+        let field = InterferenceField::build(&params, &inst, &senders);
+        decode.bench_with_input(BenchmarkId::from_parameter(n), &field, |b, field| {
+            let mut scratch = FieldScratch::default();
+            b.iter(|| {
+                let mut decoded = 0u64;
+                for &v in &listeners {
+                    if field.decode_best_with(v, &mut scratch).is_some() {
+                        decoded += 1;
+                    }
+                }
+                decoded
+            });
+        });
+    }
+    decode.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

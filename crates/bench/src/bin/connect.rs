@@ -22,6 +22,11 @@
 //! incremental re-packer (default) or the centralized full reference
 //! (DESIGN.md §10).
 //!
+//! Built with `--features profile`, `--profile` records the engine's
+//! per-phase breakdown of a single run (build / grid / resolve / merge
+//! wall laps, the field's decode phases, and the query counters —
+//! DESIGN.md §12) and prints it after the run.
+//!
 //! Built with `--features trace`, four observability modes appear
 //! (DESIGN.md §11):
 //!
@@ -63,6 +68,7 @@ struct Args {
     churn_kill: usize,
     repack: RepackMode,
     export: Option<PathBuf>,
+    profile: bool,
     trace: Option<PathBuf>,
     snapshot: Option<PathBuf>,
     snapshot_at: Option<u64>,
@@ -81,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
     let mut churn_kill = 0usize;
     let mut repack = RepackMode::default();
     let mut export = None;
+    let mut profile = false;
     let mut trace = None;
     let mut snapshot = None;
     let mut snapshot_at = None;
@@ -156,6 +163,10 @@ fn parse_args() -> Result<Args, String> {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
             }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
             "--trace" => {
                 trace = Some(PathBuf::from(val(i)?));
                 i += 2;
@@ -183,6 +194,7 @@ fn parse_args() -> Result<Args, String> {
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
                             [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
                             [--repack full|incremental] [--export <dir>] \
+                            [--profile] (needs a build with --features profile) \
                             [--trace <path>] [--snapshot <path> --snapshot-at <slot>] \
                             [--replay-from <path>] [--diff-engine naive|grid|parallel[:N]] \
                             (the last four need a build with --features trace)"
@@ -206,6 +218,7 @@ fn parse_args() -> Result<Args, String> {
         churn_kill,
         repack,
         export,
+        profile,
         trace,
         snapshot,
         snapshot_at,
@@ -224,6 +237,15 @@ fn main() {
     };
 
     let params = SinrParams::default();
+
+    #[cfg(not(feature = "profile"))]
+    if args.profile {
+        eprintln!(
+            "this `connect` was built without the `profile` feature; \
+             rebuild with `--features profile` to use --profile"
+        );
+        std::process::exit(2);
+    }
 
     #[cfg(not(feature = "trace"))]
     if args.trace.is_some()
@@ -251,11 +273,11 @@ fn main() {
             std::process::exit(2);
         }
         if modes.iter().any(|&m| m)
-            && (args.seeds > 1 || args.churn_kill > 0 || args.export.is_some())
+            && (args.seeds > 1 || args.churn_kill > 0 || args.export.is_some() || args.profile)
         {
             eprintln!(
                 "the observability modes run on a single instance; \
-                 drop --seeds/--churn-kill/--export"
+                 drop --seeds/--churn-kill/--export/--profile"
             );
             std::process::exit(2);
         }
@@ -288,6 +310,10 @@ fn main() {
             eprintln!("--trace records a single instance; drop --seeds to trace");
             std::process::exit(2);
         }
+        if args.profile {
+            eprintln!("--profile records a single instance; drop --seeds to profile");
+            std::process::exit(2);
+        }
         run_ensemble(&args, &params);
         return;
     }
@@ -306,6 +332,10 @@ fn main() {
     if args.trace.is_some() {
         sinr_sim::trace::start(sinr_sim::trace::DEFAULT_CAPACITY);
     }
+    #[cfg(feature = "profile")]
+    if args.profile {
+        sinr_sim::profile::start();
+    }
 
     let result = match connect_with(&params, &instance, args.strategy, args.seed, args.engine) {
         Ok(r) => r,
@@ -314,6 +344,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    #[cfg(feature = "profile")]
+    if args.profile {
+        use sinr_bench::experiments::e11_scaling::{profile_table, push_profile_rows};
+        let report = sinr_sim::profile::stop();
+        let mut t = profile_table("profile: per-phase engine breakdown");
+        push_profile_rows(&mut t, args.family.label(), args.n, &report);
+        print!("{}", t.render());
+    }
 
     #[cfg(feature = "trace")]
     if let Some(path) = &args.trace {

@@ -16,7 +16,10 @@
 //! runs K churn trials per row);
 //! `--threads T` sizes the ensemble driver's worker pool, which by the
 //! determinism contract (DESIGN.md §9) changes wall-clock only — never
-//! an output byte. `--json <path>` additionally writes every executed
+//! an output byte. `--capability` appends the n = 65536 single-slot
+//! capability rung to the `--quick` ladders of the scale-out
+//! experiments (the CI smoke configuration; full runs always sweep
+//! the capability sizes). `--json <path>` additionally writes every executed
 //! experiment's tables as one machine-readable JSON document — the
 //! format behind the committed `BENCH_*.json` trajectory snapshots.
 
@@ -29,6 +32,7 @@ use sinr_bench::{EngineBackend, ExpOptions};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut capability = false;
     let mut seed: u64 = 0xC0FFEE;
     let mut backend = EngineBackend::default();
     let mut seeds: u64 = 0;
@@ -47,6 +51,10 @@ fn main() {
         match args[i].as_str() {
             "--quick" => {
                 quick = true;
+                i += 1;
+            }
+            "--capability" => {
+                capability = true;
                 i += 1;
             }
             "--seed" => {
@@ -111,6 +119,7 @@ fn main() {
         backend,
         seeds,
         threads,
+        capability,
     };
     let out_dir = PathBuf::from("target/experiments");
 

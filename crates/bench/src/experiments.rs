@@ -7,6 +7,7 @@ pub mod e10_ablations;
 pub mod e11_scaling;
 pub mod e12_connect_scaling;
 pub mod e13_churn;
+pub mod e14_kernel_profile;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -40,7 +41,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 13] = [
+pub const ALL: [Experiment; 14] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -105,6 +106,11 @@ pub const ALL: [Experiment; 13] = [
         id: "e13",
         what: "dynamic churn: incremental vs full re-packing",
         run: e13_churn::run,
+    },
+    Experiment {
+        id: "e14",
+        what: "kernel phase profile: SoA field build + certified decode",
+        run: e14_kernel_profile::run,
     },
 ];
 

@@ -5,12 +5,17 @@
 //! on a fixed contention workload ("slot soup": every node transmits
 //! with probability 0.1 at a power sized to the instance's
 //! nearest-neighbor spacing, otherwise listens), at n up to 16384 on
-//! the uniform and clustered families. The naive path is `O(listeners
+//! the uniform and clustered families plus single-slot *capability*
+//! rungs at n = 65536 and 131072. The naive path is `O(listeners
 //! × transmitters²)` per slot and is only timed up to n = 2048 — the
 //! projected cost beyond that is minutes per slot; larger sizes
 //! compare the grid engine against the pooled parallel engine
 //! (`Parallel(4)`, whose wall-clock gain requires the host to actually
 //! have cores — the `cores` column records what this machine offered).
+//! Under the `profile` feature the capability rungs additionally emit
+//! an E11c table: the grid run's per-phase breakdown (build / grid /
+//! resolve / merge wall laps plus the field's near-field,
+//! far-field-cert and fallback decode phases and query counters).
 //!
 //! Every timed row also replays the run on each backend with the same
 //! seed and compares the slot reports — the table's `parity` column is
@@ -42,6 +47,12 @@ struct Soup {
 
 impl Protocol for Soup {
     type Msg = ();
+    // The soup only counts decodes — it never reads the measured SINR
+    // or affectance, so the engine skips both O(transmitters)
+    // per-reception instruments (the dominant cost of a dense slot at
+    // capability n; decode winners are certificate-decided either way).
+    const MEASURES_AFFECTANCE: bool = false;
+    const MEASURES_SINR: bool = false;
     fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
         if rng.gen_bool(0.1) {
             Action::Transmit {
@@ -61,7 +72,7 @@ impl Protocol for Soup {
 
 /// Mean nearest-neighbor distance, for sizing the soup power the way
 /// the real protocols size their round powers.
-fn mean_nn_distance(inst: &Instance) -> f64 {
+pub(crate) fn mean_nn_distance(inst: &Instance) -> f64 {
     let cell = (inst.delta() / (inst.len() as f64).sqrt()).max(1.0);
     let grid = GridIndex::build(inst, cell);
     let mut total = 0.0;
@@ -107,14 +118,27 @@ fn run_engine(
     }
 }
 
+/// Smallest n treated as a *capability* rung: a single-slot proof that
+/// the engine completes at that scale. Capability rows additionally get
+/// a per-phase breakdown when the `profile` feature is enabled.
+pub const CAPABILITY_MIN_N: usize = 65536;
+
 /// Sizes, per-size slot budgets, and whether the naive engine is timed
 /// at that size (its per-slot cost grows super-quadratically; beyond
 /// 2048 it would take minutes per slot).
-fn ladder(quick: bool) -> &'static [(usize, u64, bool)] {
+///
+/// Full runs always end on the capability rungs (n = 65536 and 131072,
+/// one slot each, naive omitted); `capability` appends the 65536 rung
+/// to the quick ladder — the CI smoke configuration.
+fn ladder(quick: bool, capability: bool) -> Vec<(usize, u64, bool)> {
     if quick {
-        &[(128, 24, true), (256, 12, true), (512, 6, true)]
+        let mut rungs = vec![(128, 24, true), (256, 12, true), (512, 6, true)];
+        if capability {
+            rungs.push((CAPABILITY_MIN_N, 1, false));
+        }
+        rungs
     } else {
-        &[
+        vec![
             (128, 48, true),
             (256, 24, true),
             (512, 12, true),
@@ -123,7 +147,64 @@ fn ladder(quick: bool) -> &'static [(usize, u64, bool)] {
             (4096, 3, false),
             (8192, 2, false),
             (16384, 2, false),
+            (65536, 1, false),
+            (131072, 1, false),
         ]
+    }
+}
+
+/// Phases the engine records in wall-clock seconds; everything else in
+/// a [`ProfileReport`](sinr_sim::profile::ProfileReport) is a raw
+/// per-slot counter (queries, certificates, fallbacks, rings).
+#[cfg(feature = "profile")]
+const TIME_PHASES: &[&str] = &[
+    "build",
+    "grid",
+    "resolve",
+    "merge",
+    "near-field",
+    "far-field-cert",
+    "fallback",
+];
+
+/// The shared shape of the phase-profile tables: E11c, E12b and the
+/// `connect --profile` CLI all emit the same columns so the breakdowns
+/// diff against each other.
+#[cfg(feature = "profile")]
+pub fn profile_table(title: &str) -> Table {
+    Table::new(
+        title,
+        "per-phase breakdown of the profiled grid run at the capability sizes \
+         (time phases in ms; counter phases are raw per-slot samples)",
+        &[
+            "scope", "n", "phase", "unit", "samples", "min", "mean", "max", "total",
+        ],
+    )
+}
+
+/// Appends one row per recorded phase of `report` to a
+/// [`profile_table`], converting time phases to milliseconds.
+#[cfg(feature = "profile")]
+pub fn push_profile_rows(
+    t: &mut Table,
+    scope: &str,
+    n: usize,
+    report: &sinr_sim::profile::ProfileReport,
+) {
+    for (name, stats) in &report.phases {
+        let time = TIME_PHASES.contains(name);
+        let scale = if time { 1e3 } else { 1.0 };
+        t.push_row(vec![
+            scope.to_string(),
+            n.to_string(),
+            (*name).to_string(),
+            if time { "ms" } else { "count" }.to_string(),
+            stats.count.to_string(),
+            f2(stats.min * scale),
+            f2(stats.mean() * scale),
+            f2(stats.max * scale),
+            f2(stats.total * scale),
+        ]);
     }
 }
 
@@ -155,15 +236,29 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         &["family", "crossover n", "speedup@max naive n"],
     );
 
+    #[cfg(feature = "profile")]
+    let mut phases = profile_table("E11c: capability-row phase profile (grid engine)");
+
     for family in [Family::UniformSquare, Family::Clustered] {
         let mut cross: Option<usize> = None;
         let mut last_naive_speedup = 0.0;
-        for &(n, slots, with_naive) in ladder(opts.quick) {
+        for &(n, slots, with_naive) in &ladder(opts.quick, opts.capability) {
             let inst = family.instance(n, opts.seed.wrapping_add(n as u64));
             let power = params.min_power_for_length(1.5 * mean_nn_distance(&inst)) * 4.0;
             let seed = opts.seed.wrapping_add(1100 + n as u64);
 
+            // Capability rungs run the grid engine under the profiler
+            // (a handful of Instant reads per slot — noise next to a
+            // multi-ms slot, and bit-parity is untouched either way).
+            #[cfg(feature = "profile")]
+            if n >= CAPABILITY_MIN_N {
+                sinr_sim::profile::start();
+            }
             let grid = run_engine(&params, &inst, power, slots, seed, EngineBackend::Grid);
+            #[cfg(feature = "profile")]
+            if n >= CAPABILITY_MIN_N {
+                push_profile_rows(&mut phases, family.label(), n, &sinr_sim::profile::stop());
+            }
             let par = run_engine(
                 &params,
                 &inst,
@@ -233,6 +328,18 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ]);
     }
 
+    // Only a populated breakdown is emitted: the snapshot schema gate
+    // (tests/golden_json.rs) rejects empty tables, and a profile-built
+    // quick run without `--capability` never reaches a profiled rung.
+    #[cfg(feature = "profile")]
+    {
+        let mut out = vec![t, crossover];
+        if !phases.rows.is_empty() {
+            out.push(phases);
+        }
+        out
+    }
+    #[cfg(not(feature = "profile"))]
     vec![t, crossover]
 }
 
@@ -249,7 +356,7 @@ mod tests {
         };
         let tables = run(&opts);
         assert_eq!(tables.len(), 2);
-        assert_eq!(tables[0].rows.len(), 2 * ladder(true).len());
+        assert_eq!(tables[0].rows.len(), 2 * ladder(true, false).len());
         for row in &tables[0].rows {
             assert_eq!(row[9], "ok", "backends diverged: {row:?}");
         }

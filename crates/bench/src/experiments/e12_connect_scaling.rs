@@ -2,7 +2,8 @@
 //!
 //! Where E11 isolates the engine's per-slot cost, E12 times the whole
 //! pipeline a user actually runs, phase by phase, on uniform instances
-//! up to n = 8192:
+//! up to n = 8192 plus end-to-end capability rungs at n = 65536 and
+//! 131072 (per-phase engine breakdowns under the `profile` feature):
 //!
 //! 1. **build** — instance construction (`extreme_distances`, grid/hull
 //!    accelerated);
@@ -28,17 +29,26 @@ use sinr_baselines::mst::{centroid_root, mst_bitree};
 use sinr_connectivity::{connect_with, ConnectivityResult, Strategy};
 use sinr_phy::{PowerAssignment, SinrParams};
 
-use super::e11_scaling::PARALLEL_THREADS;
+#[cfg(feature = "profile")]
+use super::e11_scaling::{profile_table, push_profile_rows};
+use super::e11_scaling::{CAPABILITY_MIN_N, PARALLEL_THREADS};
 use crate::table::{f2, Table};
 use crate::workloads::Family;
 use crate::{EngineBackend, ExpOptions};
 
-/// Sizes swept (uniform family).
-fn ladder(quick: bool) -> &'static [usize] {
+/// Sizes swept (uniform family). Full runs end on the capability
+/// rungs (n = 65536 and 131072 — the whole distributed pipeline, not
+/// just one slot); `capability` appends the 65536 rung to the quick
+/// ladder, mirroring E11's CI smoke configuration.
+fn ladder(quick: bool, capability: bool) -> Vec<usize> {
     if quick {
-        &[256, 512]
+        let mut rungs = vec![256, 512];
+        if capability {
+            rungs.push(CAPABILITY_MIN_N);
+        }
+        rungs
     } else {
-        &[2048, 4096, 8192]
+        vec![2048, 4096, 8192, 65536, 131072]
     }
 }
 
@@ -108,7 +118,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ],
     );
 
-    for &n in ladder(opts.quick) {
+    #[cfg(feature = "profile")]
+    let mut phases =
+        profile_table("E12b: capability-row phase profile (grid engine, whole connect)");
+
+    for &n in &ladder(opts.quick, opts.capability) {
         let seed = opts.seed.wrapping_add(1200 + n as u64);
 
         let t0 = Instant::now();
@@ -132,10 +146,24 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         ];
         let mut results: Vec<(&str, EngineBackend, f64, ConnectivityResult)> = Vec::new();
         for (label, backend) in engines {
+            // The capability rungs profile the serial grid engine's
+            // connect end to end (the profiler is thread-local, so the
+            // parallel row would under-report its worker phases; the
+            // grid row is the canonical breakdown).
+            #[cfg(feature = "profile")]
+            let profiled = n >= CAPABILITY_MIN_N && matches!(backend, EngineBackend::Grid);
+            #[cfg(feature = "profile")]
+            if profiled {
+                sinr_sim::profile::start();
+            }
             let t3 = Instant::now();
             let result = connect_with(&params, &inst, Strategy::InitOnly, seed, backend)
                 .unwrap_or_else(|e| panic!("E12 connect n={n} {label}: {e}"));
             results.push((label, backend, t3.elapsed().as_secs_f64(), result));
+            #[cfg(feature = "profile")]
+            if profiled {
+                push_profile_rows(&mut phases, "uniform", n, &sinr_sim::profile::stop());
+            }
         }
         let fp0 = fingerprint(&results[0].3);
         let parity = results.iter().all(|(_, _, _, r)| fingerprint(r) == fp0);
@@ -176,6 +204,17 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
     // Record the host parallelism next to the data so saved snapshots
     // are interpretable.
     t.expectation = format!("{} (this host: {} core(s))", t.expectation, cores);
+    // As in E11: empty tables never ship (the snapshot schema gate
+    // rejects them), and only capability rungs record phases.
+    #[cfg(feature = "profile")]
+    {
+        let mut out = vec![t];
+        if !phases.rows.is_empty() {
+            out.push(phases);
+        }
+        out
+    }
+    #[cfg(not(feature = "profile"))]
     vec![t]
 }
 
@@ -193,7 +232,7 @@ mod tests {
         let tables = run(&opts);
         assert_eq!(tables.len(), 1);
         // Two engine rows per swept size.
-        assert_eq!(tables[0].rows.len(), 2 * ladder(true).len());
+        assert_eq!(tables[0].rows.len(), 2 * ladder(true, false).len());
         for row in &tables[0].rows {
             assert_eq!(row[10], "ok", "engines diverged: {row:?}");
         }

@@ -110,9 +110,9 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
 mod tests {
     use super::*;
 
-    /// Parses the mean out of a `mean ±ci` ensemble cell.
+    /// Parses the mean out of a fixed-width `mean ±ci` ensemble cell.
     fn cell_mean(cell: &str) -> f64 {
-        cell.split(" ±").next().unwrap().parse().unwrap()
+        cell.split(" ±").next().unwrap().trim().parse().unwrap()
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`experiments::e11_scaling`] | DESIGN.md §7: naive vs grid engine scaling |
 //! | [`experiments::e12_connect_scaling`] | DESIGN.md §8: end-to-end connect scaling |
 //! | [`experiments::e13_churn`] | DESIGN.md §10: incremental vs full re-packing under churn |
+//! | [`experiments::e14_kernel_profile`] | DESIGN.md §12: per-phase kernel cost of a grid slot |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
@@ -31,8 +32,8 @@
 //! (`--seeds K --threads T`) through the [`ensemble`] driver and
 //! reports `mean ±95% CI` per row via [`stats`] — byte-identically at
 //! any thread count (DESIGN.md §9). The engineering experiments
-//! (E11–E13) assert parity columns instead; their wall-clock cells are
-//! measured, not derived.
+//! (E11–E14) assert parity/partition invariants instead; their
+//! wall-clock cells are measured, not derived.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +69,13 @@ pub struct ExpOptions {
     /// per available core). The driver's ordered merge and canonical
     /// statistics make every output byte independent of this value.
     pub threads: usize,
+    /// Append the capability rung (n = 65536, single slot) to the
+    /// `--quick` ladders of the scale-out experiments (`--capability`).
+    /// The CI experiment-smoke job sets this so every merge proves the
+    /// engine still *completes* a 65536-node slot, without paying the
+    /// full ladder; full (non-quick) runs always include the capability
+    /// sizes and ignore the flag.
+    pub capability: bool,
 }
 
 impl Default for ExpOptions {
@@ -78,6 +86,7 @@ impl Default for ExpOptions {
             backend: EngineBackend::default(),
             seeds: 0,
             threads: 0,
+            capability: false,
         }
     }
 }

@@ -83,17 +83,37 @@ impl Stats {
     }
 
     /// Renders the `mean ± ci` table cell (2 decimals each), the
-    /// ensemble analogue of [`f2`] single-value cells.
+    /// ensemble analogue of [`f2`] single-value cells — right-aligned
+    /// into fixed widths ([`Self::CELL_MEAN_WIDTH`] for the mean,
+    /// [`Self::CELL_CI_WIDTH`] for the half-width), so a value crossing
+    /// a digit boundary between two snapshot generations never re-pads
+    /// its whole column: committed `BENCH_*.json` tables diff row by
+    /// row, not column by column.
     ///
-    /// An empty sample renders as `n/a (0 seeds)` rather than
-    /// `0.00 ±0.00`, so a misconfigured ensemble is distinguishable
-    /// from a genuine all-zero one.
+    /// An empty sample renders as `n/a (0 seeds)` (padded to the same
+    /// width) rather than `0.00 ±0.00`, so a misconfigured ensemble is
+    /// distinguishable from a genuine all-zero one.
     pub fn cell(&self) -> String {
         if self.n == 0 {
-            return "n/a (0 seeds)".to_string();
+            return format!("{:>width$}", "n/a (0 seeds)", width = Self::CELL_WIDTH);
         }
-        format!("{} ±{}", f2(self.mean), f2(self.ci95))
+        format!(
+            "{:>mw$} ±{:>cw$}",
+            f2(self.mean),
+            f2(self.ci95),
+            mw = Self::CELL_MEAN_WIDTH,
+            cw = Self::CELL_CI_WIDTH,
+        )
     }
+
+    /// Fixed mean width in [`cell`](Self::cell): fits every per-slot
+    /// microsecond figure through the n = 131072 capability rows
+    /// (`9999999999.99`) without jitter.
+    pub const CELL_MEAN_WIDTH: usize = 13;
+    /// Fixed CI half-width width in [`cell`](Self::cell).
+    pub const CELL_CI_WIDTH: usize = 9;
+    /// Total rendered width of a non-degenerate [`cell`](Self::cell).
+    pub const CELL_WIDTH: usize = Self::CELL_MEAN_WIDTH + 2 + Self::CELL_CI_WIDTH;
 }
 
 /// Two-sided 95% critical value of Student's t with `df` degrees of
@@ -156,7 +176,7 @@ mod tests {
         assert_eq!(s.ci95, 0.0);
         assert_eq!(s.min, 3.25);
         assert_eq!(s.max, 3.25);
-        assert_eq!(s.cell(), "3.25 ±0.00");
+        assert_eq!(s.cell(), "         3.25 ±     0.00");
     }
 
     /// The numeric fields of an empty sample stay zero (stable
@@ -169,7 +189,7 @@ mod tests {
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.ci95, 0.0);
-        assert_eq!(s.cell(), "n/a (0 seeds)");
+        assert_eq!(s.cell().trim_start(), "n/a (0 seeds)");
         assert_ne!(s.cell(), Stats::of(&[0.0, 0.0]).cell());
     }
 
@@ -238,6 +258,31 @@ mod tests {
     #[test]
     fn cell_formats_mean_pm_ci() {
         let s = Stats::of(&[1.0, 2.0, 3.0]);
-        assert_eq!(s.cell(), format!("{} ±{}", f2(s.mean), f2(s.ci95)));
+        assert_eq!(
+            s.cell().replace(' ', ""),
+            format!("{}±{}", f2(s.mean), f2(s.ci95))
+        );
+    }
+
+    /// The anti-jitter contract: every non-degenerate cell (and the
+    /// degenerate one) renders at exactly `CELL_WIDTH` characters, no
+    /// matter how many digits the mean grows.
+    #[test]
+    fn cell_width_is_fixed_across_magnitudes() {
+        for sample in [
+            &[0.0][..],
+            &[3.25],
+            &[99.99, 100.01],
+            &[330858.76, 330911.02],
+            &[4_126_940.0, 4_126_950.0],
+        ] {
+            let cell = Stats::of(sample).cell();
+            assert_eq!(
+                cell.chars().count(),
+                Stats::CELL_WIDTH,
+                "cell width jitters for {sample:?}: {cell:?}"
+            );
+        }
+        assert_eq!(Stats::of(&[]).cell().chars().count(), Stats::CELL_WIDTH);
     }
 }

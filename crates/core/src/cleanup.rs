@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use sinr_geom::NodeId;
 use sinr_links::Link;
-use sinr_phy::field::{FieldScratch, InterferenceField};
+use sinr_phy::field::{FieldBuffers, FieldScratch, InterferenceField};
 use sinr_phy::{PowerAssignment, SinrParams};
 
 use crate::init::InitOutcome;
@@ -91,14 +91,22 @@ pub fn reconcile_strays(
     let mut confirmed: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
     let mut busy = vec![false; instance.len()];
     let mut scratch = FieldScratch::default();
+    // Per-slot buffers cycle through the sweep: the field's grid and
+    // sender storage are recovered after each slot, so steady-state
+    // slots reuse capacity instead of re-allocating.
+    let mut buffers = FieldBuffers::default();
+    let mut links: Vec<Link> = Vec::new();
+    let mut tx: Vec<(NodeId, f64)> = Vec::new();
     let slots = outcome.schedule.slots();
     for slot_links in &slots {
-        let links: Vec<Link> = slot_links.iter().collect();
-        let tx: Vec<(NodeId, f64)> = links
-            .iter()
-            .map(|&l| Ok((l.sender, power.power_of(l, instance, params)?)))
-            .collect::<Result<_>>()?;
-        let field = InterferenceField::build(params, instance, &tx);
+        links.clear();
+        links.extend(slot_links.iter());
+        tx.clear();
+        for &l in &links {
+            tx.push((l.sender, power.power_of(l, instance, params)?));
+        }
+        let field =
+            InterferenceField::build_with(params, instance, &tx, std::mem::take(&mut buffers));
         for &(u, _) in &tx {
             busy[u] = true;
         }
@@ -123,6 +131,7 @@ pub fn reconcile_strays(
         for &(u, _) in &tx {
             busy[u] = false;
         }
+        buffers = field.into_buffers();
     }
 
     let confirmed_count: usize = confirmed.values().map(HashSet::len).sum();

@@ -55,7 +55,7 @@ use std::time::Instant;
 use sinr_geom::{Instance, NodeId};
 use sinr_links::{InTree, Link, LinkSet, Schedule, ScheduleDelta};
 use sinr_phy::feasibility::{self, SlotAuditor};
-use sinr_phy::field::InterferenceField;
+use sinr_phy::field::{FieldBuffers, InterferenceField};
 use sinr_phy::{packing, PowerAssignment, SinrParams};
 
 /// Which re-packer the dynamic pipelines run after merging a churn
@@ -279,6 +279,7 @@ pub fn repack_tree(
 
     // ---- 3. re-pack the dirty region, leaf to root ------------------
     let mut slots: Vec<SlotState<'_>> = (0..previous_slots).map(|_| SlotState::default()).collect();
+    let mut arena = ProbeArena::default();
     let mut unschedulable = Vec::new();
     let mut repacked = 0usize;
     let mut classes: BTreeSet<u32> = BTreeSet::new();
@@ -312,7 +313,7 @@ pub fn repack_tree(
             } else {
                 &[]
             };
-            if slots[s].try_place(params, instance, res, link, pw_fwd, pw_dual) {
+            if slots[s].try_place(params, instance, res, link, (pw_fwd, pw_dual), &mut arena) {
                 schedule.assign(link, s);
                 if s < previous_slots {
                     touched[s] = true;
@@ -364,6 +365,25 @@ struct SlotState<'a> {
     auditors: Option<(SlotAuditor<'a>, SlotAuditor<'a>)>,
 }
 
+/// Recycled allocations shared by every slot's pre-filter: the two
+/// transient sender lists and a pool of recovered [`FieldBuffers`].
+/// Each slot's pre-filter fields are transient — dead the moment the
+/// slot's auditors exist — so their grids cycle through here instead of
+/// re-allocating per slot (the repack-side counterpart of the engine's
+/// `SlotArena`, DESIGN.md §12).
+#[derive(Debug, Default)]
+struct ProbeArena {
+    senders_fwd: Vec<(NodeId, f64)>,
+    senders_dual: Vec<(NodeId, f64)>,
+    buffers: Vec<FieldBuffers>,
+}
+
+impl ProbeArena {
+    fn take_buffers(&mut self) -> FieldBuffers {
+        self.buffers.pop().unwrap_or_default()
+    }
+}
+
 impl<'a> SlotState<'a> {
     /// Probes `link` into this slot; on success the link stays resident.
     fn try_place(
@@ -372,8 +392,8 @@ impl<'a> SlotState<'a> {
         instance: &'a Instance,
         residents: &[(Link, f64, f64)],
         link: Link,
-        pw_fwd: f64,
-        pw_dual: f64,
+        (pw_fwd, pw_dual): (f64, f64),
+        arena: &mut ProbeArena,
     ) -> bool {
         let threshold = params.beta() * (1.0 - 1e-12);
         if self.auditors.is_none() && !residents.is_empty() {
@@ -384,26 +404,43 @@ impl<'a> SlotState<'a> {
             // pass still runs the full audit below — and is consulted
             // only until the auditors exist (once they do, probes are
             // O(k) try_push anyway), so it is never updated afterwards.
-            let (fwd_field, dual_field) = self.fields.get_or_insert_with(|| {
-                let fwd: Vec<(NodeId, f64)> =
-                    residents.iter().map(|&(l, pf, _)| (l.sender, pf)).collect();
-                let dual: Vec<(NodeId, f64)> = residents
-                    .iter()
-                    .map(|&(l, _, pd)| (l.receiver, pd))
-                    .collect();
-                (
-                    InterferenceField::build(params, instance, &fwd),
-                    InterferenceField::build(params, instance, &dual),
-                )
-            });
+            let (fwd_field, dual_field) = match self.fields.as_mut() {
+                Some(pair) => pair,
+                None => {
+                    arena.senders_fwd.clear();
+                    arena
+                        .senders_fwd
+                        .extend(residents.iter().map(|&(l, pf, _)| (l.sender, pf)));
+                    arena.senders_dual.clear();
+                    arena
+                        .senders_dual
+                        .extend(residents.iter().map(|&(l, _, pd)| (l.receiver, pd)));
+                    let fwd_buf = arena.take_buffers();
+                    let dual_buf = arena.take_buffers();
+                    self.fields.insert((
+                        InterferenceField::build_with(
+                            params,
+                            instance,
+                            &arena.senders_fwd,
+                            fwd_buf,
+                        ),
+                        InterferenceField::build_with(
+                            params,
+                            instance,
+                            &arena.senders_dual,
+                            dual_buf,
+                        ),
+                    ))
+                }
+            };
             if !fwd_field.sinr_at_least(link, pw_fwd, threshold)
                 || !dual_field.sinr_at_least(link.dual(), pw_dual, threshold)
             {
                 return false;
             }
         }
-        let (fwd, dual) = self.auditors.get_or_insert_with(|| {
-            (
+        if self.auditors.is_none() {
+            self.auditors = Some((
                 SlotAuditor::with_residents(
                     params,
                     instance,
@@ -414,8 +451,15 @@ impl<'a> SlotState<'a> {
                     instance,
                     residents.iter().map(|&(l, _, pd)| (l.dual(), pd)),
                 ),
-            )
-        });
+            ));
+            // The pre-filter is dead from here on: the auditors answer
+            // every further probe. Recover its grids for other slots.
+            if let Some((f, d)) = self.fields.take() {
+                arena.buffers.push(f.into_buffers());
+                arena.buffers.push(d.into_buffers());
+            }
+        }
+        let (fwd, dual) = self.auditors.as_mut().expect("auditors seeded above");
         if fwd.try_push(link, pw_fwd) {
             if dual.try_push(link.dual(), pw_dual) {
                 return true;

@@ -207,31 +207,86 @@ impl GridIndex {
     }
 }
 
-/// One bucket of a [`WeightedCellGrid`]: members with their positions
-/// and weights, plus the cached aggregate weight.
-#[derive(Clone, Debug, Default)]
-pub struct CellBucket {
-    members: Vec<(NodeId, Point, f64)>,
+/// A read-only view of one occupied [`WeightedCellGrid`] cell: the
+/// cached aggregate weight plus the member columns as parallel slices
+/// (structure-of-arrays), in insertion order.
+///
+/// The slice accessors are the hot-loop interface: a ring
+/// accumulation walks `ws()`/`xs()`/`ys()` as contiguous `f64` runs
+/// with no pointer chasing. [`members`](CellView::members) re-zips
+/// them for callers that want tuples.
+#[derive(Clone, Copy, Debug)]
+pub struct CellView<'a> {
     weight: f64,
+    ids: &'a [NodeId],
+    xs: &'a [f64],
+    ys: &'a [f64],
+    ws: &'a [f64],
 }
 
-impl CellBucket {
-    /// The `(node, position, weight)` members of this cell.
-    #[inline]
-    pub fn members(&self) -> &[(NodeId, Point, f64)] {
-        &self.members
-    }
-
-    /// The aggregate weight of the cell (sum of member weights).
+impl<'a> CellView<'a> {
+    /// The aggregate weight of the cell (sum of member weights, in
+    /// insertion order).
     #[inline]
     pub fn weight(&self) -> f64 {
         self.weight
     }
 
-    fn recompute(&mut self) {
-        self.weight = self.members.iter().map(|&(_, _, w)| w).sum();
+    /// Number of members in this cell.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the cell is empty (never true for visited cells).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Member node ids, in insertion order.
+    #[inline]
+    pub fn ids(&self) -> &'a [NodeId] {
+        self.ids
+    }
+
+    /// Member x coordinates, parallel to [`ids`](CellView::ids).
+    #[inline]
+    pub fn xs(&self) -> &'a [f64] {
+        self.xs
+    }
+
+    /// Member y coordinates, parallel to [`ids`](CellView::ids).
+    #[inline]
+    pub fn ys(&self) -> &'a [f64] {
+        self.ys
+    }
+
+    /// Member weights, parallel to [`ids`](CellView::ids).
+    #[inline]
+    pub fn ws(&self) -> &'a [f64] {
+        self.ws
+    }
+
+    /// The `(node, position, weight)` members, re-zipped from the
+    /// parallel columns.
+    pub fn members(&self) -> impl Iterator<Item = (NodeId, Point, f64)> + 'a {
+        let (ids, xs, ys, ws) = (self.ids, self.xs, self.ys, self.ws);
+        (0..ids.len()).map(move |i| (ids[i], Point::new(xs[i], ys[i]), ws[i]))
     }
 }
+
+/// Largest cell-index magnitude the dense layout accepts: `2^31` keeps
+/// every index exactly representable as `f64`, makes the `as i64` cast
+/// lossless, and lets rectangle extents multiply without overflow.
+const MAX_CELL_INDEX: f64 = (1i64 << 31) as f64;
+
+/// Debug-build ceiling on the dense cell-table area. The interference
+/// field clamps its cell size to `span / MAX_CELLS_PER_AXIS`, which
+/// bounds the table at ~67×67 regardless of n; anything within a few
+/// orders of magnitude of this limit means a degenerate cell size for
+/// the coordinate range (the dense table would dwarf the member set).
+const MAX_DENSE_CELLS: u128 = 1 << 24;
 
 /// A mutable bucket grid over weighted points, with per-cell aggregate
 /// weights and ring-ordered cell enumeration.
@@ -243,17 +298,57 @@ impl CellBucket {
 /// distance)`), which is what lets the field certify SINR decisions
 /// from a near-field prefix.
 ///
+/// # Layout
+///
+/// Storage is structure-of-arrays: members live in four parallel flat
+/// `Vec`s (`ids`/`xs`/`ys`/`ws`) grouped by cell, indexed by a
+/// CSR-style `cell_start` table over a *dense* column-major cell
+/// rectangle (the bounding rectangle of occupied keys). Queries do no
+/// hashing: a cell is one index computation and one contiguous slice.
+/// A second set of insertion-ordered staging arrays is the mutation
+/// source of truth; [`rebuild`](WeightedCellGrid::rebuild) scatters it
+/// into the CSR layout with a stable counting sort, so within-cell
+/// member order is exactly insertion order — the iteration-order
+/// contract every accumulated float in `sinr-phy` depends on.
+///
+/// [`rebuild`](WeightedCellGrid::rebuild) is the intended bulk
+/// constructor (one pass to stage, one scatter — linear, and it reuses
+/// every buffer across calls). [`insert`](WeightedCellGrid::insert) /
+/// [`remove`](WeightedCellGrid::remove) keep the incremental API for
+/// small edits and tests, at `O(n + cells)` per call (each re-scatters
+/// the index).
+///
 /// Cell-key bounds grow monotonically: removals never shrink the
 /// scanned rectangle (a stale superset only costs empty probes, never
 /// correctness).
 #[derive(Clone, Debug)]
 pub struct WeightedCellGrid {
     cell: f64,
-    cells: HashMap<CellKey, CellBucket>,
-    len: usize,
     total_weight: f64,
     key_min: CellKey,
     key_max: CellKey,
+    /// Dense cell-table extents: `cols` along x, `rows` along y.
+    /// Column-major linearization (`x` major, `y` minor) so the
+    /// rectangular near-scan's inner loop walks contiguous cells.
+    cols: usize,
+    rows: usize,
+    /// Insertion-ordered staging columns (mutation source of truth).
+    stage_ids: Vec<NodeId>,
+    stage_xs: Vec<f64>,
+    stage_ys: Vec<f64>,
+    stage_ws: Vec<f64>,
+    /// CSR index: member range of linear cell `c` is
+    /// `cell_start[c] .. cell_start[c + 1]`.
+    cell_start: Vec<u32>,
+    cell_weight: Vec<f64>,
+    occupied: usize,
+    /// Cell-grouped member columns (scatter of the staging arrays).
+    ids: Vec<NodeId>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ws: Vec<f64>,
+    /// Scatter cursors (scratch kept for reuse).
+    cursor: Vec<u32>,
 }
 
 impl WeightedCellGrid {
@@ -269,11 +364,23 @@ impl WeightedCellGrid {
         );
         WeightedCellGrid {
             cell: cell_size,
-            cells: HashMap::new(),
-            len: 0,
             total_weight: 0.0,
             key_min: (i64::MAX, i64::MAX),
             key_max: (i64::MIN, i64::MIN),
+            cols: 0,
+            rows: 0,
+            stage_ids: Vec::new(),
+            stage_xs: Vec::new(),
+            stage_ys: Vec::new(),
+            stage_ws: Vec::new(),
+            cell_start: Vec::new(),
+            cell_weight: Vec::new(),
+            occupied: 0,
+            ids: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            ws: Vec::new(),
+            cursor: Vec::new(),
         }
     }
 
@@ -286,19 +393,19 @@ impl WeightedCellGrid {
     /// Number of members currently stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.stage_ids.len()
     }
 
     /// Whether the grid is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.stage_ids.is_empty()
     }
 
     /// Number of non-empty cells.
     #[inline]
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.occupied
     }
 
     /// Sum of all member weights. Insertions accumulate (addition of
@@ -312,49 +419,202 @@ impl WeightedCellGrid {
     }
 
     /// The cell key containing point `p`.
+    ///
+    /// Debug builds assert the index magnitude stays below `2^31` —
+    /// beyond that the `f64 → i64` cast would quantize or saturate,
+    /// which means the cell size is degenerate for the coordinate
+    /// range.
     #[inline]
     pub fn key_of(&self, p: Point) -> CellKey {
-        (
-            (p.x / self.cell).floor() as i64,
-            (p.y / self.cell).floor() as i64,
-        )
+        let kx = (p.x / self.cell).floor();
+        let ky = (p.y / self.cell).floor();
+        debug_assert!(
+            kx.abs() < MAX_CELL_INDEX && ky.abs() < MAX_CELL_INDEX,
+            "cell index overflow: point ({}, {}) with cell size {} needs index ({kx}, {ky})",
+            p.x,
+            p.y,
+            self.cell
+        );
+        (kx as i64, ky as i64)
     }
 
-    fn recompute_total(&mut self) {
-        self.total_weight = self.cells.values().map(CellBucket::weight).sum();
+    /// Linear (column-major) index of an in-rectangle cell key.
+    #[inline]
+    fn lin(&self, k: CellKey) -> usize {
+        (k.0 - self.key_min.0) as usize * self.rows + (k.1 - self.key_min.1) as usize
     }
 
-    /// Inserts a member. `O(1)`: aggregates accumulate by addition, so
-    /// a bulk build over a slot's transmitters stays linear.
+    #[inline]
+    fn in_rect(&self, k: CellKey) -> bool {
+        k.0 >= self.key_min.0
+            && k.0 <= self.key_max.0
+            && k.1 >= self.key_min.1
+            && k.1 <= self.key_max.1
+    }
+
+    /// The member range of linear cell `c`.
+    #[inline]
+    fn seg(&self, c: usize) -> (usize, usize) {
+        (self.cell_start[c] as usize, self.cell_start[c + 1] as usize)
+    }
+
+    /// Re-derives the dense cell table and CSR arrays from the staging
+    /// columns: grow the key rectangle over all staged keys, count,
+    /// prefix-sum, then stable-scatter — within-cell member order is
+    /// global insertion order restricted to the cell, and each cell's
+    /// aggregate weight accumulates in that same order (bit-compatible
+    /// with a sequence of incremental inserts).
+    fn reindex(&mut self) {
+        for i in 0..self.stage_ids.len() {
+            let k = self.key_of(Point::new(self.stage_xs[i], self.stage_ys[i]));
+            self.key_min = (self.key_min.0.min(k.0), self.key_min.1.min(k.1));
+            self.key_max = (self.key_max.0.max(k.0), self.key_max.1.max(k.1));
+        }
+        if self.key_min.0 > self.key_max.0 {
+            // Nothing ever inserted: keep the zero-extent empty table.
+            self.cols = 0;
+            self.rows = 0;
+            self.cell_start.clear();
+            self.cell_start.push(0);
+            self.cell_weight.clear();
+            self.occupied = 0;
+            return;
+        }
+        let cols = (self.key_max.0 - self.key_min.0 + 1) as u128;
+        let rows = (self.key_max.1 - self.key_min.1 + 1) as u128;
+        debug_assert!(
+            cols * rows <= MAX_DENSE_CELLS,
+            "degenerate cell size: {} members span a {cols}×{rows} cell rectangle \
+             (cell {}, key rect {:?}..={:?}); the dense layout caps at {MAX_DENSE_CELLS} cells",
+            self.stage_ids.len(),
+            self.cell,
+            self.key_min,
+            self.key_max
+        );
+        self.cols = cols as usize;
+        self.rows = rows as usize;
+        let ncells = self.cols * self.rows;
+        let n = self.stage_ids.len();
+        debug_assert!(
+            n < u32::MAX as usize,
+            "member count overflows the u32 CSR index"
+        );
+
+        self.cell_start.clear();
+        self.cell_start.resize(ncells + 1, 0);
+        for i in 0..n {
+            let c = self.lin(self.key_of(Point::new(self.stage_xs[i], self.stage_ys[i])));
+            self.cell_start[c + 1] += 1;
+        }
+        self.occupied = 0;
+        for c in 0..ncells {
+            if self.cell_start[c + 1] > 0 {
+                self.occupied += 1;
+            }
+            self.cell_start[c + 1] += self.cell_start[c];
+        }
+
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.cell_start[..ncells]);
+        self.cell_weight.clear();
+        self.cell_weight.resize(ncells, 0.0);
+        self.ids.clear();
+        self.ids.resize(n, 0);
+        self.xs.clear();
+        self.xs.resize(n, 0.0);
+        self.ys.clear();
+        self.ys.resize(n, 0.0);
+        self.ws.clear();
+        self.ws.resize(n, 0.0);
+        for i in 0..n {
+            let (x, y, w) = (self.stage_xs[i], self.stage_ys[i], self.stage_ws[i]);
+            let c = self.lin(self.key_of(Point::new(x, y)));
+            let dst = self.cursor[c] as usize;
+            self.cursor[c] += 1;
+            self.ids[dst] = self.stage_ids[i];
+            self.xs[dst] = x;
+            self.ys[dst] = y;
+            self.ws[dst] = w;
+            self.cell_weight[c] += w;
+        }
+    }
+
+    /// Clears the grid and re-keys it to a new cell size, keeping every
+    /// buffer's capacity — the per-slot reuse entry point of the
+    /// interference field's scratch arena.
+    pub fn reset(&mut self, cell_size: f64) {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        self.cell = cell_size;
+        self.total_weight = 0.0;
+        self.key_min = (i64::MAX, i64::MAX);
+        self.key_max = (i64::MIN, i64::MIN);
+        self.cols = 0;
+        self.rows = 0;
+        self.stage_ids.clear();
+        self.stage_xs.clear();
+        self.stage_ys.clear();
+        self.stage_ws.clear();
+        self.cell_start.clear();
+        self.cell_start.push(0);
+        self.cell_weight.clear();
+        self.occupied = 0;
+        self.ids.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.ws.clear();
+    }
+
+    /// Bulk-builds the grid contents in one linear pass: stages every
+    /// member in iteration order, then scatters once. Equivalent to
+    /// (and bit-compatible with) a loop of
+    /// [`insert`](WeightedCellGrid::insert) calls, without the per-call
+    /// re-scatter. Appends to any existing members.
+    pub fn rebuild<I: IntoIterator<Item = (NodeId, Point, f64)>>(&mut self, members: I) {
+        for (id, p, w) in members {
+            self.stage_ids.push(id);
+            self.stage_xs.push(p.x);
+            self.stage_ys.push(p.y);
+            self.stage_ws.push(w);
+            self.total_weight += w;
+        }
+        self.reindex();
+    }
+
+    /// Inserts a member, keeping the query index fresh. The aggregate
+    /// accumulates by addition, bit-compatible with the bulk path; the
+    /// re-scatter makes a single insert `O(n + cells)` — batch inserts
+    /// through [`rebuild`](WeightedCellGrid::rebuild) on hot paths.
     pub fn insert(&mut self, id: NodeId, p: Point, weight: f64) {
-        let k = self.key_of(p);
-        self.key_min = (self.key_min.0.min(k.0), self.key_min.1.min(k.1));
-        self.key_max = (self.key_max.0.max(k.0), self.key_max.1.max(k.1));
-        let bucket = self.cells.entry(k).or_default();
-        bucket.members.push((id, p, weight));
-        bucket.weight += weight;
-        self.len += 1;
-        self.total_weight += weight;
+        self.rebuild(std::iter::once((id, p, weight)));
     }
 
-    /// Removes the most recently inserted member with this id at this
-    /// position; returns whether one was found.
+    /// Removes the most recently inserted member with this id in the
+    /// cell containing `p`; returns whether one was found.
+    /// `O(n + cells)` (re-scatters the index).
     pub fn remove(&mut self, id: NodeId, p: Point) -> bool {
         let k = self.key_of(p);
-        let Some(bucket) = self.cells.get_mut(&k) else {
+        if !self.in_rect(k) {
             return false;
-        };
-        let Some(pos) = bucket.members.iter().rposition(|&(m, _, _)| m == id) else {
-            return false;
-        };
-        bucket.members.remove(pos);
-        if bucket.members.is_empty() {
-            self.cells.remove(&k);
-        } else {
-            bucket.recompute();
         }
-        self.len -= 1;
-        self.recompute_total();
+        let Some(pos) = (0..self.stage_ids.len()).rev().find(|&i| {
+            self.stage_ids[i] == id
+                && self.key_of(Point::new(self.stage_xs[i], self.stage_ys[i])) == k
+        }) else {
+            return false;
+        };
+        self.stage_ids.remove(pos);
+        self.stage_xs.remove(pos);
+        self.stage_ys.remove(pos);
+        self.stage_ws.remove(pos);
+        self.reindex();
+        // Re-aggregate (never subtract) in deterministic linear cell
+        // order; the old bucket layout summed in hash-map order, which
+        // is why callers must treat this as "exact up to summation
+        // rounding", never as a bit-pinned quantity.
+        self.total_weight = self.cell_weight.iter().sum();
         true
     }
 
@@ -368,7 +628,7 @@ impl WeightedCellGrid {
         radius: f64,
         mut f: F,
     ) {
-        if radius.is_nan() || radius < 0.0 || self.cells.is_empty() {
+        if radius.is_nan() || radius < 0.0 || self.is_empty() {
             return;
         }
         let lo = self.key_of(Point::new(center.x - radius, center.y - radius));
@@ -377,10 +637,9 @@ impl WeightedCellGrid {
         let (cx1, cy1) = (hi.0.min(self.key_max.0), hi.1.min(self.key_max.1));
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
-                if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    for &(id, p, w) in &bucket.members {
-                        f(id, p, w);
-                    }
+                let (lo, hi) = self.seg(self.lin((cx, cy)));
+                for i in lo..hi {
+                    f(self.ids[i], Point::new(self.xs[i], self.ys[i]), self.ws[i]);
                 }
             }
         }
@@ -397,44 +656,47 @@ impl WeightedCellGrid {
     /// has been visited, every unvisited member lies at distance
     /// `> (r · cell)` from any point inside the center cell — the
     /// certified far-field cutoff the interference field relies on.
-    pub fn for_each_ring_cell<F: FnMut(&CellBucket)>(
+    pub fn for_each_ring_cell<F: FnMut(CellView<'_>)>(
         &self,
         center: Point,
         ring: i64,
         mut f: F,
     ) -> usize {
-        if self.cells.is_empty() || ring < 0 {
+        if self.is_empty() || ring < 0 {
             return 0;
         }
         let (cx, cy) = self.key_of(center);
         let mut visited = 0;
-        let visit = |cells: &HashMap<CellKey, CellBucket>, k: CellKey, f: &mut F| {
-            if k.0 < self.key_min.0
-                || k.0 > self.key_max.0
-                || k.1 < self.key_min.1
-                || k.1 > self.key_max.1
-            {
+        let mut visit = |k: CellKey| {
+            if !self.in_rect(k) {
                 return 0;
             }
-            if let Some(bucket) = cells.get(&k) {
-                f(bucket);
-                1
-            } else {
-                0
+            let c = self.lin(k);
+            let (lo, hi) = self.seg(c);
+            if lo == hi {
+                return 0;
             }
+            f(CellView {
+                weight: self.cell_weight[c],
+                ids: &self.ids[lo..hi],
+                xs: &self.xs[lo..hi],
+                ys: &self.ys[lo..hi],
+                ws: &self.ws[lo..hi],
+            });
+            1
         };
         if ring == 0 {
-            return visit(&self.cells, (cx, cy), &mut f);
+            return visit((cx, cy));
         }
         // Top and bottom rows of the ring square, full width.
         for x in (cx - ring)..=(cx + ring) {
-            visited += visit(&self.cells, (x, cy - ring), &mut f);
-            visited += visit(&self.cells, (x, cy + ring), &mut f);
+            visited += visit((x, cy - ring));
+            visited += visit((x, cy + ring));
         }
         // Left and right columns, excluding the corners already done.
         for y in (cy - ring + 1)..=(cy + ring - 1) {
-            visited += visit(&self.cells, (cx - ring, y), &mut f);
-            visited += visit(&self.cells, (cx + ring, y), &mut f);
+            visited += visit((cx - ring, y));
+            visited += visit((cx + ring, y));
         }
         visited
     }
@@ -443,7 +705,7 @@ impl WeightedCellGrid {
     /// occupied cell (Chebyshev distance from the center key to the
     /// farthest corner of the occupied-key rectangle).
     pub fn max_ring_from(&self, center: Point) -> i64 {
-        if self.cells.is_empty() {
+        if self.is_empty() {
             return -1;
         }
         let (cx, cy) = self.key_of(center);
@@ -594,8 +856,8 @@ mod tests {
         let mut member_total = 0usize;
         for ring in 0..=g.max_ring_from(center) {
             let mut ring_members = Vec::new();
-            seen += g.for_each_ring_cell(center, ring, |bucket| {
-                ring_members.extend(bucket.members().iter().copied());
+            seen += g.for_each_ring_cell(center, ring, |cell| {
+                ring_members.extend(cell.members());
             });
             member_total += ring_members.len();
             // The certified bound: members first reachable at ring r+1 or
@@ -610,5 +872,110 @@ mod tests {
         }
         assert_eq!(seen, g.occupied_cells());
         assert_eq!(member_total, g.len());
+    }
+
+    /// The bulk path and a loop of incremental inserts must agree on
+    /// every observable: member order per cell, per-cell aggregate
+    /// bits, total-weight bits, occupied counts.
+    #[test]
+    fn weighted_grid_rebuild_matches_insert_loop() {
+        let inst = gen::uniform_square(150, 1.5, 13).unwrap();
+        let members: Vec<(NodeId, Point, f64)> = inst
+            .iter()
+            .map(|(id, p)| (id, p, 1.0 + (id as f64) * 0.37))
+            .collect();
+
+        let mut bulk = WeightedCellGrid::new(1.9);
+        bulk.rebuild(members.iter().copied());
+        let mut incremental = WeightedCellGrid::new(1.9);
+        for &(id, p, w) in &members {
+            incremental.insert(id, p, w);
+        }
+
+        assert_eq!(bulk.len(), incremental.len());
+        assert_eq!(bulk.occupied_cells(), incremental.occupied_cells());
+        assert_eq!(
+            bulk.total_weight().to_bits(),
+            incremental.total_weight().to_bits()
+        );
+        let center = inst.position(0);
+        for ring in 0..=bulk.max_ring_from(center) {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            bulk.for_each_ring_cell(center, ring, |c| {
+                a.push((c.weight().to_bits(), c.members().collect::<Vec<_>>()));
+            });
+            incremental.for_each_ring_cell(center, ring, |c| {
+                b.push((c.weight().to_bits(), c.members().collect::<Vec<_>>()));
+            });
+            assert_eq!(a, b, "ring {ring}");
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        bulk.for_each_member_near(center, 5.0, |id, p, w| a.push((id, p, w.to_bits())));
+        incremental.for_each_member_near(center, 5.0, |id, p, w| b.push((id, p, w.to_bits())));
+        assert_eq!(a, b);
+    }
+
+    /// Reuse via `reset` must behave exactly like a freshly built grid
+    /// (no stale rectangle, counts, or aggregates leaking through).
+    #[test]
+    fn weighted_grid_reset_reuses_cleanly() {
+        let mut g = WeightedCellGrid::new(1.0);
+        g.insert(0, Point::new(100.5, -40.5), 2.0);
+        g.insert(1, Point::new(103.5, -42.5), 4.0);
+        g.reset(2.5);
+        assert!(g.is_empty());
+        assert_eq!(g.occupied_cells(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+        assert_eq!(g.max_ring_from(Point::ORIGIN), -1);
+        assert_eq!(g.cell_size(), 2.5);
+
+        let inst = gen::uniform_square(80, 1.5, 21).unwrap();
+        g.rebuild(inst.iter().map(|(id, p)| (id, p, 1.0)));
+        let mut fresh = WeightedCellGrid::new(2.5);
+        fresh.rebuild(inst.iter().map(|(id, p)| (id, p, 1.0)));
+        assert_eq!(g.len(), fresh.len());
+        assert_eq!(g.occupied_cells(), fresh.occupied_cells());
+        assert_eq!(g.total_weight().to_bits(), fresh.total_weight().to_bits());
+        let center = inst.position(9);
+        assert_eq!(g.max_ring_from(center), fresh.max_ring_from(center));
+    }
+
+    /// Satellite: the degenerate-cell guard. Two members one unit apart
+    /// with a tiny cell size produce a key rectangle of ~10¹⁸ cells —
+    /// the debug assert must fire *before* the dense table allocates.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "degenerate cell size")]
+    fn weighted_grid_rejects_degenerate_cell_rectangle() {
+        let mut g = WeightedCellGrid::new(1e-9);
+        g.insert(0, Point::ORIGIN, 1.0);
+        g.insert(1, Point::new(1.0, 1.0), 1.0);
+    }
+
+    /// Satellite: cell-index overflow guard at the cast boundary. A
+    /// coordinate-to-cell ratio beyond 2³¹ would quantize in the
+    /// `f64 → i64` cast; the debug assert in `key_of` names it.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cell index overflow")]
+    fn weighted_grid_rejects_cell_index_overflow() {
+        let g = WeightedCellGrid::new(1e-9);
+        let _ = g.key_of(Point::new(1e25, 0.0));
+    }
+
+    /// Just inside both guards nothing fires and queries stay sane.
+    #[test]
+    fn weighted_grid_guard_boundary_is_accepted() {
+        let mut g = WeightedCellGrid::new(1.0);
+        // Key ~2³¹ − 2: inside the index guard; single occupied cell
+        // keeps the rectangle dense-table small.
+        let far = Point::new((1u64 << 31) as f64 - 2.0, 0.0);
+        g.insert(0, far, 1.0);
+        assert_eq!(g.len(), 1);
+        let mut seen = Vec::new();
+        g.for_each_member_near(far, 0.5, |id, _, _| seen.push(id));
+        assert_eq!(seen, vec![0]);
     }
 }

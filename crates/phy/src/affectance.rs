@@ -143,11 +143,25 @@ impl<'a> AffectanceCalc<'a> {
     /// Propagates [`PhyError::PowerBelowNoiseFloor`].
     pub fn sum_on(&self, senders: &[(NodeId, f64)], link: Link, link_power: f64) -> Result<f64> {
         let c = self.noise_factor(link, link_power)?;
+        // Loop-invariant form of `thresholded_term`: `d_uv`, the clip
+        // bound and `α` depend only on the link, and each term below is
+        // the identical FP operation sequence on the identical values —
+        // so the sum is bit-for-bit the per-term-recompute one.
+        let d_uv = link.length(self.instance);
+        let clip = 1.0 + self.params.epsilon();
+        let alpha = self.params.alpha();
         let mut total = 0.0;
         for &(w, pw) in senders {
-            if w != link.sender {
-                total += self.thresholded_term(c, w, pw, link, link_power);
+            if w == link.sender {
+                continue;
             }
+            let d_wv = self.instance.distance(w, link.receiver);
+            total += if d_wv == 0.0 {
+                // Interferer co-located with the receiver: unbounded.
+                clip
+            } else {
+                (c * (pw / link_power) * (d_uv / d_wv).powf(alpha)).min(clip)
+            };
         }
         Ok(total)
     }

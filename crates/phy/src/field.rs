@@ -28,7 +28,9 @@
 //! speedup comes purely from the (overwhelmingly common) queries whose
 //! decisions certify from a small near field.
 
-use sinr_geom::{Instance, NodeId, WeightedCellGrid};
+use std::time::{Duration, Instant};
+
+use sinr_geom::{Instance, NodeId, Point, WeightedCellGrid};
 use sinr_links::Link;
 
 use crate::affectance::AffectanceCalc;
@@ -82,20 +84,146 @@ pub fn decode_best_exact(
     best
 }
 
+/// How decode queries were settled — always-on counters a scratch
+/// accumulates across queries (integer bumps, too cheap to gate).
+///
+/// The invariant `queries == small_exact + certified + fallbacks`
+/// classifies every query exactly once:
+///
+/// - `small_exact` — skipped indexing entirely (≤ [`SMALL_SLOT`]
+///   senders, or no finite decode radius);
+/// - `certified` — settled by the certified near field (including the
+///   canonical recompute of the one certified winner);
+/// - `fallbacks` — threshold-grazing (or guard-violating) queries that
+///   re-ran the full naive sum.
+///
+/// `rings` counts ring iterations of the far-field accumulation, the
+/// size driver of the `far-field-cert` profiling phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Decode queries answered (empty fields excluded).
+    pub queries: u64,
+    /// Queries that went straight to the exact naive loop.
+    pub small_exact: u64,
+    /// Queries settled by the certified near field.
+    pub certified: u64,
+    /// Queries that fell back to the full naive computation.
+    pub fallbacks: u64,
+    /// Chebyshev-ring iterations executed across all queries.
+    pub rings: u64,
+}
+
+impl QueryStats {
+    /// Folds another scratch's counters in (worker merge).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.small_exact += other.small_exact;
+        self.certified += other.certified;
+        self.fallbacks += other.fallbacks;
+        self.rings += other.rings;
+    }
+}
+
+/// Opt-in wall-clock per phase of the decode path (see the profiling
+/// taxonomy in DESIGN.md §12). All zero unless
+/// [`FieldScratch::enable_timing`] was called — the `Instant` pairs are
+/// only worth paying for when a profiling registry will consume them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Candidate scans (`near-field` phase).
+    pub near_field: Duration,
+    /// Ring accumulation + certification (`far-field-cert` phase).
+    pub far_field_cert: Duration,
+    /// Exact naive sums: fallbacks, small-slot queries, and canonical
+    /// winner recomputes (`fallback` phase).
+    pub fallback: Duration,
+}
+
+impl PhaseTimes {
+    /// Folds another scratch's timings in (worker merge).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.near_field += other.near_field;
+        self.far_field_cert += other.far_field_cert;
+        self.fallback += other.fallback;
+    }
+}
+
 /// Reusable per-query scratch space, so a caller resolving many
 /// receivers against one field (the engine resolves every listener of a
 /// slot) allocates nothing per receiver.
+///
+/// Candidates are stored as parallel flat columns (structure-of-arrays)
+/// so the certification loop walks contiguous `f64`/state runs. The
+/// scratch doubles as the decode path's instrumentation carrier:
+/// always-on [`QueryStats`] counters plus opt-in [`PhaseTimes`], both
+/// drained by the engine (its pool workers own one scratch each and
+/// return the accumulated values with their outcomes).
 #[derive(Debug, Default)]
 pub struct FieldScratch {
-    candidates: Vec<Candidate>,
+    cand_ids: Vec<NodeId>,
+    cand_powers: Vec<f64>,
+    cand_signals: Vec<f64>,
+    cand_states: Vec<CandState>,
+    /// Decision counters, accumulated until the owner takes them.
+    pub stats: QueryStats,
+    /// Phase wall-clock, accumulated while timing is enabled.
+    pub times: PhaseTimes,
+    timing: bool,
+    skip_canonical_sinr: bool,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Candidate {
-    u: NodeId,
-    power: f64,
-    signal: f64,
-    state: CandState,
+impl FieldScratch {
+    /// Turns per-phase `Instant` timing on or off (off by default).
+    pub fn enable_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// Opts queries through this scratch out of the canonical
+    /// winner-SINR recompute (off by default — recompute runs).
+    ///
+    /// [`decode_best_with`](InterferenceField::decode_best_with)
+    /// normally re-derives the certified winner's SINR with the exact
+    /// naive-order sum — an `O(senders)` pass per decode whose only
+    /// products are the canonically-reportable f64 and a defensive
+    /// re-check of the certificate. Callers that never read the
+    /// reported SINR (the engine, when the driving protocol declares
+    /// `MEASURES_SINR = false`) can skip that pass: the decode
+    /// *decision* and winner are unchanged — they come from the
+    /// certificate, whose guard analysis is conservative — and the
+    /// returned SINR is `NaN`. Fallback and small-slot queries still
+    /// resolve exactly (their winner selection needs the exact sums);
+    /// only the reported value is then due to be discarded by the
+    /// caller.
+    pub fn skip_canonical_sinr(&mut self, skip: bool) {
+        self.skip_canonical_sinr = skip;
+    }
+
+    #[inline]
+    fn clock(&self) -> Option<Instant> {
+        if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn lap(t0: Option<Instant>, into: &mut Duration) {
+        if let Some(t0) = t0 {
+            *into += t0.elapsed();
+        }
+    }
+
+    /// Runs `f`, attributing its wall-clock to the `fallback` phase
+    /// (exact naive sums) when timing is enabled. The engine routes the
+    /// canonical per-reception affectance recompute through this: it is
+    /// exactly such a sum, but lives outside the field's decode path.
+    pub fn time_fallback<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = self.clock();
+        let out = f();
+        Self::lap(t0, &mut self.times.fallback);
+        out
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,10 +241,10 @@ enum CandState {
 /// all reported values are bit-identical to the naive all-pairs path
 /// (see module docs).
 ///
-/// [`add_sender`](Self::add_sender) appends cheaply (`O(1)`), so a set
-/// can also be grown in place; [`remove_sender`](Self::remove_sender)
-/// is a rollback path and costs `O(senders + cells)`. For the
-/// add-probe-rollback inner loop of slot packing use
+/// [`add_sender`](Self::add_sender) and
+/// [`remove_sender`](Self::remove_sender) keep the incremental API for
+/// small edits, at `O(senders + cells)` per call (the flat cell index
+/// re-scatters). For the add-probe-rollback inner loop of slot packing use
 /// [`feasibility::SlotAuditor`](crate::feasibility::SlotAuditor), which
 /// is built for exactly that access pattern.
 #[derive(Debug)]
@@ -128,6 +256,31 @@ pub struct InterferenceField<'a> {
     senders: Vec<(NodeId, f64)>,
     grid: WeightedCellGrid,
     max_power: f64,
+}
+
+/// The reusable allocations of a field: the canonical sender list and
+/// the weighted cell grid with all its flat member/index arrays.
+///
+/// [`InterferenceField::build_with`] consumes a set of buffers and
+/// refills them in place; [`InterferenceField::into_buffers`] recovers
+/// them once the slot is resolved. Cycling one `FieldBuffers` through
+/// that pair keeps the per-slot field construction allocation-free at
+/// steady state (capacities only ever grow to the high-water mark).
+#[derive(Debug)]
+pub struct FieldBuffers {
+    senders: Vec<(NodeId, f64)>,
+    grid: WeightedCellGrid,
+}
+
+impl Default for FieldBuffers {
+    fn default() -> Self {
+        FieldBuffers {
+            senders: Vec::new(),
+            // Placeholder cell size; every build resets it to the
+            // slot's decode-radius-derived cell.
+            grid: WeightedCellGrid::new(1.0),
+        }
+    }
 }
 
 impl<'a> InterferenceField<'a> {
@@ -144,6 +297,17 @@ impl<'a> InterferenceField<'a> {
         params: &'a SinrParams,
         instance: &'a Instance,
         senders: &[(NodeId, f64)],
+    ) -> Self {
+        Self::build_with(params, instance, senders, FieldBuffers::default())
+    }
+
+    /// [`build`](Self::build) recycling a previous field's allocations;
+    /// see [`FieldBuffers`]. Bit-identical to a fresh build.
+    pub fn build_with(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        senders: &[(NodeId, f64)],
+        buffers: FieldBuffers,
     ) -> Self {
         debug_assert!(
             senders
@@ -166,16 +330,33 @@ impl<'a> InterferenceField<'a> {
         } else {
             span
         };
-        let mut grid = WeightedCellGrid::new(cell);
-        for &(u, p) in senders {
-            grid.insert(u, instance.position(u), p);
-        }
+        let FieldBuffers {
+            senders: mut sender_buf,
+            mut grid,
+        } = buffers;
+        sender_buf.clear();
+        sender_buf.extend_from_slice(senders);
+        grid.reset(cell);
+        grid.rebuild(
+            sender_buf
+                .iter()
+                .map(|&(u, p)| (u, instance.position(u), p)),
+        );
         InterferenceField {
             params,
             instance,
-            senders: senders.to_vec(),
+            senders: sender_buf,
             grid,
             max_power,
+        }
+    }
+
+    /// Dismantles the field, recovering its allocations for the next
+    /// [`build_with`](Self::build_with).
+    pub fn into_buffers(self) -> FieldBuffers {
+        FieldBuffers {
+            senders: self.senders,
+            grid: self.grid,
         }
     }
 
@@ -200,6 +381,8 @@ impl<'a> InterferenceField<'a> {
     /// Appends a transmitter (it becomes last in the canonical order).
     /// `u` must not already be transmitting (one radio per node; see
     /// [`build`](Self::build) on why duplicates are rejected).
+    /// `O(senders + cells)` — the flat cell index re-scatters; batch
+    /// construction belongs in [`build_with`](Self::build_with).
     pub fn add_sender(&mut self, u: NodeId, power: f64) {
         debug_assert!(
             self.senders.iter().all(|&(w, _)| w != u),
@@ -270,9 +453,14 @@ impl<'a> InterferenceField<'a> {
         if self.senders.is_empty() {
             return None;
         }
+        scratch.stats.queries += 1;
         let radius = Self::decode_radius_for(self.params, self.max_power);
         if self.senders.len() <= SMALL_SLOT || !radius.is_finite() {
-            return decode_best_exact(self.params, self.instance, v, &self.senders);
+            scratch.stats.small_exact += 1;
+            let t0 = scratch.clock();
+            let out = decode_best_exact(self.params, self.instance, v, &self.senders);
+            FieldScratch::lap(t0, &mut scratch.times.fallback);
+            return out;
         }
         let noise = self.params.noise();
         let beta = self.params.beta();
@@ -283,41 +471,59 @@ impl<'a> InterferenceField<'a> {
         // tested with the engine's own float expression `S/N ≥ β`, so
         // the candidate set is exactly the set of senders the naive
         // loop could possibly accept.
-        scratch.candidates.clear();
-        let candidates = &mut scratch.candidates;
-        self.grid
-            .for_each_member_near(pos_v, radius, |u, _, power| {
-                let d = self.instance.distance(u, v);
-                let signal = power * self.params.path_gain(d);
-                if signal / noise >= beta {
-                    candidates.push(Candidate {
-                        u,
-                        power,
-                        signal,
-                        state: CandState::Undecided,
-                    });
-                }
-            });
-        if candidates.is_empty() {
+        let t0 = scratch.clock();
+        scratch.cand_ids.clear();
+        scratch.cand_powers.clear();
+        scratch.cand_signals.clear();
+        scratch.cand_states.clear();
+        {
+            let FieldScratch {
+                cand_ids,
+                cand_powers,
+                cand_signals,
+                cand_states,
+                ..
+            } = scratch;
+            self.grid
+                .for_each_member_near(pos_v, radius, |u, _, power| {
+                    let d = self.instance.distance(u, v);
+                    let signal = power * self.params.path_gain(d);
+                    if signal / noise >= beta {
+                        cand_ids.push(u);
+                        cand_powers.push(power);
+                        cand_signals.push(signal);
+                        cand_states.push(CandState::Undecided);
+                    }
+                });
+        }
+        FieldScratch::lap(t0, &mut scratch.times.near_field);
+        if scratch.cand_ids.is_empty() {
+            scratch.stats.certified += 1;
             return None;
         }
 
         // Expanding-ring accumulation of the total received interference
         // at `v`, with a certified far-field bound for the remainder.
+        let t0 = scratch.clock();
         let total_w = self.grid.total_weight();
         let cell = self.grid.cell_size();
         let occupied = self.grid.occupied_cells();
         let mut acc = 0.0f64; // Σ terms of visited senders (incl. candidates)
         let mut seen_w = 0.0f64;
         let mut cells_seen = 0usize;
-        let mut undecided = candidates.len();
+        let mut undecided = scratch.cand_states.len();
         let max_ring = self.grid.max_ring_from(pos_v);
         let mut ring = 0i64;
         while ring <= max_ring {
-            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |bucket| {
-                for &(_, p, w) in bucket.members() {
-                    acc += w * self.params.path_gain(pos_v.distance(p));
-                    seen_w += w;
+            scratch.stats.rings += 1;
+            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |cv| {
+                let (xs, ys, ws) = (cv.xs(), cv.ys(), cv.ws());
+                for i in 0..ws.len() {
+                    acc += ws[i]
+                        * self
+                            .params
+                            .path_gain(pos_v.distance(Point::new(xs[i], ys[i])));
+                    seen_w += ws[i];
                 }
             });
             let all_seen = cells_seen == occupied;
@@ -334,20 +540,20 @@ impl<'a> InterferenceField<'a> {
                 }
             };
             if far.is_finite() {
-                for cand in candidates.iter_mut() {
-                    if cand.state != CandState::Undecided {
+                for i in 0..scratch.cand_states.len() {
+                    if scratch.cand_states[i] != CandState::Undecided {
                         continue;
                     }
-                    let s = cand.signal;
+                    let s = scratch.cand_signals[i];
                     let base = acc - s;
                     let slack = GUARD * (acc + s);
                     let i_lo = (base - slack).max(0.0);
                     let i_hi = (base + slack + far).max(0.0);
                     if (s / (noise + i_lo)) * (1.0 + GUARD) < beta {
-                        cand.state = CandState::No;
+                        scratch.cand_states[i] = CandState::No;
                         undecided -= 1;
                     } else if (s / (noise + i_hi)) * (1.0 - GUARD) >= beta {
-                        cand.state = CandState::Yes;
+                        scratch.cand_states[i] = CandState::Yes;
                         undecided -= 1;
                     }
                 }
@@ -357,32 +563,53 @@ impl<'a> InterferenceField<'a> {
             }
             ring += 1;
         }
+        FieldScratch::lap(t0, &mut scratch.times.far_field_cert);
 
         let mut yes_count = 0usize;
-        let mut certified: Option<Candidate> = None;
-        for c in candidates.iter() {
-            if c.state == CandState::Yes {
+        let mut certified: Option<usize> = None;
+        for (i, state) in scratch.cand_states.iter().enumerate() {
+            if *state == CandState::Yes {
                 yes_count += 1;
-                certified = Some(*c);
+                certified = Some(i);
             }
         }
         if undecided > 0 || yes_count > 1 {
             // Threshold-grazing query: resolve it the naive way.
-            return decode_best_exact(self.params, self.instance, v, &self.senders);
+            scratch.stats.fallbacks += 1;
+            let t0 = scratch.clock();
+            let out = decode_best_exact(self.params, self.instance, v, &self.senders);
+            FieldScratch::lap(t0, &mut scratch.times.fallback);
+            return out;
         }
         let Some(winner) = certified else {
+            scratch.stats.certified += 1;
             return None; // every candidate certified undecodable
         };
+        let (winner_u, winner_power) = (scratch.cand_ids[winner], scratch.cand_powers[winner]);
+        if scratch.skip_canonical_sinr {
+            // The caller declared the reported SINR unread: trust the
+            // certificate (conservative by GUARD construction) and
+            // skip the O(senders) canonical recompute.
+            scratch.stats.certified += 1;
+            return Some((winner_u, winner_power, f64::NAN));
+        }
         // Report the canonical value: the naive-order sum for the one
         // certified winner (β ≥ 1 with N > 0 makes it unique).
+        let t0 = scratch.clock();
         let calc = AffectanceCalc::new(self.params, self.instance);
-        let sinr = calc.sinr(Link::new(winner.u, v), winner.power, &self.senders);
+        let sinr = calc.sinr(Link::new(winner_u, v), winner_power, &self.senders);
+        FieldScratch::lap(t0, &mut scratch.times.fallback);
         if sinr >= beta {
-            Some((winner.u, winner.power, sinr))
+            scratch.stats.certified += 1;
+            Some((winner_u, winner_power, sinr))
         } else {
             // A certified decision contradicted by the exact value can
             // only mean the guard analysis was violated; stay correct.
-            decode_best_exact(self.params, self.instance, v, &self.senders)
+            scratch.stats.fallbacks += 1;
+            let t0 = scratch.clock();
+            let out = decode_best_exact(self.params, self.instance, v, &self.senders);
+            FieldScratch::lap(t0, &mut scratch.times.fallback);
+            out
         }
     }
 
@@ -427,12 +654,13 @@ impl<'a> InterferenceField<'a> {
         let max_ring = self.grid.max_ring_from(pos_v);
         let mut ring = 0i64;
         while ring <= max_ring {
-            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |bucket| {
-                for &(u, _, w) in bucket.members() {
-                    if u != link.sender {
-                        acc += calc.thresholded_term(c, u, w, link, link_power);
+            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |cv| {
+                let (ids, ws) = (cv.ids(), cv.ws());
+                for i in 0..ws.len() {
+                    if ids[i] != link.sender {
+                        acc += calc.thresholded_term(c, ids[i], ws[i], link, link_power);
                     }
-                    seen_w += w;
+                    seen_w += ws[i];
                 }
             });
             let all_seen = cells_seen == occupied;
@@ -493,16 +721,20 @@ impl<'a> InterferenceField<'a> {
         let max_ring = self.grid.max_ring_from(pos_v);
         let mut ring = 0i64;
         while ring <= max_ring {
-            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |bucket| {
-                for &(u, p, w) in bucket.members() {
-                    if u != link.sender {
+            cells_seen += self.grid.for_each_ring_cell(pos_v, ring, |cv| {
+                let (ids, xs, ys, ws) = (cv.ids(), cv.xs(), cv.ys(), cv.ws());
+                for i in 0..ws.len() {
+                    if ids[i] != link.sender {
                         // An interferer co-located with the receiver
                         // drives `acc` to infinity; the certification
                         // below then never fires and the exact
                         // fallback reproduces the canonical 0-SINR.
-                        acc += w * self.params.path_gain(pos_v.distance(p));
+                        acc += ws[i]
+                            * self
+                                .params
+                                .path_gain(pos_v.distance(Point::new(xs[i], ys[i])));
                     }
-                    seen_w += w;
+                    seen_w += ws[i];
                 }
             });
             let all_seen = cells_seen == occupied;

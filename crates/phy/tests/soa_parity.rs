@@ -1,0 +1,413 @@
+//! SoA parity gate (DESIGN.md §12): the structure-of-arrays
+//! `InterferenceField` against an independent reimplementation of the
+//! **old bucket layout** (`HashMap<CellKey, Vec<member>>`, the pre-SoA
+//! storage), sharing only the published formulas and visit orders.
+//!
+//! The SoA rewrite's contract is that storage layout is unobservable:
+//! same cell-size formula, same clamped near-scan order, same Chebyshev
+//! ring order, same within-cell insertion order — hence bit-identical
+//! accumulation, hence identical certify/fallback *decisions* and
+//! bit-identical decoded `(from, power, sinr)` triples and measured
+//! affectances. This suite re-derives all of that from a hash-map
+//! reference and compares:
+//!
+//! - the decoded triple, to the bit;
+//! - the decision class (small-exact / certified / fallback), made
+//!   observable by `FieldScratch`'s always-on [`QueryStats`] counters;
+//! - the measured affectance of the decoded link, to the bit;
+//!
+//! across all three power families (uniform / mean / linear), random
+//! geometry, and sender counts from the `SMALL_SLOT` boundary up to
+//! n = 4096 (the deterministic large case at the bottom).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinr_geom::{gen, Instance, NodeId, Point};
+use sinr_links::Link;
+use sinr_phy::affectance::AffectanceCalc;
+use sinr_phy::feasibility;
+use sinr_phy::field::{decode_best_exact, FieldScratch, InterferenceField};
+use sinr_phy::{PowerAssignment, SinrParams};
+
+// The field's published guard constants, duplicated on purpose: the
+// reference must not share code with the implementation under test.
+const GUARD: f64 = 1e-7;
+const RADIUS_CUSHION: f64 = 1e-9;
+const SMALL_SLOT: usize = 8;
+const MAX_CELLS_PER_AXIS: f64 = 64.0;
+
+/// How a decode query was settled (the `QueryStats` classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DecisionClass {
+    SmallExact,
+    Certified,
+    Fallback,
+}
+
+/// One cell of the old layout: incrementally accumulated weight plus
+/// members in insertion order.
+#[derive(Default)]
+struct Bucket {
+    weight: f64,
+    members: Vec<(NodeId, Point, f64)>,
+}
+
+/// The old bucket-grid interference field: hash-map cells, weight
+/// accumulated by `+=` at insertion, iteration by explicit key-range
+/// scans (misses skip, exactly like a failed hash lookup).
+struct BucketField<'a> {
+    params: &'a SinrParams,
+    instance: &'a Instance,
+    senders: Vec<(NodeId, f64)>,
+    cell: f64,
+    max_power: f64,
+    total_weight: f64,
+    cells: HashMap<(i64, i64), Bucket>,
+    key_min: (i64, i64),
+    key_max: (i64, i64),
+}
+
+impl<'a> BucketField<'a> {
+    fn build(params: &'a SinrParams, instance: &'a Instance, senders: &[(NodeId, f64)]) -> Self {
+        let span = instance.delta().max(1.0);
+        let max_power = senders.iter().fold(0.0f64, |m, &(_, p)| m.max(p));
+        let radius = decode_radius_for(params, max_power);
+        let cell = if radius.is_finite() && radius > 0.0 {
+            radius.clamp(span / MAX_CELLS_PER_AXIS, span)
+        } else {
+            span
+        };
+        let mut field = BucketField {
+            params,
+            instance,
+            senders: senders.to_vec(),
+            cell,
+            max_power,
+            total_weight: 0.0,
+            cells: HashMap::new(),
+            key_min: (i64::MAX, i64::MAX),
+            key_max: (i64::MIN, i64::MIN),
+        };
+        for &(u, p) in senders {
+            let pos = instance.position(u);
+            let k = field.key_of(pos);
+            field.key_min = (field.key_min.0.min(k.0), field.key_min.1.min(k.1));
+            field.key_max = (field.key_max.0.max(k.0), field.key_max.1.max(k.1));
+            let bucket = field.cells.entry(k).or_default();
+            bucket.weight += p;
+            bucket.members.push((u, pos, p));
+            field.total_weight += p;
+        }
+        field
+    }
+
+    fn key_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    fn max_ring_from(&self, center: Point) -> i64 {
+        if self.cells.is_empty() {
+            return -1;
+        }
+        let (cx, cy) = self.key_of(center);
+        let dx = (cx - self.key_min.0).abs().max((self.key_max.0 - cx).abs());
+        let dy = (cy - self.key_min.1).abs().max((self.key_max.1 - cy).abs());
+        dx.max(dy)
+    }
+
+    /// The reference decode: a line-for-line transcription of the
+    /// published certified-decode algorithm over the bucket layout,
+    /// reporting which class settled the query.
+    fn decode(&self, v: NodeId) -> (DecisionClass, Option<(NodeId, f64, f64)>) {
+        assert!(!self.senders.is_empty(), "callers feed non-empty fields");
+        let radius = decode_radius_for(self.params, self.max_power);
+        if self.senders.len() <= SMALL_SLOT || !radius.is_finite() {
+            return (
+                DecisionClass::SmallExact,
+                decode_best_exact(self.params, self.instance, v, &self.senders),
+            );
+        }
+        let noise = self.params.noise();
+        let beta = self.params.beta();
+        let pos_v = self.instance.position(v);
+
+        // Candidate collection: clamped key-rectangle scan, x-outer /
+        // y-inner, members in insertion order.
+        let mut cand: Vec<(NodeId, f64, f64, Option<bool>)> = Vec::new();
+        let lo = self.key_of(Point::new(pos_v.x - radius, pos_v.y - radius));
+        let hi = self.key_of(Point::new(pos_v.x + radius, pos_v.y + radius));
+        let (cx0, cy0) = (lo.0.max(self.key_min.0), lo.1.max(self.key_min.1));
+        let (cx1, cy1) = (hi.0.min(self.key_max.0), hi.1.min(self.key_max.1));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                let Some(bucket) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for &(u, _, power) in &bucket.members {
+                    let d = self.instance.distance(u, v);
+                    let signal = power * self.params.path_gain(d);
+                    if signal / noise >= beta {
+                        cand.push((u, power, signal, None));
+                    }
+                }
+            }
+        }
+        if cand.is_empty() {
+            return (DecisionClass::Certified, None);
+        }
+
+        // Expanding-ring accumulation with the certified far bound.
+        let total_w = self.total_weight;
+        let occupied = self.cells.len();
+        let mut acc = 0.0f64;
+        let mut seen_w = 0.0f64;
+        let mut cells_seen = 0usize;
+        let mut undecided = cand.len();
+        let max_ring = self.max_ring_from(pos_v);
+        let (ccx, ccy) = self.key_of(pos_v);
+        let mut ring = 0i64;
+        while ring <= max_ring {
+            let mut visit = |k: (i64, i64)| -> usize {
+                let Some(bucket) = self.cells.get(&k) else {
+                    return 0;
+                };
+                for &(_, pos, w) in &bucket.members {
+                    acc += w * self.params.path_gain(pos_v.distance(pos));
+                    seen_w += w;
+                }
+                1
+            };
+            if ring == 0 {
+                cells_seen += visit((ccx, ccy));
+            } else {
+                for x in (ccx - ring)..=(ccx + ring) {
+                    cells_seen += visit((x, ccy - ring));
+                    cells_seen += visit((x, ccy + ring));
+                }
+                for y in (ccy - ring + 1)..=(ccy + ring - 1) {
+                    cells_seen += visit((ccx - ring, y));
+                    cells_seen += visit((ccx + ring, y));
+                }
+            }
+            let all_seen = cells_seen == occupied;
+            let far = if all_seen {
+                0.0
+            } else {
+                let min_d = ring as f64 * self.cell;
+                if min_d > 0.0 {
+                    ((total_w - seen_w).max(0.0) + GUARD * total_w) * self.params.path_gain(min_d)
+                } else {
+                    f64::INFINITY
+                }
+            };
+            if far.is_finite() {
+                for c in cand.iter_mut() {
+                    if c.3.is_some() {
+                        continue;
+                    }
+                    let s = c.2;
+                    let base = acc - s;
+                    let slack = GUARD * (acc + s);
+                    let i_lo = (base - slack).max(0.0);
+                    let i_hi = (base + slack + far).max(0.0);
+                    if (s / (noise + i_lo)) * (1.0 + GUARD) < beta {
+                        c.3 = Some(false);
+                        undecided -= 1;
+                    } else if (s / (noise + i_hi)) * (1.0 - GUARD) >= beta {
+                        c.3 = Some(true);
+                        undecided -= 1;
+                    }
+                }
+            }
+            if undecided == 0 || all_seen {
+                break;
+            }
+            ring += 1;
+        }
+
+        let yes: Vec<usize> = cand
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.3 == Some(true))
+            .map(|(i, _)| i)
+            .collect();
+        if undecided > 0 || yes.len() > 1 {
+            return (
+                DecisionClass::Fallback,
+                decode_best_exact(self.params, self.instance, v, &self.senders),
+            );
+        }
+        let Some(&winner) = yes.first() else {
+            return (DecisionClass::Certified, None);
+        };
+        let (winner_u, winner_power) = (cand[winner].0, cand[winner].1);
+        let calc = AffectanceCalc::new(self.params, self.instance);
+        let sinr = calc.sinr(Link::new(winner_u, v), winner_power, &self.senders);
+        if sinr >= beta {
+            (
+                DecisionClass::Certified,
+                Some((winner_u, winner_power, sinr)),
+            )
+        } else {
+            (
+                DecisionClass::Fallback,
+                decode_best_exact(self.params, self.instance, v, &self.senders),
+            )
+        }
+    }
+}
+
+fn decode_radius_for(params: &SinrParams, power: f64) -> f64 {
+    if params.noise() > 0.0 && power > 0.0 {
+        (power * (1.0 + RADIUS_CUSHION) / (params.beta() * params.noise()))
+            .powf(1.0 / params.alpha())
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Sender set for one slot: every `stride`-th node transmits with the
+/// family's power for its nearest-neighbor uplink.
+fn make_senders(
+    params: &SinrParams,
+    inst: &Instance,
+    tau: usize,
+    stride: usize,
+) -> Vec<(NodeId, f64)> {
+    let power = match tau {
+        0 => PowerAssignment::uniform_with_margin(params, inst.delta()),
+        1 => PowerAssignment::mean_with_margin(params, inst.delta()),
+        _ => PowerAssignment::linear_with_margin(params),
+    };
+    let grid = sinr_geom::GridIndex::build(inst, (inst.delta() / 8.0).max(1e-6));
+    (0..inst.len())
+        .step_by(stride.max(2))
+        .filter_map(|u| {
+            let (v, _) = grid.nearest_neighbor(u)?;
+            let p = power.power_of(Link::new(u, v), inst, params).ok()?;
+            (p.is_finite() && p > 0.0).then_some((u, p))
+        })
+        .collect()
+}
+
+/// Queries every listener through both fields and cross-checks value
+/// bits, decision classes, and measured-affectance bits.
+fn assert_parity(
+    params: &SinrParams,
+    inst: &Instance,
+    senders: &[(NodeId, f64)],
+    listeners: &[NodeId],
+) {
+    let soa = InterferenceField::build(params, inst, senders);
+    let reference = BucketField::build(params, inst, senders);
+    let mut scratch = FieldScratch::default();
+    for &v in listeners {
+        let before = scratch.stats;
+        let got = soa.decode_best_with(v, &mut scratch);
+        let after = scratch.stats;
+        assert_eq!(after.queries, before.queries + 1);
+        let got_class = if after.small_exact > before.small_exact {
+            DecisionClass::SmallExact
+        } else if after.fallbacks > before.fallbacks {
+            DecisionClass::Fallback
+        } else {
+            assert!(
+                after.certified > before.certified,
+                "query left unclassified"
+            );
+            DecisionClass::Certified
+        };
+
+        let (want_class, want) = reference.decode(v);
+        let bits = |r: Option<(NodeId, f64, f64)>| r.map(|(u, p, s)| (u, p.to_bits(), s.to_bits()));
+        assert_eq!(
+            bits(got),
+            bits(want),
+            "listener {v}: SoA decode diverged from the bucket reference"
+        );
+        assert_eq!(
+            got_class, want_class,
+            "listener {v}: decision class diverged (decode {got:?})"
+        );
+        // Value parity against the naive reference order, plus the
+        // reported affectance of the decoded link, to the bit.
+        assert_eq!(bits(got), bits(decode_best_exact(params, inst, v, senders)));
+        if let Some((from, p, _)) = got {
+            let a_soa =
+                feasibility::measured_affectance(params, inst, Link::new(from, v), p, senders);
+            let (rf, rp, _) = want.unwrap();
+            let a_ref =
+                feasibility::measured_affectance(params, inst, Link::new(rf, v), rp, senders);
+            assert_eq!(
+                a_soa.map(f64::to_bits),
+                a_ref.map(f64::to_bits),
+                "listener {v}: measured affectance diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random geometry × all three power families × sender counts
+    /// straddling the `SMALL_SLOT` boundary: the SoA field and the
+    /// bucket reference agree on every listener's decode bits and
+    /// decision class.
+    #[test]
+    fn soa_field_matches_bucket_reference(
+        seed in 0u64..5_000,
+        n in 16usize..260,
+        tau in 0usize..3,
+        stride in 2usize..6,
+    ) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let senders = make_senders(&params, &inst, tau, stride);
+        prop_assume!(!senders.is_empty());
+        let transmitting: Vec<bool> = {
+            let mut t = vec![false; n];
+            for &(u, _) in &senders { t[u] = true; }
+            t
+        };
+        let listeners: Vec<NodeId> =
+            (0..n).filter(|&v| !transmitting[v]).collect();
+        assert_parity(&params, &inst, &senders, &listeners);
+    }
+}
+
+/// The large deterministic case: n = 4096 across all three power
+/// families, with a sampled listener set. Seeds are fixed so a failure
+/// reproduces exactly.
+#[test]
+fn soa_field_matches_bucket_reference_at_4096() {
+    let params = SinrParams::default();
+    for (tau, seed) in [(0u64, 401u64), (1, 402), (2, 403)] {
+        let inst = gen::uniform_square(4096, 1.5, seed).unwrap();
+        let senders = make_senders(&params, &inst, tau as usize, 3);
+        assert!(
+            senders.len() > SMALL_SLOT,
+            "large case must exercise the grid path"
+        );
+        let transmitting: Vec<bool> = {
+            let mut t = vec![false; inst.len()];
+            for &(u, _) in &senders {
+                t[u] = true;
+            }
+            t
+        };
+        // 192 deterministic pseudo-random listeners per family.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50a0_9a11);
+        let listeners: Vec<NodeId> = (0..192)
+            .map(|_| rng.gen_range(0..inst.len()))
+            .filter(|&v| !transmitting[v])
+            .collect();
+        assert_parity(&params, &inst, &senders, &listeners);
+    }
+}

@@ -7,11 +7,69 @@ use rand::{Rng, SeedableRng};
 
 use sinr_geom::{Instance, NodeId};
 use sinr_links::Link;
-use sinr_phy::field::{decode_best_exact, FieldScratch, InterferenceField};
+use sinr_phy::field::{
+    decode_best_exact, FieldBuffers, FieldScratch, InterferenceField, PhaseTimes, QueryStats,
+};
 use sinr_phy::{feasibility, SinrParams};
 
 use crate::pool::with_pool;
 use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
+
+/// Segment timer for the per-slot profiling phases: each
+/// [`lap`](PhaseClock::lap) records the time since the previous lap
+/// under the given phase name and starts the next segment. Inert (no
+/// `Instant` calls) when no profiling registry is active.
+#[cfg(feature = "profile")]
+struct PhaseClock(Option<std::time::Instant>);
+
+#[cfg(feature = "profile")]
+impl PhaseClock {
+    fn start() -> Self {
+        PhaseClock(if crate::profile::is_active() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        })
+    }
+
+    fn lap(&mut self, name: &'static str) {
+        if let Some(t0) = self.0 {
+            crate::profile::record(name, t0.elapsed().as_secs_f64());
+            self.0 = Some(std::time::Instant::now());
+        }
+    }
+}
+
+/// Recycled per-slot buffers — the engine's slot arena: the action and
+/// outcome vectors, the transmitter list, the interference-field
+/// allocations ([`FieldBuffers`]), and, for the pooled loop, the
+/// per-worker chunk buffers. Everything here is *capacity*, not state:
+/// every slot drains and refills them, so steady-state slots allocate
+/// nothing on the serial path (pinned by the allocation-gate test).
+struct SlotArena<M> {
+    actions: Vec<Action<M>>,
+    transmitters: Vec<(NodeId, f64)>,
+    outcomes: Vec<SlotOutcome<M>>,
+    field_buffers: Option<FieldBuffers>,
+    /// Pooled loop only: one outcome buffer per worker, cycled through
+    /// the job channel so chunk capacity survives across slots.
+    worker_outs: Vec<Vec<SlotOutcome<M>>>,
+    /// Pooled loop only: the per-slot chunk merge table.
+    chunks: Vec<Option<Vec<SlotOutcome<M>>>>,
+}
+
+impl<M> Default for SlotArena<M> {
+    fn default() -> Self {
+        SlotArena {
+            actions: Vec::new(),
+            transmitters: Vec::new(),
+            outcomes: Vec::new(),
+            field_buffers: None,
+            worker_outs: Vec::new(),
+            chunks: Vec::new(),
+        }
+    }
+}
 
 /// How the engine resolves the channel each slot.
 ///
@@ -139,6 +197,8 @@ pub struct Engine<'a, P: Protocol> {
     stats: EngineStats,
     backend: EngineBackend,
     scratch: FieldScratch,
+    arena: SlotArena<P::Msg>,
+    field_stats: QueryStats,
 }
 
 impl<'a, P: Protocol + std::fmt::Debug> std::fmt::Debug for Engine<'a, P> {
@@ -189,6 +249,8 @@ impl<'a, P: Protocol> Engine<'a, P> {
             stats: EngineStats::default(),
             backend,
             scratch: FieldScratch::default(),
+            arena: SlotArena::default(),
+            field_stats: QueryStats::default(),
         }
     }
 
@@ -208,6 +270,16 @@ impl<'a, P: Protocol> Engine<'a, P> {
     #[inline]
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Accumulated decode-path decision counters
+    /// ([`QueryStats`](sinr_phy::field::QueryStats)) across every slot
+    /// this engine executed — worker counters from the pooled loop are
+    /// merged in. The profiling layer and the scaling experiments read
+    /// these to report certified-vs-fallback ratios.
+    #[inline]
+    pub fn field_stats(&self) -> QueryStats {
+        self.field_stats
     }
 
     /// The per-node protocol states.
@@ -247,24 +319,81 @@ impl<'a, P: Protocol> Engine<'a, P> {
     pub fn step(&mut self) -> SlotReport {
         let slot = self.slot;
         let n = self.nodes.len();
+        #[cfg(feature = "profile")]
+        let mut clock = PhaseClock::start();
 
-        // Phase 1: collect actions.
-        let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
+        // Phase 1: collect actions into the recycled arena buffer.
+        let mut actions = std::mem::take(&mut self.arena.actions);
+        actions.clear();
+        actions.reserve(n);
         for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
             actions.push(node.begin_slot(id, slot, rng));
         }
+        #[cfg(feature = "profile")]
+        clock.lap("build");
 
         // Phase 2: resolve the channel.
-        let ctx = SlotCtx::build(self.params, self.instance, self.backend, slot, actions);
+        let transmitters = std::mem::take(&mut self.arena.transmitters);
+        let buffers = self.arena.field_buffers.take().unwrap_or_default();
+        let ctx = SlotCtx::build(
+            self.params,
+            self.instance,
+            self.backend,
+            slot,
+            actions,
+            (transmitters, buffers),
+            (P::MEASURES_SINR, P::MEASURES_AFFECTANCE),
+        );
+        #[cfg(feature = "profile")]
+        clock.lap("grid");
         let mut scratch = std::mem::take(&mut self.scratch);
-        let mut outcomes: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(n);
+        #[cfg(feature = "profile")]
+        scratch.enable_timing(crate::profile::is_active());
+        scratch.skip_canonical_sinr(!P::MEASURES_SINR);
+        let mut outcomes = std::mem::take(&mut self.arena.outcomes);
+        outcomes.clear();
+        outcomes.reserve(n);
         for id in 0..n {
             outcomes.push(ctx.outcome_of(id, &mut scratch));
         }
+        let stats = std::mem::take(&mut scratch.stats);
+        let times = std::mem::take(&mut scratch.times);
         self.scratch = scratch;
+        #[cfg(feature = "profile")]
+        clock.lap("resolve");
+        self.absorb_field_stats(stats, times);
 
-        // Phase 3: report outcomes.
-        self.finish_slot(&ctx, outcomes)
+        // Phase 3: report outcomes, then return every buffer to the
+        // arena so the next slot allocates nothing.
+        let report = self.finish_slot(&ctx, &mut outcomes);
+        let (actions, transmitters, buffers) = ctx.recycle();
+        self.arena.actions = actions;
+        self.arena.transmitters = transmitters;
+        self.arena.outcomes = outcomes;
+        self.arena.field_buffers = Some(buffers);
+        #[cfg(feature = "profile")]
+        clock.lap("merge");
+        report
+    }
+
+    /// Merges one slot's decode-path counters into the cumulative
+    /// [`field_stats`](Self::field_stats) and, when a profiling
+    /// registry is active, records the phase times and decision counts
+    /// it captured.
+    fn absorb_field_stats(&mut self, stats: QueryStats, times: PhaseTimes) {
+        #[cfg(feature = "profile")]
+        if crate::profile::is_active() {
+            crate::profile::record("near-field", times.near_field.as_secs_f64());
+            crate::profile::record("far-field-cert", times.far_field_cert.as_secs_f64());
+            crate::profile::record("fallback", times.fallback.as_secs_f64());
+            crate::profile::record("queries", stats.queries as f64);
+            crate::profile::record("certified", stats.certified as f64);
+            crate::profile::record("fallbacks", stats.fallbacks as f64);
+            crate::profile::record("rings", stats.rings as f64);
+        }
+        #[cfg(not(feature = "profile"))]
+        let _ = &times;
+        self.field_stats.merge(&stats);
     }
 
     /// Phase 3 plus slot bookkeeping, shared by the serial and pooled
@@ -272,7 +401,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
     fn finish_slot(
         &mut self,
         ctx: &SlotCtx<'a, P::Msg>,
-        outcomes: Vec<SlotOutcome<P::Msg>>,
+        outcomes: &mut Vec<SlotOutcome<P::Msg>>,
     ) -> SlotReport {
         let slot = self.slot;
         let mut report = SlotReport {
@@ -280,7 +409,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
             transmissions: ctx.transmitters.len(),
             ..Default::default()
         };
-        for outcome in &outcomes {
+        for outcome in outcomes.iter() {
             match outcome {
                 SlotOutcome::Received(_) => report.receptions += 1,
                 SlotOutcome::Idle => report.idle_listeners += 1,
@@ -331,7 +460,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
                 outcomes_fnv: fnv.finish(),
             });
         }
-        for (id, outcome) in outcomes.into_iter().enumerate() {
+        for (id, outcome) in outcomes.drain(..).enumerate() {
             self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
         }
         self.slot += 1;
@@ -397,42 +526,106 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let instance = self.instance;
         let backend = self.backend;
         let chunk = n.div_ceil(threads);
+        // Workers time their own decode phases and return the counters
+        // with each chunk; the driving thread merges and records them,
+        // so a profiled parallel run reports CPU time across the pool.
+        #[cfg(feature = "profile")]
+        let profiling = crate::profile::is_active();
+        #[cfg(not(feature = "profile"))]
+        let profiling = false;
         with_pool(
             threads,
-            |_| FieldScratch::default(),
-            |w, scratch, ctx: Arc<SlotCtx<'a, P::Msg>>| {
+            move |_| {
+                let mut scratch = FieldScratch::default();
+                scratch.enable_timing(profiling);
+                scratch.skip_canonical_sinr(!P::MEASURES_SINR);
+                scratch
+            },
+            |w, scratch, (ctx, mut out): SlotJob<'a, P::Msg>| {
                 let base = w * chunk;
                 let len = chunk.min(n.saturating_sub(base));
-                let mut out: Vec<SlotOutcome<P::Msg>> = Vec::with_capacity(len);
+                out.clear();
+                out.reserve(len);
                 for id in base..base + len {
                     out.push(ctx.outcome_of(id, scratch));
                 }
-                out
+                let stats = std::mem::take(&mut scratch.stats);
+                let times = std::mem::take(&mut scratch.times);
+                (out, stats, times)
             },
             |pool| {
                 while self.slot - start < max_slots {
+                    #[cfg(feature = "profile")]
+                    let mut clock = PhaseClock::start();
                     let slot = self.slot;
-                    let mut actions: Vec<Action<P::Msg>> = Vec::with_capacity(n);
+                    let mut actions = std::mem::take(&mut self.arena.actions);
+                    actions.clear();
+                    actions.reserve(n);
                     for (id, (node, rng)) in
                         self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate()
                     {
                         actions.push(node.begin_slot(id, slot, rng));
                     }
-                    let ctx = Arc::new(SlotCtx::build(params, instance, backend, slot, actions));
-                    for w in 0..threads {
-                        pool.send(w, Arc::clone(&ctx));
+                    #[cfg(feature = "profile")]
+                    clock.lap("build");
+                    let transmitters = std::mem::take(&mut self.arena.transmitters);
+                    let buffers = self.arena.field_buffers.take().unwrap_or_default();
+                    let ctx = Arc::new(SlotCtx::build(
+                        params,
+                        instance,
+                        backend,
+                        slot,
+                        actions,
+                        (transmitters, buffers),
+                        (P::MEASURES_SINR, P::MEASURES_AFFECTANCE),
+                    ));
+                    #[cfg(feature = "profile")]
+                    clock.lap("grid");
+                    let mut worker_outs = std::mem::take(&mut self.arena.worker_outs);
+                    worker_outs.resize_with(threads, Vec::new);
+                    for (w, out) in worker_outs.drain(..).enumerate() {
+                        pool.send(w, (Arc::clone(&ctx), out));
                     }
-                    let mut chunks: Vec<Option<Vec<SlotOutcome<P::Msg>>>> =
-                        (0..threads).map(|_| None).collect();
+                    let mut chunks = std::mem::take(&mut self.arena.chunks);
+                    chunks.clear();
+                    chunks.resize_with(threads, || None);
+                    let mut slot_stats = QueryStats::default();
+                    let mut slot_times = PhaseTimes::default();
                     for _ in 0..threads {
-                        let (w, out) = pool.recv();
+                        let (w, (out, stats, times)) = pool.recv();
+                        slot_stats.merge(&stats);
+                        slot_times.merge(&times);
                         chunks[w] = Some(out);
                     }
-                    let outcomes: Vec<SlotOutcome<P::Msg>> = chunks
-                        .into_iter()
-                        .flat_map(|c| c.expect("every worker reports each slot"))
-                        .collect();
-                    let report = self.finish_slot(&ctx, outcomes);
+                    let mut outcomes = std::mem::take(&mut self.arena.outcomes);
+                    outcomes.clear();
+                    outcomes.reserve(n);
+                    for c in chunks.iter_mut() {
+                        let mut out = c.take().expect("every worker reports each slot");
+                        // `append` drains `out` but keeps its capacity
+                        // for the next slot's job.
+                        outcomes.append(&mut out);
+                        worker_outs.push(out);
+                    }
+                    #[cfg(feature = "profile")]
+                    clock.lap("resolve");
+                    self.absorb_field_stats(slot_stats, slot_times);
+                    let report = self.finish_slot(&ctx, &mut outcomes);
+                    self.arena.outcomes = outcomes;
+                    self.arena.worker_outs = worker_outs;
+                    self.arena.chunks = chunks;
+                    // Every worker has returned its chunk, so this is
+                    // the last Arc — recover the slot buffers. If a
+                    // clone somehow lingers, skip recycling; the next
+                    // slot re-allocates and correctness is unaffected.
+                    if let Ok(ctx) = Arc::try_unwrap(ctx) {
+                        let (actions, transmitters, buffers) = ctx.recycle();
+                        self.arena.actions = actions;
+                        self.arena.transmitters = transmitters;
+                        self.arena.field_buffers = Some(buffers);
+                    }
+                    #[cfg(feature = "profile")]
+                    clock.lap("merge");
                     on_report(report);
                     if done(&self.nodes) {
                         break;
@@ -512,9 +705,15 @@ impl<'a, P: Protocol> Engine<'a, P> {
             stats: snapshot.stats,
             backend,
             scratch: FieldScratch::default(),
+            arena: SlotArena::default(),
+            field_stats: QueryStats::default(),
         })
     }
 }
+
+/// One pooled job: the shared slot context plus the recycled output
+/// vector the worker fills for its chunk.
+type SlotJob<'a, M> = (Arc<SlotCtx<'a, M>>, Vec<SlotOutcome<M>>);
 
 /// One slot's immutable channel context: every node's action, the
 /// transmitter set in canonical (node-id) order, and — for the grid
@@ -529,10 +728,27 @@ struct SlotCtx<'a, M> {
     actions: Vec<Action<M>>,
     transmitters: Vec<(NodeId, f64)>,
     field: Option<InterferenceField<'a>>,
+    /// The recycled field allocations when no field was built this slot
+    /// (naive backend, or nobody transmitted) — carried through so
+    /// [`recycle`](Self::recycle) always hands capacity back.
+    spare: Option<FieldBuffers>,
+    /// [`Protocol::MEASURES_SINR`] of the driving protocol: when false,
+    /// receptions report `NaN` SINR on *every* backend (the naive and
+    /// fallback paths compute it as a byproduct; discarding it here
+    /// keeps the backends byte-identical to the certificate-only grid
+    /// path).
+    measure_sinr: bool,
+    /// [`Protocol::MEASURES_AFFECTANCE`] of the driving protocol: when
+    /// false, receptions skip the per-decode canonical affectance sum
+    /// and report `NaN`.
+    measure_affectance: bool,
 }
 
 impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
-    /// Validates the actions and derives the slot's channel state.
+    /// Validates the actions and derives the slot's channel state. The
+    /// `transmitters` vector and `buffers` come from the engine's
+    /// [`SlotArena`] — their *contents* are stale garbage from the
+    /// previous slot; only their capacity matters.
     ///
     /// # Panics
     ///
@@ -544,6 +760,8 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
         backend: EngineBackend,
         slot: u64,
         actions: Vec<Action<M>>,
+        (mut transmitters, buffers): (Vec<(NodeId, f64)>, FieldBuffers),
+        (measure_sinr, measure_affectance): (bool, bool),
     ) -> Self {
         for (id, a) in actions.iter().enumerate() {
             if let Action::Transmit { power, .. } = a {
@@ -553,18 +771,23 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
                 );
             }
         }
-        let transmitters: Vec<(NodeId, f64)> = actions
-            .iter()
-            .enumerate()
-            .filter_map(|(id, a)| match a {
-                Action::Transmit { power, .. } => Some((id, *power)),
-                _ => None,
-            })
-            .collect();
-        let field = match backend {
-            EngineBackend::Naive => None,
-            _ if transmitters.is_empty() => None,
-            _ => Some(InterferenceField::build(params, instance, &transmitters)),
+        transmitters.clear();
+        transmitters.extend(actions.iter().enumerate().filter_map(|(id, a)| match a {
+            Action::Transmit { power, .. } => Some((id, *power)),
+            _ => None,
+        }));
+        let (field, spare) = match backend {
+            EngineBackend::Naive => (None, Some(buffers)),
+            _ if transmitters.is_empty() => (None, Some(buffers)),
+            _ => (
+                Some(InterferenceField::build_with(
+                    params,
+                    instance,
+                    &transmitters,
+                    buffers,
+                )),
+                None,
+            ),
         };
         SlotCtx {
             params,
@@ -572,7 +795,20 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
             actions,
             transmitters,
             field,
+            spare,
+            measure_sinr,
+            measure_affectance,
         }
+    }
+
+    /// Dismantles the context, recovering every recyclable allocation
+    /// for the next slot's [`build`](Self::build).
+    fn recycle(self) -> (Vec<Action<M>>, Vec<(NodeId, f64)>, FieldBuffers) {
+        let buffers = match self.field {
+            Some(f) => f.into_buffers(),
+            None => self.spare.unwrap_or_default(),
+        };
+        (self.actions, self.transmitters, buffers)
     }
 
     /// Resolves one node's outcome for this slot.
@@ -587,15 +823,28 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
                 };
                 match decoded {
                     Some((from, power, sinr)) => {
-                        let link = Link::new(from, id);
-                        let affectance = feasibility::measured_affectance(
-                            self.params,
-                            self.instance,
-                            link,
-                            power,
-                            &self.transmitters,
-                        )
-                        .unwrap_or(f64::NAN);
+                        // The canonical per-reception recompute is an
+                        // exact naive sum — `O(transmitters)` per
+                        // decode, the dominant cost of a dense slot —
+                        // so it only runs for protocols that read the
+                        // field; its time belongs to the `fallback`
+                        // phase.
+                        let affectance = if self.measure_affectance {
+                            let link = Link::new(from, id);
+                            scratch
+                                .time_fallback(|| {
+                                    feasibility::measured_affectance(
+                                        self.params,
+                                        self.instance,
+                                        link,
+                                        power,
+                                        &self.transmitters,
+                                    )
+                                })
+                                .unwrap_or(f64::NAN)
+                        } else {
+                            f64::NAN
+                        };
                         let msg = match &self.actions[from] {
                             Action::Transmit { msg, .. } => msg.clone(),
                             _ => unreachable!("decoded node is a transmitter"),
@@ -604,7 +853,11 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
                             from,
                             msg,
                             distance: self.instance.distance(from, id),
-                            sinr,
+                            // NaN-ed uniformly when unmeasured: the
+                            // naive and fallback decodes yield the
+                            // exact value as a byproduct, but reporting
+                            // it only there would break backend parity.
+                            sinr: if self.measure_sinr { sinr } else { f64::NAN },
                             affectance,
                         })
                     }
@@ -826,6 +1079,92 @@ mod tests {
         }
     }
 
+    /// Fair-coin transmitter for the counter/profile tests below.
+    #[derive(Debug)]
+    struct CoinTx;
+    impl Protocol for CoinTx {
+        type Msg = ();
+        fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+            if rng.gen_bool(0.3) {
+                Action::Transmit {
+                    power: 600.0,
+                    msg: (),
+                }
+            } else {
+                Action::Listen
+            }
+        }
+        fn end_slot(&mut self, _: NodeId, _: u64, _: SlotOutcome<()>, _: &mut StdRng) {}
+    }
+
+    /// The decode-path counters accumulate across slots, satisfy the
+    /// classification invariant, and agree between the serial and
+    /// pooled grid loops (same decisions, per the bit-parity contract).
+    #[test]
+    fn field_stats_accumulate_and_agree_across_loops() {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(80, 1.5, 3).unwrap();
+        let run = |backend| {
+            let mut e = Engine::with_backend(&params, &inst, |_| CoinTx, 3, backend);
+            e.run(10);
+            e.field_stats()
+        };
+        let naive = run(EngineBackend::Naive);
+        assert_eq!(
+            naive,
+            QueryStats::default(),
+            "the naive backend never queries a field"
+        );
+        let grid = run(EngineBackend::Grid);
+        assert!(grid.queries > 0, "grid loop answers decode queries");
+        assert_eq!(
+            grid.queries,
+            grid.small_exact + grid.certified + grid.fallbacks,
+            "every query is classified exactly once"
+        );
+        let pooled = run(EngineBackend::Parallel(2));
+        assert_eq!(grid, pooled, "worker counters merge to the serial totals");
+    }
+
+    /// A profiled run records every engine phase plus the drained field
+    /// phases, once per slot, on both loops; the counter phases tie out
+    /// against [`Engine::field_stats`].
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profiled_run_records_slot_phases() {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(80, 1.5, 4).unwrap();
+        for backend in [EngineBackend::Grid, EngineBackend::Parallel(2)] {
+            crate::profile::start();
+            let mut e = Engine::with_backend(&params, &inst, |_| CoinTx, 4, backend);
+            e.run(6);
+            let report = crate::profile::stop();
+            for phase in [
+                "build",
+                "grid",
+                "resolve",
+                "merge",
+                "near-field",
+                "far-field-cert",
+                "fallback",
+                "queries",
+                "certified",
+                "fallbacks",
+                "rings",
+            ] {
+                let stats = report
+                    .phase(phase)
+                    .unwrap_or_else(|| panic!("{backend:?} records phase {phase}"));
+                assert_eq!(stats.count, 6, "{backend:?} {phase}: one sample per slot");
+            }
+            assert_eq!(
+                report.phase("queries").unwrap().total,
+                e.field_stats().queries as f64,
+                "{backend:?}: profiled query count matches the engine counters"
+            );
+        }
+    }
+
     #[test]
     fn backend_labels_and_parsing() {
         assert_eq!("naive".parse(), Ok(EngineBackend::Naive));
@@ -939,6 +1278,103 @@ mod tests {
         // Sole transmitter: zero interference, zero affectance.
         assert!(r.affectance.abs() < 1e-12);
         assert!(r.sinr > params.beta());
+    }
+
+    /// A protocol that declares both per-reception instruments unused
+    /// gets `NaN` there and *identical bits everywhere else*: same
+    /// decode winners, same distances, on every backend.
+    #[test]
+    fn instrument_opt_out_skips_only_the_instruments() {
+        #[derive(Debug, Default)]
+        struct Deaf {
+            rec: Option<Reception<()>>,
+        }
+        impl Protocol for Deaf {
+            type Msg = ();
+            const MEASURES_AFFECTANCE: bool = false;
+            const MEASURES_SINR: bool = false;
+            fn begin_slot(&mut self, node: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if node % 3 == 0 && rng.gen_bool(0.9) {
+                    Action::Transmit {
+                        power: 1e4,
+                        msg: (),
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.rec = Some(r);
+                }
+            }
+        }
+        // Measuring twin: same actions (same RNG draws), instrument on.
+        #[derive(Debug, Default)]
+        struct Keen {
+            rec: Option<Reception<()>>,
+        }
+        impl Protocol for Keen {
+            type Msg = ();
+            fn begin_slot(&mut self, node: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+                if node % 3 == 0 && rng.gen_bool(0.9) {
+                    Action::Transmit {
+                        power: 1e4,
+                        msg: (),
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, _: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if let SlotOutcome::Received(r) = o {
+                    self.rec = Some(r);
+                }
+            }
+        }
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(64, 2.0, 9).unwrap();
+        let mut per_backend: Vec<Vec<Option<(NodeId, u64)>>> = Vec::new();
+        for backend in [
+            EngineBackend::Naive,
+            EngineBackend::Grid,
+            EngineBackend::Parallel(2),
+        ] {
+            let mut deaf = Engine::with_backend(&params, &inst, |_| Deaf::default(), 7, backend);
+            let mut keen = Engine::with_backend(&params, &inst, |_| Keen::default(), 7, backend);
+            deaf.run(4);
+            keen.run(4);
+            per_backend.push(
+                deaf.nodes()
+                    .iter()
+                    .map(|n| n.rec.as_ref().map(|r| (r.from, r.distance.to_bits())))
+                    .collect(),
+            );
+            let mut receptions = 0usize;
+            for (d, k) in deaf.nodes().iter().zip(keen.nodes().iter()) {
+                match (&d.rec, &k.rec) {
+                    (Some(d), Some(k)) => {
+                        receptions += 1;
+                        assert_eq!(d.from, k.from);
+                        assert_eq!(d.distance.to_bits(), k.distance.to_bits());
+                        assert!(d.sinr.is_nan(), "opt-out must report NaN SINR");
+                        assert!(d.affectance.is_nan(), "opt-out must report NaN affectance");
+                        assert!(k.sinr.is_finite(), "measuring twin reports SINR");
+                        assert!(
+                            k.affectance.is_finite(),
+                            "measuring twin reports affectance"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("decode sets diverged: {other:?}"),
+                }
+            }
+            assert!(receptions > 0, "workload produced no receptions");
+        }
+        // Certificate-decided decodes (grid) match the exact naive
+        // winners even with the canonical recompute skipped.
+        assert_eq!(per_backend[0], per_backend[1], "naive vs grid winners");
+        assert_eq!(per_backend[1], per_backend[2], "grid vs parallel winners");
     }
 
     #[test]

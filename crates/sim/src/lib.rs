@@ -54,6 +54,8 @@
 
 mod engine;
 pub mod pool;
+#[cfg(feature = "profile")]
+pub mod profile;
 mod protocol;
 #[cfg(feature = "serde")]
 pub mod snapshot;

@@ -92,8 +92,9 @@ fn committed_snapshots_match_current_schema() {
         })
         .collect();
     assert!(
-        snapshots.len() >= 4,
-        "expected the committed BENCH_E11/E12/E13/ENSEMBLE snapshots, found {snapshots:?}"
+        snapshots.len() >= 5,
+        "expected the committed BENCH_E11/E12/E13/ENSEMBLE/PROFILE snapshots, \
+         found {snapshots:?}"
     );
 
     for path in snapshots {
