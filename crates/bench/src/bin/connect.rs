@@ -22,6 +22,14 @@
 //! incremental re-packer (default) or the centralized full reference
 //! (DESIGN.md §10).
 //!
+//! With `--serve` the CLI instead runs the self-healing service loop
+//! (DESIGN.md §13): a sustained Poisson fault/join trace
+//! (`--fault-rate` / `--join-rate` arrivals per 1000 slots,
+//! `--serve-events` total) flows through timeout detection → repair →
+//! re-pack with an end-to-end delivery audit after every recovery, and
+//! the run reports throughput, detection/recovery latency percentiles
+//! and the backpressure counters.
+//!
 //! Built with `--features profile`, `--profile` records the engine's
 //! per-phase breakdown of a single run (build / grid / resolve / merge
 //! wall laps, the field's decode phases, and the query counters —
@@ -67,6 +75,10 @@ struct Args {
     threads: usize,
     churn_kill: usize,
     repack: RepackMode,
+    serve: bool,
+    fault_rate: f64,
+    join_rate: f64,
+    serve_events: usize,
     export: Option<PathBuf>,
     profile: bool,
     trace: Option<PathBuf>,
@@ -86,6 +98,10 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = 0usize;
     let mut churn_kill = 0usize;
     let mut repack = RepackMode::default();
+    let mut serve = false;
+    let mut fault_rate: Option<f64> = None;
+    let mut join_rate: Option<f64> = None;
+    let mut serve_events: Option<usize> = None;
     let mut export = None;
     let mut profile = false;
     let mut trace = None;
@@ -159,6 +175,40 @@ fn parse_args() -> Result<Args, String> {
                 repack = val(i)?.parse()?;
                 i += 2;
             }
+            "--serve" => {
+                serve = true;
+                i += 1;
+            }
+            "--fault-rate" => {
+                let r: f64 = val(i)?.parse().map_err(|e| format!("--fault-rate: {e}"))?;
+                if !(r.is_finite() && r >= 0.0) {
+                    return Err(format!(
+                        "--fault-rate must be finite and non-negative, got {r}"
+                    ));
+                }
+                fault_rate = Some(r);
+                i += 2;
+            }
+            "--join-rate" => {
+                let r: f64 = val(i)?.parse().map_err(|e| format!("--join-rate: {e}"))?;
+                if !(r.is_finite() && r >= 0.0) {
+                    return Err(format!(
+                        "--join-rate must be finite and non-negative, got {r}"
+                    ));
+                }
+                join_rate = Some(r);
+                i += 2;
+            }
+            "--serve-events" => {
+                let e: usize = val(i)?
+                    .parse()
+                    .map_err(|e| format!("--serve-events: {e}"))?;
+                if e == 0 {
+                    return Err("--serve-events must be at least 1".into());
+                }
+                serve_events = Some(e);
+                i += 2;
+            }
             "--export" => {
                 export = Some(PathBuf::from(val(i)?));
                 i += 2;
@@ -193,7 +243,9 @@ fn parse_args() -> Result<Args, String> {
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
                             [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
-                            [--repack full|incremental] [--export <dir>] \
+                            [--repack full|incremental] \
+                            [--serve [--fault-rate <R>] [--join-rate <R>] \
+                            [--serve-events <E>]] [--export <dir>] \
                             [--profile] (needs a build with --features profile) \
                             [--trace <path>] [--snapshot <path> --snapshot-at <slot>] \
                             [--replay-from <path>] [--diff-engine naive|grid|parallel[:N]] \
@@ -207,6 +259,34 @@ fn parse_args() -> Result<Args, String> {
     if snapshot.is_some() != snapshot_at.is_some() {
         return Err("--snapshot and --snapshot-at go together: both or neither".into());
     }
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if churn_kill > 0 && churn_kill >= n {
+        return Err(format!(
+            "--churn-kill must leave at least one survivor (asked to kill \
+             {churn_kill} of {n} nodes)"
+        ));
+    }
+    if !serve && (fault_rate.is_some() || join_rate.is_some() || serve_events.is_some()) {
+        return Err(
+            "--fault-rate/--join-rate/--serve-events configure the service loop; \
+             add --serve to run it"
+                .into(),
+        );
+    }
+    if serve {
+        if churn_kill > 0 {
+            return Err(
+                "--serve runs sustained churn through the detector; it conflicts with \
+                 the one-shot --churn-kill demo — pick one"
+                    .into(),
+            );
+        }
+        if fault_rate.unwrap_or(5.0) + join_rate.unwrap_or(1.0) <= 0.0 {
+            return Err("--serve needs a positive --fault-rate or --join-rate".into());
+        }
+    }
     Ok(Args {
         family,
         n,
@@ -217,6 +297,10 @@ fn parse_args() -> Result<Args, String> {
         threads,
         churn_kill,
         repack,
+        serve,
+        fault_rate: fault_rate.unwrap_or(5.0),
+        join_rate: join_rate.unwrap_or(1.0),
+        serve_events: serve_events.unwrap_or(16),
         export,
         profile,
         trace,
@@ -273,11 +357,15 @@ fn main() {
             std::process::exit(2);
         }
         if modes.iter().any(|&m| m)
-            && (args.seeds > 1 || args.churn_kill > 0 || args.export.is_some() || args.profile)
+            && (args.seeds > 1
+                || args.churn_kill > 0
+                || args.serve
+                || args.export.is_some()
+                || args.profile)
         {
             eprintln!(
                 "the observability modes run on a single instance; \
-                 drop --seeds/--churn-kill/--export/--profile"
+                 drop --seeds/--churn-kill/--serve/--export/--profile"
             );
             std::process::exit(2);
         }
@@ -293,6 +381,19 @@ fn main() {
             run_snapshot(&args, &params, path, at);
             return;
         }
+    }
+
+    if args.serve {
+        if args.seeds > 1 {
+            eprintln!("--serve drives a single instance; drop --seeds to serve");
+            std::process::exit(2);
+        }
+        if args.export.is_some() || args.profile || args.trace.is_some() {
+            eprintln!("--serve is a standalone mode; drop --export/--profile/--trace");
+            std::process::exit(2);
+        }
+        run_serve(&args, &params);
+        return;
     }
 
     if args.seeds > 1 {
@@ -411,6 +512,79 @@ fn main() {
             dir.display()
         );
     }
+}
+
+/// The `--serve` mode: run the self-healing service loop — a Poisson
+/// fault/join trace through detect → repair → re-pack with per-recovery
+/// audits (DESIGN.md §13) — and print throughput, the latency
+/// distribution and the backpressure counters.
+fn run_serve(args: &Args, params: &SinrParams) {
+    use sinr_bench::serve::{serve, ServeConfig};
+    use sinr_bench::stats::Stats;
+
+    let instance = args.family.instance(args.n, args.seed);
+    let cfg = ServeConfig {
+        fault_rate: args.fault_rate,
+        join_rate: args.join_rate,
+        events: args.serve_events,
+        detect: sinr_connectivity::DetectConfig {
+            backend: args.engine,
+            ..ServeConfig::default().detect
+        },
+        repack: args.repack,
+        ..ServeConfig::default()
+    };
+    println!(
+        "serve:    family={} n={} engine={} events={} fault-rate={}/1000 \
+         join-rate={}/1000 (seed {})",
+        args.family.label(),
+        args.n,
+        args.engine.label(),
+        cfg.events,
+        cfg.fault_rate,
+        cfg.join_rate,
+        args.seed,
+    );
+    let rep = match serve(params, &instance, &cfg, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let det = Stats::of(&rep.detection_slots);
+    let rec = Stats::of(&rep.recovery_slots);
+    println!(
+        "served:   {} event(s) ({} fault(s), {} join(s)) in {} batch(es) over \
+         {:.0} slot(s); {:.1} events/s wall",
+        rep.events,
+        rep.faults,
+        rep.joins,
+        rep.batches,
+        rep.horizon,
+        rep.events_per_sec(),
+    );
+    println!(
+        "detect:   latency p50={} p99={} max={} slot(s) across {} declaration(s)",
+        f2(det.p50),
+        f2(det.p99),
+        f2(det.max),
+        rep.detection_slots.len(),
+    );
+    println!(
+        "recover:  latency p50={} p99={} max={} slot(s); queue peak {}, \
+         {} early close(s)",
+        f2(rec.p50),
+        f2(rec.p99),
+        f2(rec.max),
+        rep.queue_peak,
+        rep.cancelled_closes,
+    );
+    println!(
+        "audited:  {} recovery audit(s) clean (bidirectional feasibility + \
+         delivery replay); final n = {}",
+        rep.audits, rep.final_n,
+    );
 }
 
 /// The `--churn-kill K` demo: fail K random nodes after the build,

@@ -9,11 +9,12 @@
 //! cargo run --release -p sinr-bench --bin experiments -- e12 --json BENCH_E12.json
 //! cargo run --release -p sinr-bench --bin experiments -- e1 e7 e8 --seeds 16 --threads 4
 //! cargo run --release -p sinr-bench --bin experiments -- e13 --quick --seeds 4 --json target/e13.json
+//! cargo run --release -p sinr-bench --bin experiments -- e15 --threads 1 --json BENCH_E15.json
 //! ```
 //!
 //! `--seeds K` sets the ensemble size of the multi-seed experiments
 //! (E1–E10 report `mean ±95% CI` over K independent instances; E13
-//! runs K churn trials per row);
+//! runs K churn trials per row, E15 K sustained-churn service traces);
 //! `--threads T` sizes the ensemble driver's worker pool, which by the
 //! determinism contract (DESIGN.md §9) changes wall-clock only — never
 //! an output byte. `--capability` appends the n = 65536 single-slot

@@ -8,6 +8,7 @@ pub mod e11_scaling;
 pub mod e12_connect_scaling;
 pub mod e13_churn;
 pub mod e14_kernel_profile;
+pub mod e15_serve;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -41,7 +42,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 14] = [
+pub const ALL: [Experiment; 15] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -112,6 +113,11 @@ pub const ALL: [Experiment; 14] = [
         what: "kernel phase profile: SoA field build + certified decode",
         run: e14_kernel_profile::run,
     },
+    Experiment {
+        id: "e15",
+        what: "self-healing service loop: sustained churn through detect→repair",
+        run: e15_serve::run,
+    },
 ];
 
 #[cfg(test)]
@@ -127,5 +133,6 @@ mod tests {
         assert_eq!(sorted.len(), ALL.len());
         assert_eq!(ids[0], "e1");
         assert_eq!(ids[12], "e13");
+        assert_eq!(ids[14], "e15");
     }
 }

@@ -85,7 +85,9 @@ impl Op {
 
 /// The centralized base structure churn acts on: MST tree, explicit
 /// mean powers for both directions, bidirectionally packed schedule.
-fn base_structure(
+/// Shared with the E15 service loop ([`crate::serve`]), which churns
+/// the same base under sustained Poisson faults.
+pub fn base_structure(
     params: &SinrParams,
     inst: &Instance,
 ) -> (Vec<Option<NodeId>>, HashMap<Link, f64>, Schedule) {
@@ -106,8 +108,8 @@ fn base_structure(
 
 /// `k` join points inside the deployment area, rejection-sampled to
 /// respect the unit minimum-distance normalization (against existing
-/// nodes and each other).
-fn sample_join_points(inst: &Instance, k: usize, seed: u64) -> Vec<Point> {
+/// nodes and each other). Shared with the E15 service loop.
+pub fn sample_join_points(inst: &Instance, k: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9d0e_57ab);
     let bb = inst.bounding_box();
     let (lo, hi) = (bb.min(), bb.max());

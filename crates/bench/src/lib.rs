@@ -22,6 +22,7 @@
 //! | [`experiments::e12_connect_scaling`] | DESIGN.md §8: end-to-end connect scaling |
 //! | [`experiments::e13_churn`] | DESIGN.md §10: incremental vs full re-packing under churn |
 //! | [`experiments::e14_kernel_profile`] | DESIGN.md §12: per-phase kernel cost of a grid slot |
+//! | [`experiments::e15_serve`] | DESIGN.md §13: self-healing service loop under sustained churn |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
@@ -32,8 +33,9 @@
 //! (`--seeds K --threads T`) through the [`ensemble`] driver and
 //! reports `mean ±95% CI` per row via [`stats`] — byte-identically at
 //! any thread count (DESIGN.md §9). The engineering experiments
-//! (E11–E14) assert parity/partition invariants instead; their
-//! wall-clock cells are measured, not derived.
+//! (E11–E15) assert parity/partition invariants instead; their
+//! wall-clock cells are measured, not derived ([`serve`] is E15's
+//! discrete-event driver).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +46,7 @@ pub mod experiments;
 pub mod json;
 #[cfg(feature = "trace")]
 pub mod replay;
+pub mod serve;
 pub mod stats;
 pub mod table;
 pub mod workloads;

@@ -32,6 +32,13 @@ pub struct Stats {
     pub min: f64,
     /// Largest value (0 for empty input).
     pub max: f64,
+    /// Median by the nearest-rank rule on the canonically sorted
+    /// sample (0 for empty input). Nearest-rank picks an *observed*
+    /// value — no interpolation, hence bit-exact under permutation.
+    pub p50: f64,
+    /// 99th percentile, nearest-rank (0 for empty input). For `n < 100`
+    /// this is the maximum by construction.
+    pub p99: f64,
     /// Half-width of the 95% confidence interval for the mean,
     /// `t₀.₉₇₅(n−1) · stddev / √n` — 0 for `n ≤ 1`, where a CI is
     /// undefined (one observation constrains no variance).
@@ -55,10 +62,14 @@ impl Stats {
                 stddev: 0.0,
                 min: 0.0,
                 max: 0.0,
+                p50: 0.0,
+                p99: 0.0,
                 ci95: 0.0,
             };
         }
         let mean = xs.iter().sum::<f64>() / n as f64;
+        let p50 = percentile_sorted(&xs, 50.0);
+        let p99 = percentile_sorted(&xs, 99.0);
         if n == 1 {
             return Stats {
                 n,
@@ -66,6 +77,8 @@ impl Stats {
                 stddev: 0.0,
                 min: xs[0],
                 max: xs[0],
+                p50,
+                p99,
                 ci95: 0.0,
             };
         }
@@ -78,6 +91,8 @@ impl Stats {
             stddev,
             min: xs[0],
             max: xs[n - 1],
+            p50,
+            p99,
             ci95,
         }
     }
@@ -114,6 +129,21 @@ impl Stats {
     pub const CELL_CI_WIDTH: usize = 9;
     /// Total rendered width of a non-degenerate [`cell`](Self::cell).
     pub const CELL_WIDTH: usize = Self::CELL_MEAN_WIDTH + 2 + Self::CELL_CI_WIDTH;
+}
+
+/// Nearest-rank percentile of an **already canonically sorted** sample:
+/// the value at 1-based rank `⌈q/100 · n⌉` (clamped to `[1, n]`). Being
+/// a pure selection from the `total_cmp`-sorted copy, the result is an
+/// observed sample value and bit-identical under any permutation of the
+/// input — the same contract as every other [`Stats`] field. Returns 0
+/// for an empty sample.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Two-sided 95% critical value of Student's t with `df` degrees of
@@ -162,6 +192,36 @@ mod tests {
         // df = 7 → t = 2.365.
         let expect = 2.365 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt();
         assert!((s.ci95 - expect).abs() < 1e-12, "{} vs {expect}", s.ci95);
+        // Nearest-rank: p50 is rank ⌈0.5·8⌉ = 4 → the 4th sorted value;
+        // p99 is rank ⌈0.99·8⌉ = 8 → the maximum.
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p99, 9.0);
+    }
+
+    /// Hand-computed nearest-rank fixtures, including the odd-length
+    /// case and a sample large enough that p99 < max.
+    #[test]
+    fn percentiles_follow_the_nearest_rank_rule() {
+        // Odd length: p50 of {1,2,3,4,5} is rank ⌈2.5⌉ = 3 → 3.
+        let s = Stats::of(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 5.0, "p99 of n < 100 is the max");
+        // Even length: nearest-rank p50 of {10,20,30,40} is rank 2 → 20
+        // (an observed value, not the interpolated 25).
+        let s = Stats::of(&[40.0, 10.0, 30.0, 20.0]);
+        assert_eq!(s.p50, 20.0);
+        // n = 200 of 0..200: p50 is rank 100 → sorted[99] = 99;
+        // p99 is rank 198 → sorted[197] = 197, strictly below max 199.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let s = Stats::of(&xs);
+        assert_eq!(s.p50, 99.0);
+        assert_eq!(s.p99, 197.0);
+        assert_eq!(s.max, 199.0);
+        // Degenerate inputs keep the 0-default / single-value contract.
+        assert_eq!(Stats::of(&[]).p50, 0.0);
+        assert_eq!(Stats::of(&[]).p99, 0.0);
+        assert_eq!(Stats::of(&[7.5]).p50, 7.5);
+        assert_eq!(Stats::of(&[7.5]).p99, 7.5);
     }
 
     /// n = 1: the degenerate ensemble. Mean is the value; the CI (and
@@ -231,6 +291,8 @@ mod tests {
             assert_eq!(reference.ci95.to_bits(), s.ci95.to_bits());
             assert_eq!(reference.min.to_bits(), s.min.to_bits());
             assert_eq!(reference.max.to_bits(), s.max.to_bits());
+            assert_eq!(reference.p50.to_bits(), s.p50.to_bits());
+            assert_eq!(reference.p99.to_bits(), s.p99.to_bits());
         }
     }
 

@@ -36,6 +36,7 @@
 mod api;
 pub mod cleanup;
 pub mod contention;
+pub mod detect;
 mod error;
 pub mod init;
 pub mod join;
@@ -48,6 +49,7 @@ pub mod selector;
 pub mod tvc;
 
 pub use api::{connect, connect_with, ConnectivityResult, Strategy};
+pub use detect::{detect_failures, DetectConfig, Detection, DetectionReport};
 pub use error::CoreError;
 pub use repack::{RepackMode, RepackStats};
 pub use repair::PriorStructure;

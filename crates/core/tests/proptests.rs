@@ -12,6 +12,14 @@
 //!   schedule, where "untouched" is recomputed independently from the
 //!   delta (no removal, no member in the dirty closure, no insertion)
 //!   and must agree with the packer's own accounting.
+//!
+//! A second family drives random **crash-fault schedules** through the
+//! full robustness pipeline instead of handing the kill-set to the
+//! repair directly: the timeout detector must name *exactly* the
+//! injected victims (no misses, no false positives), and its suspect
+//! set — fed verbatim to `repair_after_failures` — must leave a
+//! bidirectionally feasible, fully-delivering bi-tree after every
+//! batch.
 
 use std::collections::HashMap;
 
@@ -20,10 +28,11 @@ use sinr_connectivity::join::join_nodes;
 use sinr_connectivity::repair::{repair_after_failures, PriorStructure};
 use sinr_connectivity::selector::MeanSamplingSelector;
 use sinr_connectivity::tvc::{tree_via_capacity, TvcConfig};
-use sinr_connectivity::RepackStats;
+use sinr_connectivity::{detect_failures, DetectConfig, RepackStats};
 use sinr_geom::{Instance, NodeId, Point};
 use sinr_links::{InTree, Link, LinkSet, Schedule};
 use sinr_phy::{feasibility, PowerAssignment, SinrParams};
+use sinr_sim::{FaultEvent, FaultPlan};
 
 /// One churn batch of the random interleaving.
 #[derive(Clone, Debug)]
@@ -252,6 +261,161 @@ proptest! {
                     instance = joined.instance;
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    // The detector simulates up to 8 heartbeat cycles per batch, so
+    // this family runs fewer, heavier cases than the churn one.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random fault schedules — crashes interleaved with deafness and
+    /// reception-drop noise — through detect → repair. Every injected
+    /// crash must be suspected; any *extra* suspect must be the noisy
+    /// node's parent (the detector's documented false-positive mode,
+    /// nothing else); and the repaired structure must pass the
+    /// bidirectional feasibility and delivery audits after every
+    /// batch, false positives included.
+    #[test]
+    fn fault_schedules_detect_exactly_and_repair_cleanly(
+        seed in 0u64..5_000,
+        n in 20usize..28,
+        batches in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..1_000, 1..3),
+                0u64..16,
+                // Noise on one non-victim: 0 = none, 1 = deafness for
+                // the whole run, 2 = reception drops.
+                (0u8..3, 0usize..1_000),
+            ),
+            1..3,
+        ),
+    ) {
+        let params = SinrParams::default();
+        let mut sel = MeanSamplingSelector::default();
+        let mut instance = sinr_geom::gen::uniform_square(n, 1.8, seed).unwrap();
+        let built =
+            tree_via_capacity(&params, &instance, &TvcConfig::default(), &mut sel, seed).unwrap();
+        let mut parents: Vec<Option<NodeId>> =
+            (0..built.tree.len()).map(|u| built.tree.parent(u)).collect();
+        let mut powers: HashMap<Link, f64> = built.power.as_explicit().unwrap().clone();
+        let mut schedule = built.schedule.clone();
+        let mut tree = built.tree;
+
+        for (batch_index, (raw, crash_at, (noise_kind, noise_raw))) in
+            batches.into_iter().enumerate()
+        {
+            // Eligible victims: non-root with a surviving child to
+            // declare them (a crashed leaf is the detector's documented
+            // blind spot). Tree-independence within the batch keeps
+            // every victim's children and parent alive, which is what
+            // makes *exact* coverage assertable.
+            let root = tree.root();
+            let eligible: Vec<usize> = (0..tree.len())
+                .filter(|&u| u != root && !tree.children(u).is_empty())
+                .collect();
+            if eligible.is_empty() {
+                break;
+            }
+            let mut victims: Vec<usize> = Vec::new();
+            for r in raw {
+                let cand = eligible[r % eligible.len()];
+                let independent = victims.iter().all(|&v| {
+                    v != cand && tree.parent(cand) != Some(v) && tree.parent(v) != Some(cand)
+                });
+                if independent {
+                    victims.push(cand);
+                }
+            }
+            victims.sort_unstable();
+            // Margin of 5: room for the noise node's parent to join the
+            // kill-set as a false positive.
+            if instance.len() - victims.len() < 5 {
+                break; // keep the structure non-degenerate
+            }
+
+            let prior = PriorStructure {
+                parents: &parents,
+                powers: &powers,
+                schedule: &schedule,
+            };
+            let op_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(batch_index as u64);
+            let mut plan = FaultPlan::new(instance.len(), op_seed);
+            for &v in &victims {
+                plan.push(v, FaultEvent::CrashStop { at: crash_at });
+            }
+            // Noise: corrupt one live node's reception. A deaf or
+            // droppy child can falsely declare its own (live) parent —
+            // and nothing else.
+            let noise_node = if noise_kind == 0 {
+                None
+            } else {
+                let live: Vec<usize> =
+                    (0..tree.len()).filter(|u| !victims.contains(u)).collect();
+                let u = live[noise_raw % live.len()];
+                plan.push(
+                    u,
+                    if noise_kind == 1 {
+                        FaultEvent::TransientDeafness { from: 0, until: u64::MAX }
+                    } else {
+                        FaultEvent::ReceptionDrop {
+                            prob: 0.2 + 0.05 * (noise_raw % 10) as f64,
+                            from: 0,
+                        }
+                    },
+                );
+                Some(u)
+            };
+            let cfg = DetectConfig {
+                miss_threshold: 2,
+                max_backoff_exp: 1,
+                max_rounds: 8,
+                ..DetectConfig::default()
+            };
+            let report =
+                detect_failures(&params, &instance, &prior, &plan, &cfg, op_seed).unwrap();
+            for &v in &victims {
+                prop_assert!(
+                    report.suspects.contains(&v),
+                    "crashed node {v} escaped detection: {:?}",
+                    report.suspects
+                );
+            }
+            let allowed_extra = noise_node.and_then(|u| tree.parent(u));
+            for &s in &report.suspects {
+                prop_assert!(
+                    victims.contains(&s) || Some(s) == allowed_extra,
+                    "suspect {s} is neither a victim {victims:?} nor the noisy \
+                     node's parent {allowed_extra:?}"
+                );
+            }
+            if noise_kind != 2 {
+                // Crashes never clear; lifelong deafness never clears.
+                // Only the drop noise can suspect-then-recover.
+                prop_assert_eq!(report.cleared, 0, "a crash never clears");
+            }
+
+            let rep = repair_after_failures(
+                &params, &instance, &prior, &report.suspects,
+                &TvcConfig::default(), &mut sel, op_seed,
+            ).unwrap();
+            check_bidirectional(&params, &rep.instance, &rep.schedule, &rep.power)?;
+            let (up, down) = sinr_connectivity::latency::audit_bitree(
+                &params, &rep.instance, &rep.bitree, &rep.power,
+            ).unwrap();
+            prop_assert!(
+                up.all_delivered && down.all_reached,
+                "repaired bi-tree must deliver in both directions"
+            );
+
+            parents = (0..rep.tree.len()).map(|u| rep.tree.parent(u)).collect();
+            powers = rep.power.as_explicit().unwrap().clone();
+            schedule = rep.schedule.clone();
+            tree = rep.tree;
+            instance = rep.instance;
         }
     }
 }

@@ -12,6 +12,7 @@ use sinr_phy::field::{
 };
 use sinr_phy::{feasibility, SinrParams};
 
+use crate::faults::FaultPlan;
 use crate::pool::with_pool;
 use crate::protocol::{Action, Protocol, Reception, SlotOutcome};
 
@@ -199,6 +200,9 @@ pub struct Engine<'a, P: Protocol> {
     scratch: FieldScratch,
     arena: SlotArena<P::Msg>,
     field_stats: QueryStats,
+    /// Armed fault schedule ([`Engine::arm_faults`]); `None` — the
+    /// default — restores the exact pre-fault code paths.
+    faults: Option<FaultPlan>,
 }
 
 impl<'a, P: Protocol + std::fmt::Debug> std::fmt::Debug for Engine<'a, P> {
@@ -251,7 +255,36 @@ impl<'a, P: Protocol> Engine<'a, P> {
             scratch: FieldScratch::default(),
             arena: SlotArena::default(),
             field_stats: QueryStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: from the next slot on, the
+    /// engine applies its crash/deafness/drop/degrade schedule at slot
+    /// boundaries, entirely on the driving thread — so fault traces
+    /// are byte-identical on every backend and at every thread count.
+    /// An empty plan is byte-identical to no plan at all. Snapshots do
+    /// not capture the plan (it is immutable input, like the instance);
+    /// re-arm after [`restore`](Self::restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's node count disagrees with the instance.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.len(),
+            self.instance.len(),
+            "fault plan covers {} nodes, instance has {}",
+            plan.len(),
+            self.instance.len()
+        );
+        self.faults = Some(plan);
+    }
+
+    /// The armed fault plan, if any.
+    #[inline]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The channel-resolution backend in use.
@@ -326,9 +359,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let mut actions = std::mem::take(&mut self.arena.actions);
         actions.clear();
         actions.reserve(n);
-        for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
-            actions.push(node.begin_slot(id, slot, rng));
-        }
+        self.collect_actions(slot, &mut actions);
         #[cfg(feature = "profile")]
         clock.lap("build");
 
@@ -376,6 +407,60 @@ impl<'a, P: Protocol> Engine<'a, P> {
         report
     }
 
+    /// Phase 1, shared by the serial and pooled loops: every live node
+    /// picks its action. With a fault plan armed, crashed nodes sleep
+    /// with their protocol state and RNG stream frozen (no
+    /// `begin_slot` call, no draw), and active power degrades scale
+    /// the chosen transmit power *before* the channel context is
+    /// built — so every backend resolves the same faulted slot.
+    fn collect_actions(&mut self, slot: u64, actions: &mut Vec<Action<P::Msg>>) {
+        let Some(plan) = &self.faults else {
+            for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
+                actions.push(node.begin_slot(id, slot, rng));
+            }
+            return;
+        };
+        for (id, (node, rng)) in self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
+            if plan.crashed(id, slot) {
+                #[cfg(feature = "trace")]
+                if plan.crash_boundary(id, slot) && crate::trace::is_active() {
+                    crate::trace::emit(crate::trace::TraceEvent::FaultInjected {
+                        slot,
+                        node: id,
+                        kind: "crash-stop",
+                    });
+                }
+                actions.push(Action::Sleep);
+                continue;
+            }
+            #[cfg(feature = "trace")]
+            if crate::trace::is_active() {
+                if plan.deaf_boundary(id, slot) {
+                    crate::trace::emit(crate::trace::TraceEvent::FaultInjected {
+                        slot,
+                        node: id,
+                        kind: "deafness",
+                    });
+                }
+                if plan.degrade_boundary(id, slot) {
+                    crate::trace::emit(crate::trace::TraceEvent::FaultInjected {
+                        slot,
+                        node: id,
+                        kind: "power-degrade",
+                    });
+                }
+            }
+            let mut action = node.begin_slot(id, slot, rng);
+            if let Action::Transmit { power, .. } = &mut action {
+                let factor = plan.power_factor(id, slot);
+                if factor != 1.0 {
+                    *power *= factor;
+                }
+            }
+            actions.push(action);
+        }
+    }
+
     /// Merges one slot's decode-path counters into the cumulative
     /// [`field_stats`](Self::field_stats) and, when a profiling
     /// registry is active, records the phase times and decision counts
@@ -404,6 +489,30 @@ impl<'a, P: Protocol> Engine<'a, P> {
         outcomes: &mut Vec<SlotOutcome<P::Msg>>,
     ) -> SlotReport {
         let slot = self.slot;
+        // Reception faults land here, before outcomes are counted,
+        // digested or reported: a deaf or dropping listener's decode
+        // resolves to `Idle` on the driving thread, identically on
+        // every backend (the workers resolved the physical channel;
+        // whether the *node* hears it is the plan's call).
+        if let Some(plan) = &self.faults {
+            if plan.any_reception_faults() {
+                for (id, outcome) in outcomes.iter_mut().enumerate() {
+                    if matches!(outcome, SlotOutcome::Received(_))
+                        && (plan.deaf(id, slot) || plan.drops_reception(id, slot))
+                    {
+                        #[cfg(feature = "trace")]
+                        if crate::trace::is_active() {
+                            crate::trace::emit(crate::trace::TraceEvent::FaultInjected {
+                                slot,
+                                node: id,
+                                kind: "reception-drop",
+                            });
+                        }
+                        *outcome = SlotOutcome::Idle;
+                    }
+                }
+            }
+        }
         let mut report = SlotReport {
             slot,
             transmissions: ctx.transmitters.len(),
@@ -461,6 +570,13 @@ impl<'a, P: Protocol> Engine<'a, P> {
             });
         }
         for (id, outcome) in outcomes.drain(..).enumerate() {
+            // Crashed nodes observe nothing: protocol state and RNG
+            // stream stay frozen at their pre-crash values.
+            if let Some(plan) = &self.faults {
+                if plan.crashed(id, slot) {
+                    continue;
+                }
+            }
             self.nodes[id].end_slot(id, slot, outcome, &mut self.rngs[id]);
         }
         self.slot += 1;
@@ -561,11 +677,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
                     let mut actions = std::mem::take(&mut self.arena.actions);
                     actions.clear();
                     actions.reserve(n);
-                    for (id, (node, rng)) in
-                        self.nodes.iter_mut().zip(self.rngs.iter_mut()).enumerate()
-                    {
-                        actions.push(node.begin_slot(id, slot, rng));
-                    }
+                    self.collect_actions(slot, &mut actions);
                     #[cfg(feature = "profile")]
                     clock.lap("build");
                     let transmitters = std::mem::take(&mut self.arena.transmitters);
@@ -707,6 +819,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
             scratch: FieldScratch::default(),
             arena: SlotArena::default(),
             field_stats: QueryStats::default(),
+            faults: None,
         })
     }
 }
@@ -1375,6 +1488,210 @@ mod tests {
         // winners even with the canonical recompute skipped.
         assert_eq!(per_backend[0], per_backend[1], "naive vs grid winners");
         assert_eq!(per_backend[1], per_backend[2], "grid vs parallel winners");
+    }
+
+    /// Coin-flip recorder used by the fault gates below: every
+    /// observable (actions drawn from the RNG, reception bits, the
+    /// number of `begin_slot` calls) is recorded so freezes and
+    /// suppressions are visible.
+    #[derive(Debug, Default, Clone, PartialEq)]
+    struct FaultProbe {
+        begins: u64,
+        log: Vec<(u64, NodeId, u64)>,
+        idles: u64,
+    }
+    impl Protocol for FaultProbe {
+        type Msg = ();
+        fn begin_slot(&mut self, _: NodeId, _: u64, rng: &mut StdRng) -> Action<()> {
+            self.begins += 1;
+            if rng.gen_bool(0.3) {
+                Action::Transmit {
+                    power: 900.0,
+                    msg: (),
+                }
+            } else {
+                Action::Listen
+            }
+        }
+        fn end_slot(&mut self, _: NodeId, slot: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+            match o {
+                SlotOutcome::Received(r) => self.log.push((slot, r.from, r.sinr.to_bits())),
+                SlotOutcome::Idle => self.idles += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn fault_probe_run(
+        inst: &Instance,
+        seed: u64,
+        backend: EngineBackend,
+        plan: Option<crate::faults::FaultPlan>,
+    ) -> (Vec<SlotReport>, EngineStats, Vec<FaultProbe>) {
+        let params = SinrParams::default();
+        let mut e = Engine::with_backend(&params, inst, |_| FaultProbe::default(), seed, backend);
+        if let Some(plan) = plan {
+            e.arm_faults(plan);
+        }
+        let reports = e.run_reports(12);
+        (reports, e.stats(), e.nodes().to_vec())
+    }
+
+    /// An armed **empty** plan takes the faulted code path but must
+    /// change nothing: same reports, states and reception bits as no
+    /// plan at all, on every backend.
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        let inst = gen::uniform_square(80, 1.5, 21).unwrap();
+        for backend in [
+            EngineBackend::Naive,
+            EngineBackend::Grid,
+            EngineBackend::Parallel(2),
+        ] {
+            let bare = fault_probe_run(&inst, 5, backend, None);
+            let empty = fault_probe_run(
+                &inst,
+                5,
+                backend,
+                Some(crate::faults::FaultPlan::new(inst.len(), 123)),
+            );
+            assert_eq!(bare, empty, "{backend:?}: empty plan must be inert");
+        }
+    }
+
+    /// The fault-determinism parity gate (the Deaf-vs-Keen pattern of
+    /// the instrument gates): one random fault mix, identical bytes on
+    /// naive / grid / parallel at several thread counts.
+    #[test]
+    fn fault_plan_is_bit_identical_across_backends() {
+        use crate::faults::{FaultMix, FaultPlan};
+        let inst = gen::uniform_square(80, 1.5, 22).unwrap();
+        let plan = FaultPlan::random(
+            inst.len(),
+            0xFA_017,
+            &FaultMix {
+                crash: 0.1,
+                deafness: 0.15,
+                drop: 0.15,
+                degrade: 0.1,
+                horizon: 12,
+            },
+        );
+        assert!(!plan.is_empty(), "the mix must actually schedule faults");
+        let naive = fault_probe_run(&inst, 6, EngineBackend::Naive, Some(plan.clone()));
+        for backend in [
+            EngineBackend::Grid,
+            EngineBackend::Parallel(1),
+            EngineBackend::Parallel(2),
+            EngineBackend::Parallel(4),
+        ] {
+            let other = fault_probe_run(&inst, 6, backend, Some(plan.clone()));
+            assert_eq!(naive, other, "{backend:?}: faulted run diverged");
+        }
+    }
+
+    /// A crash-stop freezes the node: `begin_slot` stops being called
+    /// (RNG stream frozen), outcomes stop being observed, and the
+    /// node no longer transmits.
+    #[test]
+    fn crash_stop_freezes_protocol_state_and_rng() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let params = SinrParams::default();
+        let inst = gen::line(4).unwrap();
+        let mut plan = FaultPlan::new(4, 0);
+        plan.push(1, FaultEvent::CrashStop { at: 3 });
+        let mut e = Engine::new(&params, &inst, |_| FaultProbe::default(), 9);
+        e.arm_faults(plan);
+        e.run(10);
+        assert_eq!(e.nodes()[1].begins, 3, "crashed after 3 begin_slot calls");
+        assert_eq!(e.nodes()[0].begins, 10);
+        assert!(
+            e.nodes()[1].log.iter().all(|&(slot, _, _)| slot < 3),
+            "no receptions observed after the crash"
+        );
+    }
+
+    /// Deafness and reception drops convert would-be receptions into
+    /// `Idle` during exactly their windows.
+    #[test]
+    fn deafness_and_drop_suppress_receptions_in_their_windows() {
+        use crate::faults::{FaultEvent, FaultPlan};
+
+        /// Node 0 shouts every slot; listeners log decode slots.
+        #[derive(Debug, Default)]
+        struct Logger {
+            decoded: Vec<u64>,
+        }
+        impl Protocol for Logger {
+            type Msg = ();
+            fn begin_slot(&mut self, node: NodeId, _: u64, _: &mut StdRng) -> Action<()> {
+                if node == 0 {
+                    Action::Transmit {
+                        power: 1e4,
+                        msg: (),
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _: NodeId, slot: u64, o: SlotOutcome<()>, _: &mut StdRng) {
+                if matches!(o, SlotOutcome::Received(_)) {
+                    self.decoded.push(slot);
+                }
+            }
+        }
+
+        let params = SinrParams::default();
+        let inst = gen::line(3).unwrap();
+        let mut plan = FaultPlan::new(3, 0);
+        plan.push(1, FaultEvent::TransientDeafness { from: 2, until: 4 });
+        plan.push(2, FaultEvent::ReceptionDrop { prob: 1.0, from: 5 });
+        let mut e = Engine::new(&params, &inst, |_| Logger::default(), 3);
+        e.arm_faults(plan);
+        e.run(8);
+        assert_eq!(e.nodes()[1].decoded, vec![0, 1, 4, 5, 6, 7], "deaf 2..4");
+        assert_eq!(e.nodes()[2].decoded, vec![0, 1, 2, 3, 4], "drops from 5");
+    }
+
+    /// A (near-total) power degrade silences a transmitter from its
+    /// onset slot: the listener stops decoding it.
+    #[test]
+    fn power_degrade_scales_the_chosen_transmit_power() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let params = SinrParams::default();
+        let inst = gen::line(2).unwrap();
+        let power = params.min_power_for_length(inst.delta()) * 4.0;
+        let mut plan = FaultPlan::new(2, 0);
+        plan.push(
+            0,
+            FaultEvent::PowerDegrade {
+                factor: 1e-9,
+                from: 3,
+            },
+        );
+        let mut e = Engine::new(
+            &params,
+            &inst,
+            |_| OneTx {
+                tx: 0,
+                power,
+                decoded: 0,
+                last_sinr: 0.0,
+            },
+            1,
+        );
+        e.arm_faults(plan);
+        e.run(8);
+        assert_eq!(e.nodes()[1].decoded, 3, "decodes stop at the degrade onset");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan covers")]
+    fn mismatched_fault_plan_is_rejected() {
+        let params = SinrParams::default();
+        let inst = gen::line(3).unwrap();
+        let mut e = Engine::new(&params, &inst, |_| AlwaysTx(1.0), 0);
+        e.arm_faults(crate::faults::FaultPlan::new(5, 0));
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod faults;
 pub mod pool;
 #[cfg(feature = "profile")]
 pub mod profile;
@@ -63,4 +64,5 @@ pub mod snapshot;
 pub mod trace;
 
 pub use engine::{Engine, EngineBackend, EngineStats, SlotReport, PARALLEL_MIN_NODES};
+pub use faults::{FaultEvent, FaultMix, FaultPlan};
 pub use protocol::{Action, Protocol, Reception, SlotOutcome};

@@ -105,6 +105,42 @@ pub enum TraceEvent {
         /// Batch size (failed nodes, joiners, active roots…).
         size: usize,
     },
+    /// A fault from an armed [`FaultPlan`](crate::FaultPlan) acted on a
+    /// node (sim::faults): a crash/deafness/degrade activation boundary
+    /// or one suppressed reception.
+    FaultInjected {
+        /// Slot index.
+        slot: u64,
+        /// The faulted node.
+        node: usize,
+        /// Fault kind label (`"crash-stop"`, `"deafness"`,
+        /// `"power-degrade"`, `"reception-drop"`).
+        kind: &'static str,
+    },
+    /// A detector child locally declared its parent suspect after
+    /// missing its timeout threshold (core::detect).
+    FailureSuspected {
+        /// Slot (within the detection run) the declaration happened in.
+        slot: u64,
+        /// The declaring child.
+        node: usize,
+        /// The suspected parent.
+        suspect: usize,
+        /// Consecutive expected receptions missed at declaration time.
+        misses: u32,
+    },
+    /// One detect→repair→repack recovery batch of the service loop
+    /// finished (bench::serve).
+    RecoveryComplete {
+        /// Batch index within the service run.
+        index: u64,
+        /// Failure events recovered in this batch.
+        batch: usize,
+        /// Simulated slots the detection phase used.
+        detection_slots: u64,
+        /// Simulated slots the repair/repack phase used.
+        repair_slots: u64,
+    },
 }
 
 /// The three re-pack classes of DESIGN.md §10.
@@ -138,6 +174,9 @@ impl TraceEvent {
             TraceEvent::Probe { .. } => "probe",
             TraceEvent::RepackClass { .. } => "repack-class",
             TraceEvent::Batch { .. } => "batch",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
+            TraceEvent::FailureSuspected { .. } => "failure-suspected",
+            TraceEvent::RecoveryComplete { .. } => "recovery-complete",
         }
     }
 
@@ -146,7 +185,9 @@ impl TraceEvent {
         match self {
             TraceEvent::Transmit { slot, .. }
             | TraceEvent::Receive { slot, .. }
-            | TraceEvent::SlotDigest { slot, .. } => Some(*slot),
+            | TraceEvent::SlotDigest { slot, .. }
+            | TraceEvent::FaultInjected { slot, .. }
+            | TraceEvent::FailureSuspected { slot, .. } => Some(*slot),
             _ => None,
         }
     }
@@ -156,7 +197,9 @@ impl TraceEvent {
         match self {
             TraceEvent::Transmit { node, .. }
             | TraceEvent::Receive { node, .. }
-            | TraceEvent::RepackClass { node, .. } => Some(*node),
+            | TraceEvent::RepackClass { node, .. }
+            | TraceEvent::FaultInjected { node, .. }
+            | TraceEvent::FailureSuspected { node, .. } => Some(*node),
             _ => None,
         }
     }
@@ -211,6 +254,33 @@ impl TraceEvent {
                 ("phase", phase.to_string()),
                 ("index", index.to_string()),
                 ("size", size.to_string()),
+            ],
+            TraceEvent::FaultInjected { slot, node, kind } => vec![
+                ("slot", slot.to_string()),
+                ("node", node.to_string()),
+                ("fault", kind.to_string()),
+            ],
+            TraceEvent::FailureSuspected {
+                slot,
+                node,
+                suspect,
+                misses,
+            } => vec![
+                ("slot", slot.to_string()),
+                ("node", node.to_string()),
+                ("suspect", suspect.to_string()),
+                ("misses", misses.to_string()),
+            ],
+            TraceEvent::RecoveryComplete {
+                index,
+                batch,
+                detection_slots,
+                repair_slots,
+            } => vec![
+                ("index", index.to_string()),
+                ("batch", batch.to_string()),
+                ("detection_slots", detection_slots.to_string()),
+                ("repair_slots", repair_slots.to_string()),
             ],
         }
     }
@@ -555,5 +625,63 @@ mod tests {
         };
         assert_eq!(digest.slot(), Some(11));
         assert_eq!(digest.kind(), "slot-digest");
+    }
+
+    #[test]
+    fn robustness_events_carry_metadata() {
+        let fault = TraceEvent::FaultInjected {
+            slot: 7,
+            node: 3,
+            kind: "crash-stop",
+        };
+        assert_eq!(fault.kind(), "fault-injected");
+        assert_eq!(fault.slot(), Some(7));
+        assert_eq!(fault.node(), Some(3));
+        assert_eq!(
+            fault.fields(),
+            vec![
+                ("slot", "7".to_string()),
+                ("node", "3".to_string()),
+                ("fault", "crash-stop".to_string()),
+            ]
+        );
+
+        let suspect = TraceEvent::FailureSuspected {
+            slot: 12,
+            node: 4,
+            suspect: 2,
+            misses: 3,
+        };
+        assert_eq!(suspect.kind(), "failure-suspected");
+        assert_eq!(suspect.slot(), Some(12));
+        assert_eq!(suspect.node(), Some(4));
+
+        let done = TraceEvent::RecoveryComplete {
+            index: 1,
+            batch: 2,
+            detection_slots: 96,
+            repair_slots: 30,
+        };
+        assert_eq!(done.kind(), "recovery-complete");
+        assert_eq!(done.slot(), None);
+        assert_eq!(done.node(), None);
+
+        // A fault-kind mismatch diverges at field granularity.
+        let a = TraceLog {
+            events: vec![fault.clone()],
+            dropped: 0,
+        };
+        let b = TraceLog {
+            events: vec![TraceEvent::FaultInjected {
+                slot: 7,
+                node: 3,
+                kind: "deafness",
+            }],
+            dropped: 0,
+        };
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.kind, "fault-injected");
+        assert_eq!(d.field, "fault");
+        assert_eq!(d.slot, Some(7));
     }
 }

@@ -476,6 +476,119 @@ fn incremental_repack_is_deterministic_and_audited() {
     }
 }
 
+/// The fault-injection parity gate: the heartbeat detector's full
+/// report — suspects, per-declaration slots, cleared count, relayed
+/// root reports — must be **identical** under every engine backend and
+/// thread count with the same armed `FaultPlan`. The engine applies
+/// faults on the driving thread only, so parity holds by construction;
+/// this gate is what keeps it that way.
+#[test]
+fn fault_detection_is_backend_and_thread_invariant() {
+    use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
+    use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
+    use sinr_connect_suite::connectivity::{detect_failures, DetectConfig, PriorStructure};
+    use sinr_connect_suite::sim::{FaultEvent, FaultPlan};
+
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(40, 1.5, 41).unwrap();
+    let mut sel = MeanSamplingSelector::default();
+    let built = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 41).unwrap();
+    let parents: Vec<Option<usize>> = (0..built.tree.len())
+        .map(|u| built.tree.parent(u))
+        .collect();
+    let powers = built.power.as_explicit().unwrap().clone();
+    let prior = PriorStructure {
+        parents: &parents,
+        powers: &powers,
+        schedule: &built.schedule,
+    };
+    // A victim with children (observable crash) plus a noisy listener:
+    // the reception-drop rolls exercise the hashed per-(node, slot)
+    // fault stream, the part most tempting to implement per-thread.
+    let victim = (0..built.tree.len())
+        .find(|&u| u != built.tree.root() && !built.tree.children(u).is_empty())
+        .expect("tree has an internal non-root node");
+    let mut plan = FaultPlan::new(inst.len(), 0xFA);
+    plan.push(victim, FaultEvent::CrashStop { at: 5 });
+    plan.push(
+        (victim + 1) % inst.len(),
+        FaultEvent::ReceptionDrop { prob: 0.6, from: 0 },
+    );
+
+    let run = |backend: EngineBackend| {
+        let cfg = DetectConfig {
+            backend,
+            ..DetectConfig::default()
+        };
+        detect_failures(&params, &inst, &prior, &plan, &cfg, 23)
+            .unwrap_or_else(|e| panic!("detect ({backend:?}): {e}"))
+    };
+    let reference = run(EngineBackend::Naive);
+    assert_eq!(
+        reference.suspects,
+        vec![victim],
+        "the crashed parent must be the lone suspect"
+    );
+    for backend in [
+        EngineBackend::Grid,
+        EngineBackend::Parallel(1),
+        EngineBackend::Parallel(2),
+        EngineBackend::Parallel(4),
+    ] {
+        assert_eq!(
+            run(backend),
+            reference,
+            "{backend:?}: detection report diverged from naive"
+        );
+    }
+}
+
+/// The self-healing service loop composes every seeded subsystem —
+/// Poisson trace, detector, repair, join, incremental re-pack — so its
+/// deterministic fingerprint (everything but wall-clock) is the
+/// broadest single parity surface in the workspace: byte-identical
+/// across repeated runs and every detector backend, and actually
+/// seed-sensitive.
+#[test]
+fn fault_serve_loop_is_byte_identical_across_backends() {
+    use sinr_bench::serve::{serve, ServeConfig};
+    use sinr_connect_suite::connectivity::DetectConfig;
+
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(96, 1.5, 43).unwrap();
+    let run = |backend: EngineBackend, seed: u64| {
+        let cfg = ServeConfig {
+            events: 6,
+            detect: DetectConfig {
+                backend,
+                ..ServeConfig::default().detect
+            },
+            ..ServeConfig::default()
+        };
+        serve(&params, &inst, &cfg, seed)
+            .unwrap_or_else(|e| panic!("serve ({backend:?}): {e}"))
+            .fingerprint()
+    };
+    let reference = run(EngineBackend::Grid, 77);
+    assert_eq!(
+        reference,
+        run(EngineBackend::Grid, 77),
+        "two serve runs with the same seed diverged"
+    );
+    for backend in [EngineBackend::Naive, EngineBackend::Parallel(2)] {
+        assert_eq!(
+            reference,
+            run(backend, 77),
+            "{backend:?}: serve fingerprint diverged from grid"
+        );
+    }
+    assert_ne!(
+        reference,
+        run(EngineBackend::Grid, 78),
+        "different seeds must change the served trace"
+    );
+}
+
 /// Different seeds must actually change the outcome (the discipline is
 /// "seeded", not "constant").
 #[test]

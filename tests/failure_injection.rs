@@ -11,9 +11,11 @@ use sinr_connect_suite::connectivity::repair::{repair_after_failures, PriorStruc
 use sinr_connect_suite::connectivity::selector::MeanSamplingSelector;
 use sinr_connect_suite::connectivity::tvc::{tree_via_capacity, TvcConfig};
 use sinr_connect_suite::connectivity::CoreError;
+use sinr_connect_suite::connectivity::{detect_failures, DetectConfig};
 use sinr_connect_suite::geom::{gen, GeomError, Instance, Point};
 use sinr_connect_suite::links::{Link, LinkSet};
 use sinr_connect_suite::phy::{feasibility, PowerAssignment, SinrParams};
+use sinr_connect_suite::sim::{FaultEvent, FaultPlan};
 
 #[test]
 fn geometry_rejects_degenerate_inputs() {
@@ -191,6 +193,101 @@ fn repair_handles_cascading_failures_until_one_node() {
         schedule = rep.schedule.clone();
         instance = rep.instance;
     }
+}
+
+#[test]
+fn detection_rejects_hostile_configs() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(10, 2.0, 9).unwrap();
+    let mut sel = MeanSamplingSelector::default();
+    let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 2).unwrap();
+    let parents: Vec<Option<usize>> = (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
+    let powers = out.power.as_explicit().unwrap().clone();
+    let prior = PriorStructure {
+        parents: &parents,
+        powers: &powers,
+        schedule: &out.schedule,
+    };
+    let plan = FaultPlan::new(inst.len(), 1);
+    // A zero miss threshold would declare every parent instantly.
+    assert!(matches!(
+        detect_failures(
+            &params,
+            &inst,
+            &prior,
+            &plan,
+            &DetectConfig {
+                miss_threshold: 0,
+                ..Default::default()
+            },
+            3,
+        ),
+        Err(CoreError::InvalidConfig {
+            name: "miss_threshold",
+            ..
+        })
+    ));
+    // A parent array of the wrong length cannot describe this instance.
+    let short: Vec<Option<usize>> = parents[..parents.len() - 1].to_vec();
+    let bad = PriorStructure {
+        parents: &short,
+        powers: &powers,
+        schedule: &out.schedule,
+    };
+    assert!(matches!(
+        detect_failures(&params, &inst, &bad, &plan, &DetectConfig::default(), 3),
+        Err(CoreError::InvalidConfig {
+            name: "prior.parents",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn detected_suspects_drive_a_clean_repair() {
+    // End-to-end through the umbrella API: a crash is *detected* (not
+    // announced), and the detector's suspect set is handed verbatim to
+    // repair, which must produce a validated post-failure structure.
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(24, 1.8, 11).unwrap();
+    let mut sel = MeanSamplingSelector::default();
+    let out = tree_via_capacity(&params, &inst, &TvcConfig::default(), &mut sel, 2).unwrap();
+    let parents: Vec<Option<usize>> = (0..out.tree.len()).map(|u| out.tree.parent(u)).collect();
+    let powers = out.power.as_explicit().unwrap().clone();
+    let prior = PriorStructure {
+        parents: &parents,
+        powers: &powers,
+        schedule: &out.schedule,
+    };
+
+    // Victim: any non-root node that has a child to observe it.
+    let victim = (0..inst.len())
+        .find(|&v| parents[v].is_some() && parents.contains(&Some(v)))
+        .expect("a 24-node tree has an internal non-root node");
+    let mut plan = FaultPlan::new(inst.len(), 0xFA11);
+    plan.push(victim, FaultEvent::CrashStop { at: 4 });
+
+    let cfg = DetectConfig {
+        miss_threshold: 2,
+        max_backoff_exp: 1,
+        max_rounds: 8,
+        ..Default::default()
+    };
+    let report = detect_failures(&params, &inst, &prior, &plan, &cfg, 17).unwrap();
+    assert_eq!(report.suspects, vec![victim], "exactly the crash, no more");
+
+    let rep = repair_after_failures(
+        &params,
+        &inst,
+        &prior,
+        &report.suspects,
+        &TvcConfig::default(),
+        &mut sel,
+        inst.len() as u64,
+    )
+    .unwrap();
+    assert_eq!(rep.instance.len(), inst.len() - 1);
+    feasibility::validate_schedule(&params, &rep.instance, &rep.schedule, &rep.power).unwrap();
 }
 
 #[test]

@@ -92,8 +92,8 @@ fn committed_snapshots_match_current_schema() {
         })
         .collect();
     assert!(
-        snapshots.len() >= 5,
-        "expected the committed BENCH_E11/E12/E13/ENSEMBLE/PROFILE snapshots, \
+        snapshots.len() >= 6,
+        "expected the committed BENCH_E11/E12/E13/E15/ENSEMBLE/PROFILE snapshots, \
          found {snapshots:?}"
     );
 

@@ -8,7 +8,11 @@
 //! 3. the engine backends produce identical event streams (the
 //!    determinism contract, restated at event granularity);
 //! 4. a mid-run snapshot resumes — under a *different* backend — to a
-//!    bit-identical tail fingerprint.
+//!    bit-identical tail fingerprint;
+//! 5. the robustness pipeline (DESIGN.md §13) narrates itself: one
+//!    traced serve batch records `FaultInjected`, `FailureSuspected`
+//!    and `RecoveryComplete` events whose counts tie out against the
+//!    serve report, and the stream is backend-invariant.
 #![cfg(feature = "trace")]
 
 use rand::rngs::StdRng;
@@ -196,4 +200,88 @@ fn snapshot_resumes_to_a_bit_identical_tail_under_another_backend() {
     );
     assert_eq!(outcome.run.parents, replay.outcome.run.parents);
     assert_eq!(outcome.run.slots_used, replay.outcome.run.slots_used);
+}
+
+/// One traced serve trace, returning the log and the serve report.
+fn traced_serve(backend: EngineBackend) -> (TraceLog, sinr_bench::serve::ServeReport) {
+    use sinr_bench::serve::{serve, ServeConfig};
+    use sinr_connect_suite::connectivity::DetectConfig;
+
+    let instance = gen::uniform_square(96, 1.5, 43).unwrap();
+    let cfg = ServeConfig {
+        events: 4,
+        detect: DetectConfig {
+            backend,
+            ..ServeConfig::default().detect
+        },
+        ..ServeConfig::default()
+    };
+    trace::start(trace::DEFAULT_CAPACITY);
+    let report = serve(&params(), &instance, &cfg, 77).unwrap();
+    (trace::stop(), report)
+}
+
+#[test]
+fn fault_events_narrate_the_serve_loop_and_tie_out() {
+    let (log, report) = traced_serve(EngineBackend::Grid);
+
+    let count = |pred: fn(&TraceEvent) -> bool| log.events.iter().filter(|e| pred(e)).count();
+    let injected = count(|e| matches!(e, TraceEvent::FaultInjected { .. }));
+    let suspected = count(|e| matches!(e, TraceEvent::FailureSuspected { .. }));
+    let recovered = count(|e| matches!(e, TraceEvent::RecoveryComplete { .. }));
+
+    // Every crash activates in the engine at least once per detect run.
+    assert!(
+        injected >= report.faults,
+        "{} crash faults served but only {injected} FaultInjected events",
+        report.faults
+    );
+    // Every victim has ≥1 surviving declaring child (eligibility), and
+    // the serve loop asserts exact coverage — so declarations ≥ faults.
+    assert!(
+        suspected >= report.faults,
+        "{} crash faults served but only {suspected} FailureSuspected events",
+        report.faults
+    );
+    // Exactly one RecoveryComplete per fault batch (join-only batches
+    // recover nothing).
+    assert!(
+        recovered >= 1 && recovered <= report.batches,
+        "{recovered} RecoveryComplete events for {} batches",
+        report.batches
+    );
+    // The narrated batches carry the same detection-phase slot counts
+    // the latency columns are computed from: all positive, and the
+    // batch sizes sum to the served fault count.
+    let narrated_faults: usize = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RecoveryComplete {
+                batch,
+                detection_slots,
+                repair_slots,
+                ..
+            } => {
+                assert!(*detection_slots > 0, "detection phase cannot be free");
+                assert!(*repair_slots > 0, "repair phase cannot be free");
+                Some(*batch)
+            }
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        narrated_faults, report.faults,
+        "RecoveryComplete batch sizes must sum to the served fault count"
+    );
+}
+
+#[test]
+fn fault_event_streams_are_backend_invariant() {
+    let (grid, _) = traced_serve(EngineBackend::Grid);
+    let (naive, _) = traced_serve(EngineBackend::Naive);
+    assert!(
+        trace::first_divergence(&grid, &naive).is_none(),
+        "grid and naive serve runs must emit identical event streams"
+    );
 }
