@@ -6,7 +6,7 @@
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
 //!     [--engine naive|grid|parallel[:N]] [--seeds K] [--threads T] \
-//!     [--churn-kill K] [--repack full|incremental] \
+//!     [--churn-kill K] [--repack full|incremental|distributed] \
 //!     [--export target/connect]
 //! ```
 //!
@@ -19,8 +19,10 @@
 //! With `--churn-kill K` (single-instance runs) the demo additionally
 //! fails K random nodes after the build and repairs the structure,
 //! printing the re-pack cost accounting — `--repack` selects the
-//! incremental re-packer (default) or the centralized full reference
-//! (DESIGN.md §10).
+//! incremental re-packer (default), the message-passing distributed
+//! one (lazy cascade; the demo then also prints its probe/ack round
+//! count and escalations), or the centralized full reference
+//! (DESIGN.md §10, §14).
 //!
 //! With `--serve` the CLI instead runs the self-healing service loop
 //! (DESIGN.md §13): a sustained Poisson fault/join trace
@@ -243,7 +245,7 @@ fn parse_args() -> Result<Args, String> {
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
                             [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
-                            [--repack full|incremental] \
+                            [--repack full|incremental|distributed] \
                             [--serve [--fault-rate <R>] [--join-rate <R>] \
                             [--serve-events <E>]] [--export <dir>] \
                             [--profile] (needs a build with --features profile) \
@@ -661,6 +663,12 @@ fn run_churn_demo(
         rep.repack.fresh_slots,
         rep.repack.pack_seconds * 1e3,
     );
+    if rep.repack.mode == RepackMode::Distributed {
+        println!(
+            "protocol: {} probe/ack slot(s), {} cascade escalation(s)",
+            rep.repack.protocol_slots, rep.repack.cascade_escalations,
+        );
+    }
     match feasibility::validate_schedule(params, &rep.instance, &rep.schedule, &rep.power) {
         Ok(()) => println!(
             "repaired: every slot SINR-feasible ({} slots)",

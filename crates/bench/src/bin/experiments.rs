@@ -20,7 +20,10 @@
 //! an output byte. `--capability` appends the n = 65536 single-slot
 //! capability rung to the `--quick` ladders of the scale-out
 //! experiments (the CI smoke configuration; full runs always sweep
-//! the capability sizes). `--json <path>` additionally writes every executed
+//! the capability sizes). `--repack full|incremental|distributed`
+//! picks the re-packer whose locality columns the dynamic experiments
+//! report (E13 runs and parity-checks every mode regardless; the flag
+//! selects the reported one). `--json <path>` additionally writes every executed
 //! experiment's tables as one machine-readable JSON document — the
 //! format behind the committed `BENCH_*.json` trajectory snapshots.
 
@@ -28,7 +31,7 @@ use std::path::PathBuf;
 
 use sinr_bench::experiments::ALL;
 use sinr_bench::table::{experiment_entry_json, experiments_doc_json};
-use sinr_bench::{EngineBackend, ExpOptions};
+use sinr_bench::{EngineBackend, ExpOptions, RepackMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +41,7 @@ fn main() {
     let mut backend = EngineBackend::default();
     let mut seeds: u64 = 0;
     let mut threads: usize = 0;
+    let mut repack = RepackMode::Incremental;
     let mut json_path: Option<PathBuf> = None;
     let mut wanted: Vec<&String> = Vec::new();
 
@@ -100,6 +104,13 @@ fn main() {
                 }
                 i += 2;
             }
+            "--repack" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --repack".into()));
+                repack = v.parse().unwrap_or_else(|e| bail(format!("--repack: {e}")));
+                i += 2;
+            }
             "--json" => {
                 let v = args
                     .get(i + 1)
@@ -121,6 +132,7 @@ fn main() {
         seeds,
         threads,
         capability,
+        repack,
     };
     let out_dir = PathBuf::from("target/experiments");
 

@@ -1,25 +1,34 @@
-//! E13 — dynamic workload: incremental vs full re-packing under churn
-//! (DESIGN.md §10).
+//! E13 — dynamic workload: full vs incremental vs distributed
+//! re-packing under churn (DESIGN.md §10, §14).
 //!
 //! The paper's §9 open problem asks for repair cost that scales with
 //! the damage, not with `n`. This experiment drives the real dynamic
 //! pipelines — `repair_after_failures` and `join_nodes` — over kill and
-//! join batches of `k` nodes on uniform instances up to n = 8192, once
-//! with the centralized full re-pack ([`RepackMode::Full`], the old
-//! boundary) and once with the incremental re-packer
-//! ([`RepackMode::Incremental`]), and reports
+//! join batches of `k` nodes on uniform instances up to n = 8192, in
+//! all three re-packer modes: the centralized full re-pack
+//! ([`RepackMode::Full`], the old boundary), the incremental re-packer
+//! ([`RepackMode::Incremental`], pessimistic ancestor closure), and the
+//! message-passing distributed re-packer ([`RepackMode::Distributed`],
+//! lazy cascade). It reports
 //!
-//! - the fraction of tree links the packer re-placed,
+//! - the fraction of tree links the reported mode re-placed
+//!   ([`ExpOptions::repack`] picks incremental or distributed;
+//!   `--repack` on the runner),
 //! - the fraction of previous slot groupings that changed,
-//! - the packing-phase wall-clock of both modes;
+//! - the packing-phase wall-clock of the reported and the full mode,
+//! - the distributed mode's re-placed fraction (`dist frac`) and its
+//!   protocol cost in probe/ack slots (`dist rounds`) — the
+//!   rounds-vs-slots trade-off of the lazy cascade;
 //!
-//! the **parity** column is asserted per trial: both modes reattach the
-//! identical tree (same seed ⇒ same distributed reattachment), both
-//! schedules validate slot-by-slot in both directions, and both
-//! bi-trees pass the end-to-end convergecast/broadcast delivery audit
-//! (Definition 1 replay). For single-node churn the incremental path
-//! must re-pack a strictly sublinear fraction — asserted at ≤ 25%,
-//! measured around 0–2%.
+//! the **parity** column is asserted per trial: all modes reattach the
+//! identical tree (same seed ⇒ same distributed reattachment), every
+//! schedule validates slot-by-slot in both directions, every bi-tree
+//! passes the end-to-end convergecast/broadcast delivery audit
+//! (Definition 1 replay), and the distributed closure is a subset of
+//! the incremental mode's pessimistic one — strictly smaller on the
+//! sparse-churn (`k = 1`) rows. For single-node churn the reported
+//! local path must re-pack a strictly sublinear fraction — asserted at
+//! ≤ 25%, measured around 0–2%.
 //!
 //! The base structure is the centralized MST bi-tree (explicit mean
 //! powers) rather than a simulated pipeline, so the experiment's
@@ -133,9 +142,11 @@ pub fn sample_join_points(inst: &Instance, k: usize, seed: u64) -> Vec<Point> {
     accepted
 }
 
-/// One trial's measurements: incremental stats + full pack seconds.
+/// One trial's measurements: the two local modes' stats + full pack
+/// seconds.
 struct Trial {
     incremental: RepackStats,
+    distributed: RepackStats,
     full_pack_seconds: f64,
     links: usize,
 }
@@ -191,14 +202,24 @@ fn run_trial(
         );
     };
 
-    match op {
-        Op::Kill => {
-            let mut ids: Vec<NodeId> = (0..inst.len()).collect();
-            ids.shuffle(&mut StdRng::seed_from_u64(algo_seed ^ 0x4b11));
-            let failed: Vec<NodeId> = ids.into_iter().take(k).collect();
-            let run = |mode: RepackMode| {
-                let mut sel = MeanSamplingSelector::default();
-                repair_after_failures(
+    // Common projection of `RepairOutcome` / `JoinOutcome`: the churned
+    // structure plus the re-packer's accounting.
+    struct ModeOutcome {
+        instance: Instance,
+        tree: InTree,
+        bitree: sinr_links::BiTree,
+        schedule: Schedule,
+        power: PowerAssignment,
+        repack: RepackStats,
+    }
+    let run = |mode: RepackMode| {
+        let mut sel = MeanSamplingSelector::default();
+        match op {
+            Op::Kill => {
+                let mut ids: Vec<NodeId> = (0..inst.len()).collect();
+                ids.shuffle(&mut StdRng::seed_from_u64(algo_seed ^ 0x4b11));
+                let failed: Vec<NodeId> = ids.into_iter().take(k).collect();
+                let r = repair_after_failures(
                     params,
                     &inst,
                     &prior,
@@ -207,39 +228,19 @@ fn run_trial(
                     &mut sel,
                     algo_seed,
                 )
-                .unwrap_or_else(|e| panic!("E13 repair {mode} n={n}: {e}"))
-            };
-            let full = run(RepackMode::Full);
-            let incr = run(RepackMode::Incremental);
-            assert_eq!(
-                full.tree, incr.tree,
-                "E13 parity MISMATCH: reattachment diverged between modes at n={n}"
-            );
-            audit(
-                &full.instance,
-                &full.schedule,
-                &full.bitree,
-                &full.power,
-                RepackMode::Full,
-            );
-            audit(
-                &incr.instance,
-                &incr.schedule,
-                &incr.bitree,
-                &incr.power,
-                RepackMode::Incremental,
-            );
-            Trial {
-                incremental: incr.repack,
-                full_pack_seconds: full.repack.pack_seconds,
-                links: incr.tree.len().saturating_sub(1),
+                .unwrap_or_else(|e| panic!("E13 repair {mode} n={n}: {e}"));
+                ModeOutcome {
+                    instance: r.instance,
+                    tree: r.tree,
+                    bitree: r.bitree,
+                    schedule: r.schedule,
+                    power: r.power,
+                    repack: r.repack,
+                }
             }
-        }
-        Op::Join => {
-            let points = sample_join_points(&inst, k, algo_seed);
-            let run = |mode: RepackMode| {
-                let mut sel = MeanSamplingSelector::default();
-                join_nodes(
+            Op::Join => {
+                let points = sample_join_points(&inst, k, algo_seed);
+                let j = join_nodes(
                     params,
                     &inst,
                     &prior,
@@ -248,34 +249,52 @@ fn run_trial(
                     &mut sel,
                     algo_seed,
                 )
-                .unwrap_or_else(|e| panic!("E13 join {mode} n={n}: {e}"))
-            };
-            let full = run(RepackMode::Full);
-            let incr = run(RepackMode::Incremental);
-            assert_eq!(
-                full.tree, incr.tree,
-                "E13 parity MISMATCH: attachment diverged between modes at n={n}"
-            );
-            audit(
-                &full.instance,
-                &full.schedule,
-                &full.bitree,
-                &full.power,
-                RepackMode::Full,
-            );
-            audit(
-                &incr.instance,
-                &incr.schedule,
-                &incr.bitree,
-                &incr.power,
-                RepackMode::Incremental,
-            );
-            Trial {
-                incremental: incr.repack,
-                full_pack_seconds: full.repack.pack_seconds,
-                links: incr.tree.len().saturating_sub(1),
+                .unwrap_or_else(|e| panic!("E13 join {mode} n={n}: {e}"));
+                ModeOutcome {
+                    instance: j.instance,
+                    tree: j.tree,
+                    bitree: j.bitree,
+                    schedule: j.schedule,
+                    power: j.power,
+                    repack: j.repack,
+                }
             }
         }
+    };
+    let full = run(RepackMode::Full);
+    let incr = run(RepackMode::Incremental);
+    let dist = run(RepackMode::Distributed);
+    for out in [&incr, &dist] {
+        assert_eq!(
+            full.tree, out.tree,
+            "E13 parity MISMATCH: {} reattachment diverged from full at n={n}",
+            out.repack.mode
+        );
+    }
+    for out in [&full, &incr, &dist] {
+        audit(
+            &out.instance,
+            &out.schedule,
+            &out.bitree,
+            &out.power,
+            out.repack.mode,
+        );
+    }
+    // The lazy cascade's contract (DESIGN.md §14): its closure is a
+    // subset of the incremental mode's pessimistic ancestor closure.
+    assert!(
+        dist.repack.repacked_links <= incr.repack.repacked_links,
+        "E13 parity MISMATCH: distributed closure {} exceeds the pessimistic {} \
+         at n={n} op={} k={k}",
+        dist.repack.repacked_links,
+        incr.repack.repacked_links,
+        op.label()
+    );
+    Trial {
+        incremental: incr.repack,
+        distributed: dist.repack,
+        full_pack_seconds: full.repack.pack_seconds,
+        links: incr.tree.len().saturating_sub(1),
     }
 }
 
@@ -303,13 +322,26 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         },
     );
 
+    // The locality columns report the mode the runner asked for
+    // (`--repack`); the distributed columns always report the lazy
+    // cascade so the committed snapshot records both local modes.
+    fn pick(t: &Trial, mode: RepackMode) -> &RepackStats {
+        match mode {
+            RepackMode::Distributed => &t.distributed,
+            _ => &t.incremental,
+        }
+    }
+
     let mut table = Table::new(
-        "E13: dynamic churn, incremental vs full re-packing (uniform, MST base)",
+        "E13: dynamic churn, full vs incremental vs distributed re-packing \
+         (uniform, MST base)",
         "repair cost scales with the damage: single-node churn re-packs ~0–2% of \
          links (vs 100% full) and leaves almost every slot grouping untouched; \
-         parity asserts identical reattachment + bidirectional feasibility + \
-         delivery audits in both modes (mean ±95% CI; ms columns are per-trial \
-         wall-clock — snapshot taken at --threads 1)",
+         the distributed re-packer's lazy cascade re-places a subset of the \
+         pessimistic closure (`dist frac`) at `dist rounds` probe/ack protocol \
+         slots per trial; parity asserts identical reattachment + bidirectional \
+         feasibility + delivery audits in every mode (mean ±95% CI; ms columns \
+         are per-trial wall-clock — snapshot taken at --threads 1)",
         &[
             "n",
             "op",
@@ -319,9 +351,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             "repacked frac",
             "dirty-slot frac",
             "untouched slots",
-            "incr pack ms",
+            "pack ms",
             "full pack ms",
             "speedup",
+            "dist frac",
+            "dist rounds",
             "parity",
         ],
     );
@@ -329,31 +363,43 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         let frac = Stats::of(
             &trials
                 .iter()
-                .map(|t| t.incremental.repacked_fraction())
+                .map(|t| pick(t, opts.repack).repacked_fraction())
                 .collect::<Vec<_>>(),
         );
         let dirty = Stats::of(
             &trials
                 .iter()
-                .map(|t| t.incremental.dirty_slot_fraction())
+                .map(|t| pick(t, opts.repack).dirty_slot_fraction())
                 .collect::<Vec<_>>(),
         );
         let untouched = Stats::of(
             &trials
                 .iter()
-                .map(|t| t.incremental.untouched_slots as f64)
+                .map(|t| pick(t, opts.repack).untouched_slots as f64)
                 .collect::<Vec<_>>(),
         );
-        let incr_ms = Stats::of(
+        let pack_ms = Stats::of(
             &trials
                 .iter()
-                .map(|t| t.incremental.pack_seconds * 1e3)
+                .map(|t| pick(t, opts.repack).pack_seconds * 1e3)
                 .collect::<Vec<_>>(),
         );
         let full_ms = Stats::of(
             &trials
                 .iter()
                 .map(|t| t.full_pack_seconds * 1e3)
+                .collect::<Vec<_>>(),
+        );
+        let dist_frac = Stats::of(
+            &trials
+                .iter()
+                .map(|t| t.distributed.repacked_fraction())
+                .collect::<Vec<_>>(),
+        );
+        let dist_rounds = Stats::of(
+            &trials
+                .iter()
+                .map(|t| t.distributed.protocol_slots as f64)
                 .collect::<Vec<_>>(),
         );
         let links = Stats::of(&trials.iter().map(|t| t.links as f64).collect::<Vec<_>>());
@@ -367,6 +413,37 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 100.0 * frac.mean,
                 op.label()
             );
+            // And the lazy cascade must actually *beat* the pessimistic
+            // closure on sparse churn whenever that closure reaches past
+            // the fresh links themselves.
+            let incr_rep = Stats::of(
+                &trials
+                    .iter()
+                    .map(|t| t.incremental.repacked_links as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let dist_rep = Stats::of(
+                &trials
+                    .iter()
+                    .map(|t| t.distributed.repacked_links as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let fresh = Stats::of(
+                &trials
+                    .iter()
+                    .map(|t| t.distributed.fresh_links as f64)
+                    .collect::<Vec<_>>(),
+            );
+            if incr_rep.mean > fresh.mean {
+                assert!(
+                    dist_rep.mean < incr_rep.mean,
+                    "E13: distributed closure ({:.2}) not strictly below the \
+                     pessimistic one ({:.2}) at n={n} op={}",
+                    dist_rep.mean,
+                    incr_rep.mean,
+                    op.label()
+                );
+            }
         }
         table.push_row(vec![
             n.to_string(),
@@ -377,9 +454,11 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             frac.cell(),
             dirty.cell(),
             untouched.cell(),
-            incr_ms.cell(),
+            pack_ms.cell(),
             full_ms.cell(),
-            format!("{:.1}x", full_ms.mean / incr_ms.mean.max(1e-9)),
+            format!("{:.1}x", full_ms.mean / pack_ms.mean.max(1e-9)),
+            dist_frac.cell(),
+            dist_rounds.cell(),
             "ok".into(),
         ]);
     }
@@ -402,11 +481,40 @@ mod tests {
         // 2 sizes × 2 ops × 2 batch sizes.
         assert_eq!(tables[0].rows.len(), 8);
         for row in &tables[0].rows {
-            assert_eq!(row[11], "ok", "parity cell: {row:?}");
+            assert_eq!(row[13], "ok", "parity cell: {row:?}");
             // Incremental always beats 100%: the repacked fraction's
             // mean is the cell's leading number.
             let frac: f64 = row[5].split_whitespace().next().unwrap().parse().unwrap();
             assert!(frac < 1.0, "no locality win in {row:?}");
+            // The lazy cascade never exceeds the pessimistic closure.
+            let dist: f64 = row[11].split_whitespace().next().unwrap().parse().unwrap();
+            assert!(
+                dist <= frac + 1e-9,
+                "distributed closure exceeds in {row:?}"
+            );
+            // Claims are charged: fresh links exist in every trial, so
+            // rounds are strictly positive.
+            let rounds: f64 = row[12].split_whitespace().next().unwrap().parse().unwrap();
+            assert!(rounds > 0.0, "no protocol rounds charged in {row:?}");
+        }
+    }
+
+    #[test]
+    fn quick_run_reports_distributed_mode_when_asked() {
+        let opts = ExpOptions {
+            quick: true,
+            seed: 13,
+            repack: RepackMode::Distributed,
+            ..Default::default()
+        };
+        let tables = run(&opts);
+        for row in &tables[0].rows {
+            assert_eq!(row[13], "ok", "parity cell: {row:?}");
+            // With --repack distributed the locality columns *are* the
+            // distributed columns.
+            let frac = row[5].split_whitespace().next().unwrap();
+            let dist = row[11].split_whitespace().next().unwrap();
+            assert_eq!(frac, dist, "reported mode is not distributed in {row:?}");
         }
     }
 

@@ -52,7 +52,7 @@ pub mod table;
 pub mod workloads;
 
 use sinr_connectivity::init::InitConfig;
-pub use sinr_connectivity::EngineBackend;
+pub use sinr_connectivity::{EngineBackend, RepackMode};
 
 /// Shared experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +79,12 @@ pub struct ExpOptions {
     /// full ladder; full (non-quick) runs always include the capability
     /// sizes and ignore the flag.
     pub capability: bool,
+    /// Re-packer mode feeding the dynamic experiments' locality
+    /// columns and the service loop (`--repack
+    /// full|incremental|distributed`). E13 always runs all modes for
+    /// its parity asserts; this picks which one the `repacked frac` /
+    /// `pack ms` columns report.
+    pub repack: RepackMode,
 }
 
 impl Default for ExpOptions {
@@ -90,6 +96,7 @@ impl Default for ExpOptions {
             seeds: 0,
             threads: 0,
             capability: false,
+            repack: RepackMode::Incremental,
         }
     }
 }

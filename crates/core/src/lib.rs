@@ -37,6 +37,7 @@ mod api;
 pub mod cleanup;
 pub mod contention;
 pub mod detect;
+pub mod dist_repack;
 mod error;
 pub mod init;
 pub mod join;

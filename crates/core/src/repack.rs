@@ -9,6 +9,14 @@
 //! machinery only over the **dirty region**, so repair cost scales with
 //! the damage, not with `n`.
 //!
+//! Two locality modes share this entry point. [`RepackMode::Incremental`]
+//! assigns the dirty-region slots centrally with the pessimistic upward
+//! closure described below. [`RepackMode::Distributed`] dispatches to
+//! [`crate::dist_repack`], where each dirty link's endpoints claim a
+//! slot through node-local probe/ack rounds and ancestors are escalated
+//! only on observed interference — the dirty-region assignment itself
+//! is no longer centralized (DESIGN.md §14).
+//!
 //! ## The dirty region
 //!
 //! A tree link is *fresh* if the previous schedule has no slot for it
@@ -68,6 +76,12 @@ pub enum RepackMode {
     /// Keep surviving slot groupings; re-pack only the dirty region.
     #[default]
     Incremental,
+    /// Keep surviving slot groupings; fresh links claim slots through
+    /// the node-local probe/ack protocol of [`crate::dist_repack`],
+    /// escalating ancestors only on observed interference (the lazy
+    /// cascade). The closure it re-places is a subset of
+    /// `Incremental`'s pessimistic ancestor closure.
+    Distributed,
 }
 
 impl RepackMode {
@@ -76,6 +90,7 @@ impl RepackMode {
         match self {
             RepackMode::Full => "full",
             RepackMode::Incremental => "incremental",
+            RepackMode::Distributed => "distributed",
         }
     }
 }
@@ -93,8 +108,9 @@ impl std::str::FromStr for RepackMode {
         match s {
             "full" => Ok(RepackMode::Full),
             "incremental" => Ok(RepackMode::Incremental),
+            "distributed" => Ok(RepackMode::Distributed),
             other => Err(format!(
-                "unknown repack mode `{other}` (expected full|incremental)"
+                "unknown repack mode `{other}` (expected full|incremental|distributed)"
             )),
         }
     }
@@ -128,6 +144,17 @@ pub struct RepackStats {
     /// Distinct length classes among the re-placed links — the buckets
     /// the paper's packing machinery works in.
     pub dirty_length_classes: usize,
+    /// Synchronous slots the distributed protocol's probe/ack rounds
+    /// consumed ([`RepackMode::Distributed`] only; the centralized
+    /// modes charge 0). Two slots per probed candidate (probe + ack)
+    /// plus one per cascade eviction — charged to repair cost alongside
+    /// the schedule slots themselves.
+    pub protocol_slots: u64,
+    /// Ancestor links the lazy cascade actually escalated
+    /// ([`RepackMode::Distributed`] only). The centralized incremental
+    /// mode pessimistically re-places *every* ancestor of a fresh link;
+    /// this counts how many a probe actually observed interference for.
+    pub cascade_escalations: usize,
     /// Wall-clock of the packing phase, in seconds (measurement only;
     /// never part of a determinism fingerprint).
     pub pack_seconds: f64,
@@ -183,6 +210,9 @@ pub fn repack_tree(
     delta: &ScheduleDelta,
     mode: RepackMode,
 ) -> RepackOutcome {
+    if mode == RepackMode::Distributed {
+        return crate::dist_repack::repack_distributed(params, instance, tree, power, delta);
+    }
     let start = Instant::now();
     let n = tree.len();
     let total_links = n.saturating_sub(1);
@@ -210,6 +240,8 @@ pub fn repack_tree(
             untouched_slots: 0,
             fresh_slots: schedule.num_slots(),
             dirty_length_classes: classes.len(),
+            protocol_slots: 0,
+            cascade_escalations: 0,
             pack_seconds: start.elapsed().as_secs_f64(),
         };
         return RepackOutcome {
@@ -345,6 +377,8 @@ pub fn repack_tree(
         untouched_slots,
         fresh_slots,
         dirty_length_classes: classes.len(),
+        protocol_slots: 0,
+        cascade_escalations: 0,
         pack_seconds: start.elapsed().as_secs_f64(),
     };
     RepackOutcome {
@@ -637,8 +671,13 @@ mod tests {
             "incremental".parse::<RepackMode>().unwrap(),
             RepackMode::Incremental
         );
+        assert_eq!(
+            "distributed".parse::<RepackMode>().unwrap(),
+            RepackMode::Distributed
+        );
         assert!("fast".parse::<RepackMode>().is_err());
         assert_eq!(RepackMode::default(), RepackMode::Incremental);
         assert_eq!(RepackMode::Full.to_string(), "full");
+        assert_eq!(RepackMode::Distributed.to_string(), "distributed");
     }
 }

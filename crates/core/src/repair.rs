@@ -13,18 +13,21 @@
 //! 3. the merged tree is re-packed by [`crate::repack`]: surviving slot
 //!    groupings stay in place (kept links keep their slots and powers;
 //!    subsets of feasible slots are feasible in both directions), and
-//!    only the dirty region — the reattachment links plus their
-//!    ancestor closure — re-runs the bidirectional packing probes
-//!    ([`RepackMode::Incremental`]; `Full` keeps the centralized
-//!    whole-tree re-pack as the reference, selected via
-//!    [`TvcConfig::repack`]).
+//!    only the dirty region re-runs the bidirectional packing probes.
+//!    [`TvcConfig::repack`] picks the mode: `Incremental` assigns the
+//!    dirty-region slots centrally over the pessimistic ancestor
+//!    closure; `Distributed` runs the node-local probe/ack protocol of
+//!    [`crate::dist_repack`], escalating ancestors only on observed
+//!    interference; `Full` keeps the centralized whole-tree re-pack as
+//!    the reference.
 //!
 //! Step 2 is the paper-faithful distributed part. Step 3 used to be the
 //! one fully centralized boundary (re-pack *everything*); the
-//! incremental re-packer narrows it to the damage neighborhood, so a
-//! single failed leaf no longer re-derives slot assignments for all
-//! `n − 1` links. What remains open is deriving even the dirty-region
-//! assignments distributively — see DESIGN.md §10.
+//! incremental re-packer narrowed it to the damage neighborhood, and
+//! the distributed re-packer removes it: with
+//! [`RepackMode::Distributed`] even the dirty-region slot assignments
+//! are derived by local message rounds — the paper's §9 repair problem
+//! in its remaining form, closed. See DESIGN.md §10/§14.
 //!
 //! The repaired structure lives on a compacted sub-instance of the
 //! survivors; [`RepairOutcome`] carries the id mappings and the

@@ -79,7 +79,11 @@ pub trait SubsetSelector: std::fmt::Debug {
 /// the all-transmitters sum; threshold-grazing probes fall back to the
 /// exact naive-order sum, so decisions are bit-identical to summing
 /// directly.
-fn resolve_probe_slot(
+///
+/// `pub(crate)`: the distributed re-packer ([`crate::dist_repack`])
+/// runs its claim rounds through this same resolver, so its probes are
+/// the selectors' probes — one machinery, one trace event stream.
+pub(crate) fn resolve_probe_slot(
     params: &SinrParams,
     instance: &Instance,
     transmitters: &[(NodeId, f64)],

@@ -589,6 +589,57 @@ fn fault_serve_loop_is_byte_identical_across_backends() {
     );
 }
 
+/// The distributed re-packer (DESIGN.md §14) behind the same service
+/// loop: its probe/ack claim rounds and lazy cascade are simulated
+/// protocol, not wall-clock, so the served fingerprint must stay
+/// byte-identical across repeated runs and every detector backend and
+/// thread count — and still actually respond to the seed.
+#[test]
+fn distributed_repack_serve_loop_is_byte_identical_across_backends() {
+    use sinr_bench::serve::{serve, ServeConfig};
+    use sinr_connect_suite::connectivity::{DetectConfig, RepackMode};
+
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(96, 1.5, 43).unwrap();
+    let run = |backend: EngineBackend, seed: u64| {
+        let cfg = ServeConfig {
+            events: 6,
+            repack: RepackMode::Distributed,
+            detect: DetectConfig {
+                backend,
+                ..ServeConfig::default().detect
+            },
+            ..ServeConfig::default()
+        };
+        serve(&params, &inst, &cfg, seed)
+            .unwrap_or_else(|e| panic!("serve ({backend:?}): {e}"))
+            .fingerprint()
+    };
+    let reference = run(EngineBackend::Grid, 77);
+    assert_eq!(
+        reference,
+        run(EngineBackend::Grid, 77),
+        "two distributed-repack serve runs with the same seed diverged"
+    );
+    for backend in [
+        EngineBackend::Naive,
+        EngineBackend::Parallel(1),
+        EngineBackend::Parallel(2),
+        EngineBackend::Parallel(4),
+    ] {
+        assert_eq!(
+            reference,
+            run(backend, 77),
+            "{backend:?}: distributed-repack serve fingerprint diverged from grid"
+        );
+    }
+    assert_ne!(
+        reference,
+        run(EngineBackend::Grid, 78),
+        "different seeds must change the distributed-repack trace"
+    );
+}
+
 /// Different seeds must actually change the outcome (the discipline is
 /// "seeded", not "constant").
 #[test]

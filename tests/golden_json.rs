@@ -146,6 +146,51 @@ fn committed_snapshots_match_current_schema() {
     }
 }
 
+/// E13's column contract, pinned by name: the committed snapshot must
+/// carry the distributed re-packer columns (`dist frac`, `dist
+/// rounds`) next to the incremental ones, with the per-trial-asserted
+/// `parity` column last — so regenerating E13 with a pre-distributed
+/// binary (or dropping the columns in a refactor) fails CI instead of
+/// silently shipping a snapshot without the lazy-cascade measurements.
+#[test]
+fn e13_snapshot_has_distributed_columns() {
+    use sinr_bench::json::{parse, Value};
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("BENCH_E13.json")).unwrap();
+    let doc = parse(&text).unwrap();
+    let tables = doc.get("experiments").and_then(Value::as_array).unwrap()[0]
+        .get("tables")
+        .and_then(Value::as_array)
+        .unwrap();
+    let columns: Vec<&str> = tables[0]
+        .get("columns")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|c| c.as_str().unwrap())
+        .collect();
+    for required in [
+        "repacked frac",
+        "pack ms",
+        "full pack ms",
+        "dist frac",
+        "dist rounds",
+        "parity",
+    ] {
+        assert!(
+            columns.contains(&required),
+            "BENCH_E13.json: column {required:?} missing from {columns:?} — \
+             regenerate with `experiments e13 --threads 1 --json BENCH_E13.json`"
+        );
+    }
+    assert_eq!(
+        columns.last(),
+        Some(&"parity"),
+        "BENCH_E13.json: the asserted parity column must stay last"
+    );
+}
+
 /// The table-level emitter alone, pinned against the same golden file:
 /// each table's JSON must appear verbatim inside the document (the
 /// document wraps tables without re-encoding them).
