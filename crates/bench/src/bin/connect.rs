@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p sinr-bench --bin connect -- \
 //!     --family uniform --n 128 --strategy tvc-arbitrary --seed 7 \
-//!     [--engine naive|grid|parallel[:N]] [--seeds K] [--threads T] \
+//!     [--engine naive|grid|parallel[:N]] [--fade <sigma_db>] \
+//!     [--seeds K] [--threads T] \
 //!     [--churn-kill K] [--repack full|incremental|distributed] \
 //!     [--export target/connect]
 //! ```
@@ -64,7 +65,9 @@ use sinr_bench::workloads::Family;
 use sinr_connectivity::repair::{repair_after_failures, PriorStructure};
 use sinr_connectivity::selector::MeanSamplingSelector;
 use sinr_connectivity::tvc::TvcConfig;
-use sinr_connectivity::{connect_with, EngineBackend, RepackMode, Strategy};
+use sinr_connectivity::{
+    connect_opts, ChannelModel, EngineBackend, EngineOptions, RepackMode, Strategy,
+};
 use sinr_phy::{feasibility, SinrParams};
 
 struct Args {
@@ -73,6 +76,7 @@ struct Args {
     strategy: Strategy,
     seed: u64,
     engine: EngineBackend,
+    channel: ChannelModel,
     seeds: u64,
     threads: usize,
     churn_kill: usize,
@@ -90,12 +94,24 @@ struct Args {
     diff_engine: Option<EngineBackend>,
 }
 
+impl Args {
+    /// The engine-facing knobs (backend + channel model) every pipeline
+    /// construction site shares.
+    fn engine_opts(&self) -> EngineOptions {
+        EngineOptions {
+            backend: self.engine,
+            channel: self.channel,
+        }
+    }
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut family = Family::UniformSquare;
     let mut n = 64usize;
     let mut strategy = Strategy::TvcArbitrary;
     let mut seed = 0u64;
     let mut engine = EngineBackend::default();
+    let mut fade: Option<f64> = None;
     let mut seeds = 1u64;
     let mut threads = 0usize;
     let mut churn_kill = 0usize;
@@ -122,13 +138,13 @@ fn parse_args() -> Result<Args, String> {
         };
         match key {
             "--family" => {
-                family = match val(i)?.as_str() {
-                    "uniform" => Family::UniformSquare,
-                    "clustered" => Family::Clustered,
-                    "lattice" => Family::Lattice,
-                    "exp-chain" => Family::ExponentialChain,
-                    other => return Err(format!("unknown family `{other}`")),
-                };
+                let v = val(i)?;
+                family = Family::from_label(v).ok_or_else(|| {
+                    format!(
+                        "unknown family `{v}` (try uniform|clustered|lattice|\
+                         exp-chain|two-tier|percolation)"
+                    )
+                })?;
                 i += 2;
             }
             "--n" => {
@@ -151,6 +167,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--engine" => {
                 engine = val(i)?.parse()?;
+                i += 2;
+            }
+            "--fade" => {
+                let s: f64 = val(i)?.parse().map_err(|e| format!("--fade: {e}"))?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(format!(
+                        "--fade must be a positive shadowing σ in dB, got {s}"
+                    ));
+                }
+                fade = Some(s);
                 i += 2;
             }
             "--seeds" => {
@@ -241,9 +267,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: connect --family uniform|clustered|lattice|exp-chain \
+                    "usage: connect --family uniform|clustered|lattice|exp-chain|\
+                            two-tier|percolation \
                             --n <count> --strategy init-only|mean-reschedule|tvc-mean|\
                             tvc-arbitrary --seed <u64> [--engine naive|grid|parallel[:N]] \
+                            [--fade <sigma_db>] \
                             [--seeds <K>] [--threads <T>] [--churn-kill <K>] \
                             [--repack full|incremental|distributed] \
                             [--serve [--fault-rate <R>] [--join-rate <R>] \
@@ -260,6 +288,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if snapshot.is_some() != snapshot_at.is_some() {
         return Err("--snapshot and --snapshot-at go together: both or neither".into());
+    }
+    if fade.is_some() && (snapshot.is_some() || replay_from.is_some()) {
+        return Err(
+            "--fade is not recorded in snapshot files; the snapshot/replay modes \
+             run the geometric channel"
+                .into(),
+        );
     }
     if n == 0 {
         return Err("--n must be at least 1".into());
@@ -289,12 +324,20 @@ fn parse_args() -> Result<Args, String> {
             return Err("--serve needs a positive --fault-rate or --join-rate".into());
         }
     }
+    let channel = match fade {
+        // The fade streams derive from the run seed, so two seeds see
+        // independent shadowing realizations (the determinism gate's
+        // seed-sensitivity check relies on this).
+        Some(sigma) => ChannelModel::shadowed(seed, sigma).map_err(|e| format!("--fade: {e}"))?,
+        None => ChannelModel::Geometric,
+    };
     Ok(Args {
         family,
         n,
         strategy,
         seed,
         engine,
+        channel,
         seeds,
         threads,
         churn_kill,
@@ -430,6 +473,9 @@ fn main() {
         instance.num_length_classes(),
         args.engine.label()
     );
+    if !args.channel.is_geometric() {
+        println!("channel:  {}", args.channel.label());
+    }
 
     #[cfg(feature = "trace")]
     if args.trace.is_some() {
@@ -440,7 +486,13 @@ fn main() {
         sinr_sim::profile::start();
     }
 
-    let result = match connect_with(&params, &instance, args.strategy, args.seed, args.engine) {
+    let result = match connect_opts(
+        &params,
+        &instance,
+        args.strategy,
+        args.seed,
+        args.engine_opts(),
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("connectivity failed: {e}");
@@ -477,11 +529,12 @@ fn main() {
     println!("schedule: {} slots", result.schedule_len);
     println!("runtime:  {} slots", result.runtime_slots);
 
-    match feasibility::validate_schedule(
+    match feasibility::validate_schedule_with_model(
         &params,
         &instance,
         &result.aggregation_schedule,
         &result.power,
+        args.channel,
     ) {
         Ok(()) => println!("validated: every slot SINR-feasible"),
         Err(e) => {
@@ -530,7 +583,7 @@ fn run_serve(args: &Args, params: &SinrParams) {
         join_rate: args.join_rate,
         events: args.serve_events,
         detect: sinr_connectivity::DetectConfig {
-            backend: args.engine,
+            engine: args.engine_opts(),
             ..ServeConfig::default().detect
         },
         repack: args.repack,
@@ -626,6 +679,10 @@ fn run_churn_demo(
     };
     let cfg = TvcConfig {
         repack: args.repack,
+        init: sinr_connectivity::init::InitConfig {
+            engine: args.engine_opts(),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut sel = MeanSamplingSelector::default();
@@ -669,7 +726,13 @@ fn run_churn_demo(
             rep.repack.protocol_slots, rep.repack.cascade_escalations,
         );
     }
-    match feasibility::validate_schedule(params, &rep.instance, &rep.schedule, &rep.power) {
+    match feasibility::validate_schedule_with_model(
+        params,
+        &rep.instance,
+        &rep.schedule,
+        &rep.power,
+        args.channel,
+    ) {
         Ok(()) => println!(
             "repaired: every slot SINR-feasible ({} slots)",
             rep.schedule.num_slots()
@@ -698,13 +761,20 @@ fn run_ensemble(args: &Args, params: &SinrParams) {
     let driver = Ensemble::new(args.threads);
     let results = driver.run_trials(args.seed, 0, args.seeds, |inst_seed, algo_seed| {
         let instance = args.family.instance(args.n, inst_seed);
-        let result = connect_with(params, &instance, args.strategy, algo_seed, args.engine)
-            .unwrap_or_else(|e| panic!("instance seed {inst_seed:#x}: connectivity failed: {e}"));
-        feasibility::validate_schedule(
+        let result = connect_opts(
+            params,
+            &instance,
+            args.strategy,
+            algo_seed,
+            args.engine_opts(),
+        )
+        .unwrap_or_else(|e| panic!("instance seed {inst_seed:#x}: connectivity failed: {e}"));
+        feasibility::validate_schedule_with_model(
             params,
             &instance,
             &result.aggregation_schedule,
             &result.power,
+            args.channel,
         )
         .unwrap_or_else(|e| panic!("instance seed {inst_seed:#x}: validation failed: {e}"));
         (
@@ -757,7 +827,7 @@ fn run_snapshot(args: &Args, params: &SinrParams, path: &std::path::Path, at: u6
     }
     let instance = args.family.instance(args.n, args.seed);
     let cfg = InitConfig {
-        backend: args.engine,
+        engine: args.engine_opts(),
         ..Default::default()
     };
     let replay = match run_init_with_snapshot(params, &instance, &cfg, args.seed, at) {
@@ -837,7 +907,7 @@ fn run_replay(args: &Args, path: &std::path::Path) {
     };
     let instance = family.instance(file.n, file.seed);
     let cfg = InitConfig {
-        backend: args.engine,
+        engine: args.engine_opts(),
         ..Default::default()
     };
     println!(
@@ -882,7 +952,11 @@ fn run_diff(args: &Args, params: &SinrParams, other: EngineBackend) {
     let instance = args.family.instance(args.n, args.seed);
     let traced_run = |backend: EngineBackend| -> trace::TraceLog {
         trace::start(trace::DEFAULT_CAPACITY);
-        let result = connect_with(params, &instance, args.strategy, args.seed, backend);
+        let opts = EngineOptions {
+            backend,
+            channel: args.channel,
+        };
+        let result = connect_opts(params, &instance, args.strategy, args.seed, opts);
         let log = trace::stop();
         if let Err(e) = result {
             eprintln!("connectivity failed under {}: {e}", backend.label());

@@ -23,7 +23,10 @@
 //! the capability sizes). `--repack full|incremental|distributed`
 //! picks the re-packer whose locality columns the dynamic experiments
 //! report (E13 runs and parity-checks every mode regardless; the flag
-//! selects the reported one). `--json <path>` additionally writes every executed
+//! selects the reported one). `--fade <sigma_db>` switches every
+//! simulated pipeline to the shadowed channel model (fade streams
+//! seeded from `--seed`); the default geometric channel reproduces the
+//! committed snapshots bit for bit. `--json <path>` additionally writes every executed
 //! experiment's tables as one machine-readable JSON document — the
 //! format behind the committed `BENCH_*.json` trajectory snapshots.
 
@@ -31,7 +34,7 @@ use std::path::PathBuf;
 
 use sinr_bench::experiments::ALL;
 use sinr_bench::table::{experiment_entry_json, experiments_doc_json};
-use sinr_bench::{EngineBackend, ExpOptions, RepackMode};
+use sinr_bench::{ChannelModel, EngineBackend, ExpOptions, RepackMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +42,7 @@ fn main() {
     let mut capability = false;
     let mut seed: u64 = 0xC0FFEE;
     let mut backend = EngineBackend::default();
+    let mut fade: Option<f64> = None;
     let mut seeds: u64 = 0;
     let mut threads: usize = 0;
     let mut repack = RepackMode::Incremental;
@@ -74,6 +78,19 @@ fn main() {
                     .get(i + 1)
                     .unwrap_or_else(|| bail("missing value for --engine".into()));
                 backend = v.parse().unwrap_or_else(|e| bail(e));
+                i += 2;
+            }
+            "--fade" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| bail("missing value for --fade".into()));
+                let s: f64 = v.parse().unwrap_or_else(|e| bail(format!("--fade: {e}")));
+                if !(s.is_finite() && s > 0.0) {
+                    bail(format!(
+                        "--fade must be a positive shadowing σ in dB, got {s}"
+                    ));
+                }
+                fade = Some(s);
                 i += 2;
             }
             "--seeds" => {
@@ -125,6 +142,12 @@ fn main() {
             }
         }
     }
+    let channel = match fade {
+        Some(sigma) => {
+            ChannelModel::shadowed(seed, sigma).unwrap_or_else(|e| bail(format!("--fade: {e}")))
+        }
+        None => ChannelModel::Geometric,
+    };
     let opts = ExpOptions {
         quick,
         seed,
@@ -133,6 +156,7 @@ fn main() {
         threads,
         capability,
         repack,
+        channel,
     };
     let out_dir = PathBuf::from("target/experiments");
 

@@ -9,6 +9,7 @@ pub mod e12_connect_scaling;
 pub mod e13_churn;
 pub mod e14_kernel_profile;
 pub mod e15_serve;
+pub mod e16_families;
 pub mod e1_init;
 pub mod e2_degree;
 pub mod e3_sparsity;
@@ -42,7 +43,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The registry of all experiments, in order.
-pub const ALL: [Experiment; 15] = [
+pub const ALL: [Experiment; 16] = [
     Experiment {
         id: "e1",
         what: "Thm 2: Init slot complexity",
@@ -118,6 +119,11 @@ pub const ALL: [Experiment; 15] = [
         what: "self-healing service loop: sustained churn through detect→repair",
         run: e15_serve::run,
     },
+    Experiment {
+        id: "e16",
+        what: "instance families: heterogeneous, percolation and shadowed deployments",
+        run: e16_families::run,
+    },
 ];
 
 #[cfg(test)]
@@ -134,5 +140,6 @@ mod tests {
         assert_eq!(ids[0], "e1");
         assert_eq!(ids[12], "e13");
         assert_eq!(ids[14], "e15");
+        assert_eq!(ids[15], "e16");
     }
 }

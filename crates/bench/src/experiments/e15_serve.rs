@@ -61,7 +61,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             let cfg = ServeConfig {
                 events,
                 detect: sinr_connectivity::DetectConfig {
-                    backend: opts.backend,
+                    engine: opts.engine_options(),
                     ..ServeConfig::default().detect
                 },
                 ..ServeConfig::default()

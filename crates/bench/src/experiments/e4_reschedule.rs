@@ -36,7 +36,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
             inst,
             &links,
             &ContentionConfig {
-                backend: opts.backend,
+                engine: opts.engine_options(),
                 ..Default::default()
             },
             seed.wrapping_add(17),

@@ -23,6 +23,7 @@
 //! | [`experiments::e13_churn`] | DESIGN.md §10: incremental vs full re-packing under churn |
 //! | [`experiments::e14_kernel_profile`] | DESIGN.md §12: per-phase kernel cost of a grid slot |
 //! | [`experiments::e15_serve`] | DESIGN.md §13: self-healing service loop under sustained churn |
+//! | [`experiments::e16_families`] | DESIGN.md §15: heterogeneous / percolation / shadowed families |
 //!
 //! Run everything with `cargo run -p sinr-bench --bin experiments`
 //! (add `--quick` for CI-sized sweeps); criterion micro-benchmarks live
@@ -52,7 +53,7 @@ pub mod table;
 pub mod workloads;
 
 use sinr_connectivity::init::InitConfig;
-pub use sinr_connectivity::{EngineBackend, RepackMode};
+pub use sinr_connectivity::{ChannelModel, EngineBackend, EngineOptions, RepackMode, Shadowing};
 
 /// Shared experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -85,6 +86,10 @@ pub struct ExpOptions {
     /// its parity asserts; this picks which one the `repacked frac` /
     /// `pack ms` columns report.
     pub repack: RepackMode,
+    /// Channel model for every simulated pipeline (`--fade <sigma_db>`
+    /// on the runners selects a shadowed channel; the default Geometric
+    /// model reproduces the historical outputs bit for bit).
+    pub channel: ChannelModel,
 }
 
 impl Default for ExpOptions {
@@ -97,6 +102,7 @@ impl Default for ExpOptions {
             threads: 0,
             capability: false,
             repack: RepackMode::Incremental,
+            channel: ChannelModel::Geometric,
         }
     }
 }
@@ -135,10 +141,19 @@ impl ExpOptions {
         }
     }
 
-    /// An [`InitConfig`] honoring the selected engine backend.
+    /// The selected engine-facing knobs (backend + channel model).
+    pub fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            backend: self.backend,
+            channel: self.channel,
+        }
+    }
+
+    /// An [`InitConfig`] honoring the selected engine backend and
+    /// channel model.
     pub fn init_config(&self) -> InitConfig {
         InitConfig {
-            backend: self.backend,
+            engine: self.engine_options(),
             ..Default::default()
         }
     }

@@ -809,7 +809,9 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint(), "repeated run diverged");
         let naive = ServeConfig {
             detect: DetectConfig {
-                backend: sinr_connectivity::EngineBackend::Naive,
+                engine: sinr_connectivity::EngineOptions::with_backend(
+                    sinr_connectivity::EngineBackend::Naive,
+                ),
                 ..cfg.detect
             },
             ..cfg

@@ -13,15 +13,25 @@ pub enum Family {
     Lattice,
     /// Near-line with exponentially growing gaps (large `Δ`).
     ExponentialChain,
+    /// Backbone hubs with tight member clusters — two length scales,
+    /// so the init power ladder splits into heterogeneous per-node
+    /// power classes (short member links vs. long hub–hub links).
+    TwoTier,
+    /// Bernoulli-occupied jittered lattice at occupancy 0.65, just
+    /// above the 2D site-percolation threshold (≈ 0.5927); the density
+    /// ladder of [`percolation_ladder`] sweeps through it.
+    Percolation,
 }
 
 impl Family {
     /// All families.
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 6] = [
         Family::UniformSquare,
         Family::Clustered,
         Family::Lattice,
         Family::ExponentialChain,
+        Family::TwoTier,
+        Family::Percolation,
     ];
 
     /// Short label for tables.
@@ -31,6 +41,8 @@ impl Family {
             Family::Clustered => "clustered",
             Family::Lattice => "lattice",
             Family::ExponentialChain => "exp-chain",
+            Family::TwoTier => "two-tier",
+            Family::Percolation => "percolation",
         }
     }
 
@@ -63,8 +75,34 @@ impl Family {
                 let growth = 1.0 + 16.0 / (n.max(8) as f64);
                 gen::exponential_chain(n, growth, seed).expect("valid parameters")
             }
+            Family::TwoTier => {
+                let hubs = n.div_ceil(8);
+                gen::two_tier(hubs, 7, 1.0, 8.0, seed).expect("valid parameters")
+            }
+            Family::Percolation => {
+                // Side chosen so the expected survivor count is ≈ n at
+                // occupancy 0.65 (the actual count is random).
+                let side = ((n as f64) / 0.65).sqrt().ceil() as usize;
+                gen::percolation(side, side, 0.65, 0.25, seed).expect("valid parameters")
+            }
         }
     }
+}
+
+/// The site-percolation density ladder: instances of expected size `n`
+/// at occupancies stepping through the 2D site-percolation threshold
+/// (≈ 0.5927). Returns `(occupancy, instance)` pairs.
+pub fn percolation_ladder(n: usize, seed: u64) -> Vec<(f64, Instance)> {
+    [0.45, 0.55, 0.5927, 0.65, 0.8]
+        .into_iter()
+        .map(|occ| {
+            let side = ((n as f64) / occ).sqrt().ceil() as usize;
+            (
+                occ,
+                gen::percolation(side, side, occ, 0.25, seed).expect("valid parameters"),
+            )
+        })
+        .collect()
 }
 
 /// Exponential-chain instances with a fixed node count and a swept
@@ -90,9 +128,26 @@ mod tests {
     fn all_families_build() {
         for fam in Family::ALL {
             let inst = fam.instance(40, 1);
-            assert!(inst.len() >= 40, "{fam:?} built only {} nodes", inst.len());
+            // Percolation keeps a Bernoulli subset of the lattice, so
+            // its count is only close to `n` in expectation.
+            let floor = if fam == Family::Percolation { 20 } else { 40 };
+            assert!(
+                inst.len() >= floor,
+                "{fam:?} built only {} nodes",
+                inst.len()
+            );
             assert!(inst.is_normalized());
             assert!(!fam.label().is_empty());
+            assert_eq!(Family::from_label(fam.label()), Some(fam));
+        }
+    }
+
+    #[test]
+    fn percolation_ladder_density_increases() {
+        let ladder = percolation_ladder(60, 2);
+        assert_eq!(ladder.len(), 5);
+        for w in ladder.windows(2) {
+            assert!(w[1].0 > w[0].0);
         }
     }
 

@@ -3,7 +3,7 @@
 use sinr_geom::Instance;
 use sinr_links::{BiTree, LinkSet, Schedule};
 use sinr_phy::{PowerAssignment, SinrParams};
-use sinr_sim::EngineBackend;
+use sinr_sim::{EngineBackend, EngineOptions};
 
 use crate::contention::ContentionConfig;
 use crate::init::{run_init, InitConfig};
@@ -128,8 +128,28 @@ pub fn connect_with(
     seed: u64,
     backend: EngineBackend,
 ) -> Result<ConnectivityResult> {
+    connect_opts(
+        params,
+        instance,
+        strategy,
+        seed,
+        EngineOptions::with_backend(backend),
+    )
+}
+
+/// [`connect`] with explicit [`EngineOptions`] — backend plus channel
+/// model. The Geometric channel reproduces [`connect_with`] bit for
+/// bit; a Shadowed channel runs the same pipeline under deterministic
+/// per-link log-normal fades.
+pub fn connect_opts(
+    params: &SinrParams,
+    instance: &Instance,
+    strategy: Strategy,
+    seed: u64,
+    engine: EngineOptions,
+) -> Result<ConnectivityResult> {
     let init_cfg = InitConfig {
-        backend,
+        engine,
         ..Default::default()
     };
     match strategy {
@@ -156,7 +176,7 @@ pub fn connect_with(
                 instance,
                 &links,
                 &ContentionConfig {
-                    backend,
+                    engine,
                     ..Default::default()
                 },
                 seed.wrapping_add(0x51ed),

@@ -13,7 +13,11 @@
 //! - [`exponential_chain`] — instances whose `Δ` grows exponentially in
 //!   `n`, used to sweep `log Δ` independently of `n`;
 //! - [`line`] — evenly spaced collinear points (degenerate geometry);
-//! - [`annulus`] — ring deployments (hollow center).
+//! - [`annulus`] — ring deployments (hollow center);
+//! - [`two_tier`] — a sparse backbone lattice of hubs, each with a
+//!   tight cluster of members (the heterogeneous power-class family);
+//! - [`percolation`] — a Bernoulli-occupied jittered lattice, swept
+//!   through the site-percolation threshold by the density ladder.
 
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
@@ -253,6 +257,112 @@ pub fn annulus(n: usize, inner: f64, outer: f64, seed: u64) -> Result<Instance> 
     })
 }
 
+/// A two-tier deployment: `hubs` backbone nodes on a coarse jittered
+/// lattice with spacing `hub_spacing`, each surrounded by `members`
+/// member nodes at Gaussian-ish offsets of scale `member_radius`. Node
+/// order is hub-major (hub `i` at index `i·(members+1)`), so callers
+/// can derive per-node power classes from the index alone.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] on zero counts, a
+/// non-positive `member_radius`, or `hub_spacing < 4·member_radius`
+/// (clusters would overlap their neighbors).
+pub fn two_tier(
+    hubs: usize,
+    members: usize,
+    member_radius: f64,
+    hub_spacing: f64,
+    seed: u64,
+) -> Result<Instance> {
+    if hubs == 0 {
+        return Err(param_err("hubs", "must be at least 1"));
+    }
+    if !(member_radius.is_finite() && member_radius > 0.0) {
+        return Err(param_err("member_radius", "must be positive and finite"));
+    }
+    if !(hub_spacing.is_finite() && hub_spacing >= 4.0 * member_radius) {
+        return Err(param_err(
+            "hub_spacing",
+            "must be finite and at least 4·member_radius",
+        ));
+    }
+    let cols = (hubs as f64).sqrt().ceil() as usize;
+    build_with_retry(seed, |rng| {
+        let mut pts = Vec::with_capacity(hubs * (members + 1));
+        for h in 0..hubs {
+            let (r, c) = (h / cols, h % cols);
+            let jx = rng.gen_range(-0.1..0.1) * hub_spacing;
+            let jy = rng.gen_range(-0.1..0.1) * hub_spacing;
+            let center = Point::new(c as f64 * hub_spacing + jx, r as f64 * hub_spacing + jy);
+            pts.push(center);
+            for _ in 0..members {
+                let off =
+                    |rng: &mut StdRng| member_radius * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
+                pts.push(Point::new(center.x + off(rng), center.y + off(rng)));
+            }
+        }
+        pts
+    })
+}
+
+/// A site-percolation deployment: a `rows × cols` unit lattice where
+/// each site survives independently with probability `occupancy`, then
+/// per-coordinate jitter as in [`grid_lattice`]. The 2D site-percolation
+/// threshold is ≈ 0.5927, so sweeping `occupancy` through it moves the
+/// instance from dust through the critical regime to a dense grid. The
+/// site nearest the lattice center is always kept (an instance cannot
+/// be empty), so every draw is non-empty deterministically.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if the lattice is empty,
+/// `occupancy ∉ (0, 1]` or `jitter ∉ [0, 0.45)`.
+pub fn percolation(
+    rows: usize,
+    cols: usize,
+    occupancy: f64,
+    jitter: f64,
+    seed: u64,
+) -> Result<Instance> {
+    if rows == 0 || cols == 0 {
+        return Err(param_err("rows/cols", "lattice must be non-empty"));
+    }
+    if !(occupancy.is_finite() && occupancy > 0.0 && occupancy <= 1.0) {
+        return Err(param_err("occupancy", "must lie in (0, 1]"));
+    }
+    if !(jitter.is_finite() && (0.0..0.45).contains(&jitter)) {
+        return Err(param_err("jitter", "must lie in [0, 0.45)"));
+    }
+    let anchor = (rows / 2, cols / 2);
+    build_with_retry(seed, |rng| {
+        let mut pts = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                // Draw before the keep decision so the jitter stream is
+                // identical across occupancies (same seed ⇒ kept sites
+                // sit at the same perturbed coordinates in every rung
+                // of the density ladder).
+                let keep = rng.gen::<f64>() < occupancy;
+                let jx = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
+                let jy = if jitter > 0.0 {
+                    rng.gen_range(-jitter..jitter)
+                } else {
+                    0.0
+                };
+                if keep || (r, c) == anchor {
+                    pts.push(Point::new(c as f64 + jx, r as f64 + jy));
+                }
+            }
+        }
+        pts
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +443,32 @@ mod tests {
         assert_eq!(inst.len(), 64);
         assert!(annulus(10, 5.0, 5.0, 0).is_err());
         assert!(annulus(10, -1.0, 5.0, 0).is_err());
+    }
+
+    #[test]
+    fn two_tier_counts_and_order() {
+        let inst = two_tier(4, 5, 1.0, 8.0, 7).unwrap();
+        assert_eq!(inst.len(), 24);
+        assert!(inst.is_normalized());
+        // Deterministic in the seed.
+        assert_eq!(inst, two_tier(4, 5, 1.0, 8.0, 7).unwrap());
+        assert_ne!(inst, two_tier(4, 5, 1.0, 8.0, 8).unwrap());
+        assert!(two_tier(0, 5, 1.0, 8.0, 0).is_err());
+        assert!(two_tier(4, 5, 1.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn percolation_density_ladder() {
+        let sparse = percolation(12, 12, 0.3, 0.2, 3).unwrap();
+        let dense = percolation(12, 12, 0.9, 0.2, 3).unwrap();
+        assert!(sparse.len() < dense.len());
+        assert!(dense.len() <= 144);
+        assert!(sparse.is_normalized() && dense.is_normalized());
+        assert_eq!(sparse, percolation(12, 12, 0.3, 0.2, 3).unwrap());
+        // Even occupancy → 0⁺ keeps the anchor site.
+        assert!(!percolation(3, 3, 1e-12, 0.0, 0).unwrap().is_empty());
+        assert!(percolation(0, 3, 0.5, 0.0, 0).is_err());
+        assert!(percolation(3, 3, 1.5, 0.0, 0).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use sinr_geom::{Instance, NodeId};
 use sinr_links::{Link, LinkSet, Schedule};
 
 use crate::affectance::AffectanceCalc;
-use crate::{PhyError, PowerAssignment, SinrParams};
+use crate::{ChannelModel, PhyError, PowerAssignment, SinrParams};
 
 /// Why a link failed within its slot.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -90,7 +90,19 @@ pub fn check(
     links: &LinkSet,
     power: &PowerAssignment,
 ) -> FeasibilityReport {
-    let calc = AffectanceCalc::new(params, instance);
+    check_with_model(params, instance, links, power, ChannelModel::Geometric)
+}
+
+/// [`check`] under an explicit [`ChannelModel`]; the Geometric model is
+/// bit-identical to [`check`].
+pub fn check_with_model(
+    params: &SinrParams,
+    instance: &Instance,
+    links: &LinkSet,
+    power: &PowerAssignment,
+    model: ChannelModel,
+) -> FeasibilityReport {
+    let calc = AffectanceCalc::with_model(params, instance, model);
     let mut report = FeasibilityReport {
         checked: links.len(),
         ..Default::default()
@@ -141,7 +153,7 @@ pub fn check(
             });
             continue;
         }
-        if p_l <= params.noise_floor_power(l.length(instance)) {
+        if p_l <= model.noise_floor_power(params, l.length(instance), l.sender, l.receiver) {
             report.violations.push(Violation {
                 link: l,
                 sinr: 0.0,
@@ -173,6 +185,17 @@ pub fn is_feasible(
     check(params, instance, links, power).is_feasible()
 }
 
+/// Shorthand for `check_with_model(..).is_feasible()`.
+pub fn is_feasible_with_model(
+    params: &SinrParams,
+    instance: &Instance,
+    links: &LinkSet,
+    power: &PowerAssignment,
+    model: ChannelModel,
+) -> bool {
+    check_with_model(params, instance, links, power, model).is_feasible()
+}
+
 /// Validates that every slot of `schedule` is feasible under `power`.
 ///
 /// # Errors
@@ -184,8 +207,23 @@ pub fn validate_schedule(
     schedule: &Schedule,
     power: &PowerAssignment,
 ) -> Result<(), PhyError> {
+    validate_schedule_with_model(params, instance, schedule, power, ChannelModel::Geometric)
+}
+
+/// [`validate_schedule`] under an explicit [`ChannelModel`].
+///
+/// # Errors
+///
+/// Returns [`PhyError::InfeasibleSlot`] for the first offending slot.
+pub fn validate_schedule_with_model(
+    params: &SinrParams,
+    instance: &Instance,
+    schedule: &Schedule,
+    power: &PowerAssignment,
+    model: ChannelModel,
+) -> Result<(), PhyError> {
     for (slot, links) in schedule.slots().iter().enumerate() {
-        let report = check(params, instance, links, power);
+        let report = check_with_model(params, instance, links, power, model);
         if let Some(v) = report.violations.first() {
             return Err(PhyError::InfeasibleSlot {
                 slot,
@@ -219,6 +257,7 @@ pub fn validate_schedule(
 pub struct SlotAuditor<'a> {
     params: &'a SinrParams,
     instance: &'a Instance,
+    model: ChannelModel,
     links: Vec<Link>,
     /// Per-link transmit power (resolved by the caller).
     powers: Vec<f64>,
@@ -242,11 +281,18 @@ pub struct SlotAuditor<'a> {
 }
 
 impl<'a> SlotAuditor<'a> {
-    /// Creates an empty auditor for one slot.
+    /// Creates an empty auditor for one slot (Geometric channel,
+    /// bit-identical legacy behavior).
     pub fn new(params: &'a SinrParams, instance: &'a Instance) -> Self {
+        SlotAuditor::with_model(params, instance, ChannelModel::Geometric)
+    }
+
+    /// Creates an empty auditor under an explicit [`ChannelModel`].
+    pub fn with_model(params: &'a SinrParams, instance: &'a Instance, model: ChannelModel) -> Self {
         SlotAuditor {
             params,
             instance,
+            model,
             links: Vec::new(),
             powers: Vec::new(),
             signals: Vec::new(),
@@ -278,6 +324,21 @@ impl<'a> SlotAuditor<'a> {
         auditor
     }
 
+    /// [`with_residents`](Self::with_residents) under an explicit
+    /// [`ChannelModel`].
+    pub fn with_residents_model<I: IntoIterator<Item = (Link, f64)>>(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        model: ChannelModel,
+        residents: I,
+    ) -> Self {
+        let mut auditor = SlotAuditor::with_model(params, instance, model);
+        for (link, power) in residents {
+            auditor.push(link, power);
+        }
+        auditor
+    }
+
     /// Number of links currently in the slot.
     pub fn len(&self) -> usize {
         self.links.len()
@@ -301,26 +362,55 @@ impl<'a> SlotAuditor<'a> {
         snapshot.extend_from_slice(&self.interference);
         self.undo.push(snapshot);
         let len = link.length(self.instance);
-        // New sender's term lands on every resident receiver…
-        for (i, l) in self.links.iter().enumerate() {
-            if link.sender != l.sender {
-                let d = self.instance.distance(link.sender, l.receiver);
-                self.interference[i] += power * self.params.path_gain(d);
-            }
-        }
-        // …and the new link accumulates every resident sender's term,
-        // left to right, exactly as the naive sum would.
         let mut acc = 0.0;
-        for (l, &p) in self.links.iter().zip(&self.powers) {
-            if l.sender != link.sender {
-                let d = self.instance.distance(l.sender, link.receiver);
-                acc += p * self.params.path_gain(d);
+        match &self.model {
+            ChannelModel::Geometric => {
+                // New sender's term lands on every resident receiver…
+                for (i, l) in self.links.iter().enumerate() {
+                    if link.sender != l.sender {
+                        let d = self.instance.distance(link.sender, l.receiver);
+                        self.interference[i] += power * self.params.path_gain(d);
+                    }
+                }
+                // …and the new link accumulates every resident sender's
+                // term, left to right, exactly as the naive sum would.
+                for (l, &p) in self.links.iter().zip(&self.powers) {
+                    if l.sender != link.sender {
+                        let d = self.instance.distance(l.sender, link.receiver);
+                        acc += p * self.params.path_gain(d);
+                    }
+                }
+            }
+            ChannelModel::Shadowed(s) => {
+                for (i, l) in self.links.iter().enumerate() {
+                    if link.sender != l.sender {
+                        let d = self.instance.distance(link.sender, l.receiver);
+                        self.interference[i] +=
+                            power * self.params.path_gain(d) * s.fade(link.sender, l.receiver);
+                    }
+                }
+                for (l, &p) in self.links.iter().zip(&self.powers) {
+                    if l.sender != link.sender {
+                        let d = self.instance.distance(l.sender, link.receiver);
+                        acc += p * self.params.path_gain(d) * s.fade(l.sender, link.receiver);
+                    }
+                }
             }
         }
         self.links.push(link);
         self.powers.push(power);
-        self.signals.push(power * self.params.path_gain(len));
-        self.floors.push(self.params.noise_floor_power(len));
+        self.signals.push(match &self.model {
+            ChannelModel::Geometric => power * self.params.path_gain(len),
+            ChannelModel::Shadowed(s) => {
+                power * self.params.path_gain(len) * s.fade(link.sender, link.receiver)
+            }
+        });
+        self.floors.push(self.model.noise_floor_power(
+            self.params,
+            len,
+            link.sender,
+            link.receiver,
+        ));
         self.interference.push(acc);
         *self.sender_counts.entry(link.sender).or_insert(0) += 1;
     }
@@ -404,6 +494,20 @@ pub fn measured_affectance(
     transmitters: &[(NodeId, f64)],
 ) -> Option<f64> {
     AffectanceCalc::new(params, instance)
+        .sum_on(transmitters, link, link_power)
+        .ok()
+}
+
+/// [`measured_affectance`] under an explicit [`ChannelModel`].
+pub fn measured_affectance_with(
+    params: &SinrParams,
+    instance: &Instance,
+    model: ChannelModel,
+    link: Link,
+    link_power: f64,
+    transmitters: &[(NodeId, f64)],
+) -> Option<f64> {
+    AffectanceCalc::with_model(params, instance, model)
         .sum_on(transmitters, link, link_power)
         .ok()
 }

@@ -6,7 +6,7 @@ use std::fmt;
 use sinr_geom::Instance;
 use sinr_links::Link;
 
-use crate::{PhyError, Result, SinrParams};
+use crate::{ChannelModel, PhyError, Result, SinrParams};
 
 /// A power assignment: how much power the sender of each link uses.
 ///
@@ -124,6 +124,53 @@ impl PowerAssignment {
     pub fn linear_with_margin(params: &SinrParams) -> Self {
         let scale = (2.0 * params.beta() * params.noise()).max(f64::MIN_POSITIVE);
         PowerAssignment::linear(scale)
+    }
+
+    /// [`uniform_with_margin`](Self::uniform_with_margin) under an
+    /// explicit [`ChannelModel`]: the margin also covers the deepest
+    /// certified fade, so the noise factor stays bounded on every link.
+    pub fn uniform_with_margin_model(
+        params: &SinrParams,
+        model: &ChannelModel,
+        max_len: f64,
+    ) -> Self {
+        match model {
+            ChannelModel::Geometric => PowerAssignment::uniform_with_margin(params, max_len),
+            _ => PowerAssignment::uniform(
+                model
+                    .min_power_for_length(params, max_len)
+                    .max(f64::MIN_POSITIVE),
+            ),
+        }
+    }
+
+    /// [`mean_with_margin`](Self::mean_with_margin) under an explicit
+    /// [`ChannelModel`] (scale widened by the deepest certified fade).
+    pub fn mean_with_margin_model(params: &SinrParams, model: &ChannelModel, max_len: f64) -> Self {
+        match model {
+            ChannelModel::Geometric => PowerAssignment::mean_with_margin(params, max_len),
+            _ => {
+                let (fade_lo, _) = model.fade_bounds();
+                let scale =
+                    (2.0 * params.beta() * params.noise() * max_len.powf(params.alpha() / 2.0)
+                        / fade_lo)
+                        .max(f64::MIN_POSITIVE);
+                PowerAssignment::mean(scale)
+            }
+        }
+    }
+
+    /// [`linear_with_margin`](Self::linear_with_margin) under an
+    /// explicit [`ChannelModel`] (scale widened by the deepest fade).
+    pub fn linear_with_margin_model(params: &SinrParams, model: &ChannelModel) -> Self {
+        match model {
+            ChannelModel::Geometric => PowerAssignment::linear_with_margin(params),
+            _ => {
+                let (fade_lo, _) = model.fade_bounds();
+                let scale = (2.0 * params.beta() * params.noise() / fade_lo).max(f64::MIN_POSITIVE);
+                PowerAssignment::linear(scale)
+            }
+        }
     }
 
     /// An explicit per-link assignment (the paper's "arbitrary power").

@@ -1,0 +1,173 @@
+//! ChannelModel parity gates (DESIGN.md §15).
+//!
+//! The gain-path redesign's contract has two halves:
+//!
+//! 1. **Geometric is the legacy power law, bit for bit.** Every
+//!    model-routed quantity (`gain`, `min_power_for_length`,
+//!    `noise_floor_power`, the field's decode) must reproduce the
+//!    pre-redesign `SinrParams` expressions exactly — not approximately
+//!    — so the committed fingerprints and `BENCH_*.json` snapshots
+//!    survive the refactor untouched.
+//! 2. **Certification only widens.** Under any model, the field's
+//!    certified decode must equal the exact naive-order reference
+//!    ([`decode_best_exact_with_model`]): the fade-widened far-field
+//!    bounds may cost certainty (forcing fallbacks), never correctness
+//!    (flipping a decision).
+//!
+//! Both halves sweep the three power families (uniform / mean /
+//! linear) over random geometry via proptest.
+
+use proptest::prelude::*;
+use sinr_geom::{gen, Instance, NodeId};
+use sinr_links::Link;
+use sinr_phy::field::{decode_best_exact, decode_best_exact_with_model, InterferenceField};
+use sinr_phy::{ChannelModel, PowerAssignment, Shadowing, SinrParams};
+
+/// Sender set for one slot: every `stride`-th node transmits with the
+/// family's power for its nearest-neighbor uplink.
+fn make_senders(
+    params: &SinrParams,
+    inst: &Instance,
+    tau: usize,
+    stride: usize,
+) -> Vec<(NodeId, f64)> {
+    let power = match tau {
+        0 => PowerAssignment::uniform_with_margin(params, inst.delta()),
+        1 => PowerAssignment::mean_with_margin(params, inst.delta()),
+        _ => PowerAssignment::linear_with_margin(params),
+    };
+    let grid = sinr_geom::GridIndex::build(inst, (inst.delta() / 8.0).max(1e-6));
+    (0..inst.len())
+        .step_by(stride.max(2))
+        .filter_map(|u| {
+            let (v, _) = grid.nearest_neighbor(u)?;
+            let p = power.power_of(Link::new(u, v), inst, params).ok()?;
+            (p.is_finite() && p > 0.0).then_some((u, p))
+        })
+        .collect()
+}
+
+fn bits(r: Option<(NodeId, f64, f64)>) -> Option<(NodeId, u64, u64)> {
+    r.map(|(u, p, s)| (u, p.to_bits(), s.to_bits()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Half 1: the Geometric member of the enum is the legacy gain
+    /// path to the bit — scalar quantities and the full certified
+    /// field decode, across power families and sender counts.
+    #[test]
+    fn geometric_model_is_legacy_bits(
+        seed in 0u64..5_000,
+        n in 16usize..200,
+        tau in 0usize..3,
+        stride in 2usize..6,
+    ) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let model = ChannelModel::Geometric;
+
+        // Scalar parity on sampled pairs.
+        for u in (0..inst.len()).step_by(5) {
+            let v = (u + 1) % inst.len();
+            let d = inst.distance(u, v);
+            prop_assert_eq!(
+                model.gain(&params, d, u, v).to_bits(),
+                params.path_gain(d).to_bits()
+            );
+            prop_assert_eq!(
+                model.min_power_for_length(&params, d).to_bits(),
+                params.min_power_for_length(d).to_bits()
+            );
+            prop_assert_eq!(
+                model.noise_floor_power(&params, d, u, v).to_bits(),
+                params.noise_floor_power(d).to_bits()
+            );
+        }
+
+        // Field parity: the model-routed build and the legacy build
+        // decode every listener identically, and both equal the exact
+        // reference (certification never flips a decision).
+        let senders = make_senders(&params, &inst, tau, stride);
+        prop_assume!(!senders.is_empty());
+        let legacy = InterferenceField::build(&params, &inst, &senders);
+        let routed =
+            InterferenceField::build_with_model(&params, model, &inst, &senders, Default::default());
+        let transmitting: Vec<bool> = {
+            let mut t = vec![false; inst.len()];
+            for &(u, _) in &senders { t[u] = true; }
+            t
+        };
+        for v in (0..inst.len()).filter(|&v| !transmitting[v]) {
+            let got = routed.decode_best(v);
+            prop_assert_eq!(bits(got), bits(legacy.decode_best(v)));
+            prop_assert_eq!(bits(got), bits(decode_best_exact(&params, &inst, v, &senders)));
+        }
+    }
+
+    /// Half 2: under a shadowed channel the certified decode still
+    /// equals the exact naive-order reference — the fade-widened
+    /// far-field certificates are sound, and `sinr_at_least` agrees
+    /// with the exact SINR comparison on every tree link.
+    #[test]
+    fn shadowed_field_decode_matches_exact_reference(
+        seed in 0u64..5_000,
+        n in 16usize..160,
+        tau in 0usize..3,
+        sigma_tenths in 20u32..100,
+    ) {
+        let params = SinrParams::default();
+        let inst = gen::uniform_square(n, 1.5, seed).unwrap();
+        let sigma = f64::from(sigma_tenths) / 10.0;
+        let model =
+            ChannelModel::Shadowed(Shadowing::new(seed ^ 0xFADE, sigma).unwrap());
+        let senders = make_senders(&params, &inst, tau, 3);
+        prop_assume!(!senders.is_empty());
+        let field =
+            InterferenceField::build_with_model(&params, model, &inst, &senders, Default::default());
+        let transmitting: Vec<bool> = {
+            let mut t = vec![false; inst.len()];
+            for &(u, _) in &senders { t[u] = true; }
+            t
+        };
+        for v in (0..inst.len()).filter(|&v| !transmitting[v]) {
+            prop_assert_eq!(
+                bits(field.decode_best(v)),
+                bits(decode_best_exact_with_model(&params, model, &inst, v, &senders)),
+                "listener {} diverged from the exact reference", v
+            );
+        }
+        // Threshold queries: certificates may only widen, so the
+        // boolean must match the exact comparison everywhere.
+        for &(u, p) in senders.iter().take(12) {
+            for v in (0..inst.len()).filter(|&v| !transmitting[v]).take(6) {
+                let link = Link::new(u, v);
+                prop_assert_eq!(
+                    field.sinr_at_least(link, p, params.beta()),
+                    field.sinr_exact(link, p) >= params.beta()
+                );
+            }
+        }
+    }
+}
+
+/// The fade stream itself: symmetric, seed-sensitive, and stable under
+/// growth of the node set (a fade is a closed-form function of the
+/// unordered pair, so adding nodes or links never shifts a draw).
+#[test]
+fn fades_are_symmetric_seed_sensitive_and_stable() {
+    let s = Shadowing::new(7, 6.0).unwrap();
+    let other = Shadowing::new(8, 6.0).unwrap();
+    let (lo, hi) = s.fade_bounds();
+    let mut differs = false;
+    for u in 0..40usize {
+        for v in (u + 1)..40 {
+            let f = s.fade(u, v);
+            assert_eq!(f.to_bits(), s.fade(v, u).to_bits(), "fade not symmetric");
+            assert!(f >= lo && f <= hi, "fade {f} outside certified bounds");
+            differs |= f.to_bits() != other.fade(u, v).to_bits();
+        }
+    }
+    assert!(differs, "fades insensitive to the stream seed");
+}

@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 use sinr_geom::{Instance, NodeId};
 use sinr_links::Link;
 use sinr_phy::field::{
-    decode_best_exact, FieldBuffers, FieldScratch, InterferenceField, PhaseTimes, QueryStats,
+    decode_best_exact_with_model, FieldBuffers, FieldScratch, InterferenceField, PhaseTimes,
+    QueryStats,
 };
-use sinr_phy::{feasibility, SinrParams};
+use sinr_phy::{feasibility, ChannelModel, SinrParams};
 
 use crate::faults::FaultPlan;
 use crate::pool::with_pool;
@@ -109,6 +110,44 @@ pub enum EngineBackend {
 /// the work.
 pub const PARALLEL_MIN_NODES: usize = 64;
 
+/// The engine-facing knobs every driver config shares: how the channel
+/// phase is resolved ([`EngineBackend`]) and which propagation model it
+/// resolves ([`ChannelModel`]). One struct instead of per-config copies,
+/// so a new pipeline stage plumbs both with a single field.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineOptions {
+    /// Channel-resolution backend (naive / grid / parallel).
+    pub backend: EngineBackend,
+    /// Propagation model (geometric power law or deterministic
+    /// log-normal shadowing).
+    pub channel: ChannelModel,
+}
+
+impl EngineOptions {
+    /// Options with an explicit backend and the default Geometric
+    /// channel — the drop-in replacement for a bare backend field.
+    pub fn with_backend(backend: EngineBackend) -> Self {
+        EngineOptions {
+            backend,
+            channel: ChannelModel::Geometric,
+        }
+    }
+
+    /// Options with an explicit channel model on the default backend.
+    pub fn with_channel(channel: ChannelModel) -> Self {
+        EngineOptions {
+            backend: EngineBackend::default(),
+            channel,
+        }
+    }
+}
+
+impl From<EngineBackend> for EngineOptions {
+    fn from(backend: EngineBackend) -> Self {
+        EngineOptions::with_backend(backend)
+    }
+}
+
 impl EngineBackend {
     /// Short label (`naive` / `grid` / `parallel`) for CLIs and tables.
     pub fn label(&self) -> &'static str {
@@ -197,6 +236,7 @@ pub struct Engine<'a, P: Protocol> {
     slot: u64,
     stats: EngineStats,
     backend: EngineBackend,
+    channel: ChannelModel,
     scratch: FieldScratch,
     arena: SlotArena<P::Msg>,
     field_stats: QueryStats,
@@ -234,9 +274,28 @@ impl<'a, P: Protocol> Engine<'a, P> {
     pub fn with_backend(
         params: &'a SinrParams,
         instance: &'a Instance,
-        mut make_node: impl FnMut(NodeId) -> P,
+        make_node: impl FnMut(NodeId) -> P,
         seed: u64,
         backend: EngineBackend,
+    ) -> Self {
+        Self::with_options(
+            params,
+            instance,
+            make_node,
+            seed,
+            EngineOptions::with_backend(backend),
+        )
+    }
+
+    /// [`new`](Engine::new) with explicit [`EngineOptions`] — backend
+    /// plus channel model. The Geometric channel is bit-identical to
+    /// the pre-model engine on every backend.
+    pub fn with_options(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        mut make_node: impl FnMut(NodeId) -> P,
+        seed: u64,
+        options: EngineOptions,
     ) -> Self {
         let n = instance.len();
         let mut seeder = StdRng::seed_from_u64(seed);
@@ -251,7 +310,8 @@ impl<'a, P: Protocol> Engine<'a, P> {
             rngs,
             slot: 0,
             stats: EngineStats::default(),
-            backend,
+            backend: options.backend,
+            channel: options.channel,
             scratch: FieldScratch::default(),
             arena: SlotArena::default(),
             field_stats: QueryStats::default(),
@@ -291,6 +351,12 @@ impl<'a, P: Protocol> Engine<'a, P> {
     #[inline]
     pub fn backend(&self) -> EngineBackend {
         self.backend
+    }
+
+    /// The propagation model in use.
+    #[inline]
+    pub fn channel(&self) -> ChannelModel {
+        self.channel
     }
 
     /// The next slot index to execute.
@@ -369,7 +435,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let ctx = SlotCtx::build(
             self.params,
             self.instance,
-            self.backend,
+            (self.backend, self.channel),
             slot,
             actions,
             (transmitters, buffers),
@@ -641,6 +707,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
         let params = self.params;
         let instance = self.instance;
         let backend = self.backend;
+        let channel = self.channel;
         let chunk = n.div_ceil(threads);
         // Workers time their own decode phases and return the counters
         // with each chunk; the driving thread merges and records them,
@@ -685,7 +752,7 @@ impl<'a, P: Protocol> Engine<'a, P> {
                     let ctx = Arc::new(SlotCtx::build(
                         params,
                         instance,
-                        backend,
+                        (backend, channel),
                         slot,
                         actions,
                         (transmitters, buffers),
@@ -790,6 +857,26 @@ impl<'a, P: Protocol> Engine<'a, P> {
     where
         P: serde::de::DeserializeOwned,
     {
+        Self::restore_with_options(
+            params,
+            instance,
+            snapshot,
+            EngineOptions::with_backend(backend),
+        )
+    }
+
+    /// [`restore`](Self::restore) with explicit [`EngineOptions`]. The
+    /// channel model, like the backend, is immutable input: a snapshot
+    /// replays bit-identically only under the model it was taken with.
+    pub fn restore_with_options(
+        params: &'a SinrParams,
+        instance: &'a Instance,
+        snapshot: &crate::snapshot::EngineSnapshot,
+        options: EngineOptions,
+    ) -> Result<Self, serde::Error>
+    where
+        P: serde::de::DeserializeOwned,
+    {
         if snapshot.nodes.len() != instance.len() || snapshot.rngs.len() != instance.len() {
             return Err(serde::Error::custom(format!(
                 "snapshot holds {} nodes / {} RNG streams, instance has {}",
@@ -815,7 +902,8 @@ impl<'a, P: Protocol> Engine<'a, P> {
             rngs,
             slot: snapshot.slot,
             stats: snapshot.stats,
-            backend,
+            backend: options.backend,
+            channel: options.channel,
             scratch: FieldScratch::default(),
             arena: SlotArena::default(),
             field_stats: QueryStats::default(),
@@ -838,6 +926,7 @@ type SlotJob<'a, M> = (Arc<SlotCtx<'a, M>>, Vec<SlotOutcome<M>>);
 struct SlotCtx<'a, M> {
     params: &'a SinrParams,
     instance: &'a Instance,
+    channel: ChannelModel,
     actions: Vec<Action<M>>,
     transmitters: Vec<(NodeId, f64)>,
     field: Option<InterferenceField<'a>>,
@@ -870,7 +959,7 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
     fn build(
         params: &'a SinrParams,
         instance: &'a Instance,
-        backend: EngineBackend,
+        (backend, channel): (EngineBackend, ChannelModel),
         slot: u64,
         actions: Vec<Action<M>>,
         (mut transmitters, buffers): (Vec<(NodeId, f64)>, FieldBuffers),
@@ -893,8 +982,9 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
             EngineBackend::Naive => (None, Some(buffers)),
             _ if transmitters.is_empty() => (None, Some(buffers)),
             _ => (
-                Some(InterferenceField::build_with(
+                Some(InterferenceField::build_with_model(
                     params,
+                    channel,
                     instance,
                     &transmitters,
                     buffers,
@@ -905,6 +995,7 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
         SlotCtx {
             params,
             instance,
+            channel,
             actions,
             transmitters,
             field,
@@ -932,7 +1023,13 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
             Action::Listen => {
                 let decoded = match &self.field {
                     Some(f) => f.decode_best_with(id, scratch),
-                    None => decode_best_exact(self.params, self.instance, id, &self.transmitters),
+                    None => decode_best_exact_with_model(
+                        self.params,
+                        self.channel,
+                        self.instance,
+                        id,
+                        &self.transmitters,
+                    ),
                 };
                 match decoded {
                     Some((from, power, sinr)) => {
@@ -946,9 +1043,10 @@ impl<'a, M: Clone + Send + Sync> SlotCtx<'a, M> {
                             let link = Link::new(from, id);
                             scratch
                                 .time_fallback(|| {
-                                    feasibility::measured_affectance(
+                                    feasibility::measured_affectance_with(
                                         self.params,
                                         self.instance,
+                                        self.channel,
                                         link,
                                         power,
                                         &self.transmitters,

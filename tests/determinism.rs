@@ -18,7 +18,8 @@
 use std::fmt::Write as _;
 
 use sinr_connect_suite::connectivity::{
-    connect, connect_with, ConnectivityResult, EngineBackend, Strategy,
+    connect, connect_opts, connect_with, ChannelModel, ConnectivityResult, EngineBackend,
+    EngineOptions, Strategy,
 };
 use sinr_connect_suite::geom::{gen, Instance};
 use sinr_connect_suite::phy::SinrParams;
@@ -116,6 +117,70 @@ fn grid_engine_is_byte_identical_to_naive_on_every_family() {
             );
         }
     }
+}
+
+/// The shadowed-channel determinism gate (DESIGN.md §15): per-link
+/// log-normal fades are closed-form functions of `(fade seed, pair)`,
+/// drawn from hierarchically split streams — so every backend shares
+/// them **by construction**. Naive, grid and the pooled parallel
+/// engine at 1/2/4 threads must be byte-identical under a shadowed
+/// channel on every strategy × family pair, repeated runs included.
+#[test]
+fn shadowed_channel_is_backend_and_thread_invariant() {
+    let params = SinrParams::default();
+    let channel = ChannelModel::shadowed(0x5AD, 6.0).unwrap();
+    let backends = [
+        EngineBackend::Naive,
+        EngineBackend::Grid,
+        EngineBackend::Parallel(1),
+        EngineBackend::Parallel(2),
+        EngineBackend::Parallel(4),
+    ];
+    for (family, inst) in families(23) {
+        for strategy in Strategy::ALL {
+            let mut want: Option<String> = None;
+            for backend in backends {
+                let opts = EngineOptions { backend, channel };
+                let run = connect_opts(&params, &inst, strategy, 123, opts)
+                    .unwrap_or_else(|e| panic!("{family}/{strategy}/{backend:?}: {e}"));
+                let got = fingerprint(&run);
+                match &want {
+                    None => want = Some(got),
+                    Some(w) => assert!(
+                        *w == got,
+                        "{family}/{strategy}: shadowed run under {backend:?} diverged\n\
+                         --- reference ---\n{w}\n--- {backend:?} ---\n{got}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The fades are *observable* and *seed-sensitive*: a shadowed run
+/// differs from the geometric baseline, and two fade seeds differ from
+/// each other — the channel is not silently collapsing to the power
+/// law, and the stream split actually feeds the outcome.
+#[test]
+fn shadowed_channel_is_seed_sensitive() {
+    let params = SinrParams::default();
+    let inst = gen::uniform_square(32, 1.5, 23).unwrap();
+    let run = |channel: ChannelModel| {
+        let opts = EngineOptions {
+            backend: EngineBackend::Grid,
+            channel,
+        };
+        fingerprint(
+            &connect_opts(&params, &inst, Strategy::TvcArbitrary, 123, opts).expect("connects"),
+        )
+    };
+    let geometric = run(ChannelModel::Geometric);
+    let fade_a = run(ChannelModel::shadowed(1, 6.0).unwrap());
+    let fade_b = run(ChannelModel::shadowed(2, 6.0).unwrap());
+    assert_ne!(geometric, fade_a, "shadowing unobservable in the outcome");
+    assert_ne!(fade_a, fade_b, "fade streams insensitive to their seed");
+    // And each is reproducible: same channel, same bytes.
+    assert_eq!(fade_a, run(ChannelModel::shadowed(1, 6.0).unwrap()));
 }
 
 /// The default-backed `connect` is the grid engine — and therefore also
@@ -517,7 +582,7 @@ fn fault_detection_is_backend_and_thread_invariant() {
 
     let run = |backend: EngineBackend| {
         let cfg = DetectConfig {
-            backend,
+            engine: backend.into(),
             ..DetectConfig::default()
         };
         detect_failures(&params, &inst, &prior, &plan, &cfg, 23)
@@ -560,7 +625,7 @@ fn fault_serve_loop_is_byte_identical_across_backends() {
         let cfg = ServeConfig {
             events: 6,
             detect: DetectConfig {
-                backend,
+                engine: backend.into(),
                 ..ServeConfig::default().detect
             },
             ..ServeConfig::default()
@@ -606,7 +671,7 @@ fn distributed_repack_serve_loop_is_byte_identical_across_backends() {
             events: 6,
             repack: RepackMode::Distributed,
             detect: DetectConfig {
-                backend,
+                engine: backend.into(),
                 ..ServeConfig::default().detect
             },
             ..ServeConfig::default()

@@ -92,8 +92,8 @@ fn committed_snapshots_match_current_schema() {
         })
         .collect();
     assert!(
-        snapshots.len() >= 6,
-        "expected the committed BENCH_E11/E12/E13/E15/ENSEMBLE/PROFILE snapshots, \
+        snapshots.len() >= 7,
+        "expected the committed BENCH_E11/E12/E13/E15/E16/ENSEMBLE/PROFILE snapshots, \
          found {snapshots:?}"
     );
 
@@ -189,6 +189,57 @@ fn e13_snapshot_has_distributed_columns() {
         Some(&"parity"),
         "BENCH_E13.json: the asserted parity column must stay last"
     );
+}
+
+/// E16's family contract, pinned by name: the committed snapshot must
+/// carry all three tables — the family sweep (with the two-tier and
+/// percolation rows the ChannelModel redesign added), the percolation
+/// occupancy ladder, and the geometric-vs-shadowed channel comparison —
+/// so regenerating E16 with a binary that lost a family (or a table)
+/// fails CI instead of silently shrinking the snapshot's coverage.
+#[test]
+fn e16_snapshot_covers_three_families_and_the_shadowed_channel() {
+    use sinr_bench::json::{parse, Value};
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("BENCH_E16.json")).unwrap();
+    let doc = parse(&text).unwrap();
+    let tables = doc.get("experiments").and_then(Value::as_array).unwrap()[0]
+        .get("tables")
+        .and_then(Value::as_array)
+        .unwrap();
+    assert_eq!(
+        tables.len(),
+        3,
+        "BENCH_E16.json: expected tables E16a/E16b/E16c — \
+         regenerate with `experiments e16 --threads 1 --json BENCH_E16.json`"
+    );
+    let families: Vec<&str> = tables[0]
+        .get("rows")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|row| row.as_array().unwrap()[0].as_str().unwrap())
+        .collect();
+    for required in ["uniform", "two-tier", "percolation"] {
+        assert!(
+            families.contains(&required),
+            "BENCH_E16.json: family {required:?} missing from E16a rows {families:?}"
+        );
+    }
+    let c_columns: Vec<&str> = tables[2]
+        .get("columns")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|c| c.as_str().unwrap())
+        .collect();
+    for required in ["geometric slots", "shadowed slots", "ratio"] {
+        assert!(
+            c_columns.contains(&required),
+            "BENCH_E16.json: column {required:?} missing from E16c columns {c_columns:?}"
+        );
+    }
 }
 
 /// The table-level emitter alone, pinned against the same golden file:
